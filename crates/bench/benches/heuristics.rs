@@ -1,0 +1,58 @@
+//! Heuristic micro-benchmarks: the cost of scoring candidate prunings and of
+//! the selectivity estimation they rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pruning::{enumerate_candidates, ScoreContext};
+use selectivity::SelectivityEstimator;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(500);
+    let sample = generator.events(1_000);
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("selectivity_estimate_tree", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in &subscriptions {
+                acc += estimator.estimate_tree(s.tree()).avg;
+            }
+            acc
+        });
+    });
+
+    group.bench_function("score_context_construction", |b| {
+        b.iter(|| {
+            subscriptions
+                .iter()
+                .map(|s| ScoreContext::new(s.tree(), &estimator))
+                .count()
+        });
+    });
+
+    group.bench_function("enumerate_and_score_candidates", |b| {
+        let contexts: Vec<ScoreContext> = subscriptions
+            .iter()
+            .map(|s| ScoreContext::new(s.tree(), &estimator))
+            .collect();
+        b.iter(|| {
+            let mut candidates = 0usize;
+            for (s, ctx) in subscriptions.iter().zip(&contexts) {
+                candidates +=
+                    enumerate_candidates(s.id(), s.tree(), ctx, &estimator, false).len();
+            }
+            candidates
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

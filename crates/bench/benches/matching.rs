@@ -1,0 +1,99 @@
+//! Matcher micro-benchmarks: the counting engine (with and without pruning)
+//! versus the naive baseline on the auction workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
+use pruning::{Dimension, Pruner, PrunerConfig};
+use selectivity::SelectivityEstimator;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+const SUBSCRIPTIONS: usize = 2_000;
+const EVENTS: usize = 200;
+
+fn workload() -> (Vec<pubsub_core::Subscription>, Vec<pubsub_core::EventMessage>) {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    (
+        generator.subscriptions(SUBSCRIPTIONS),
+        generator.events(EVENTS),
+    )
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (subscriptions, events) = workload();
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("counting_engine", |b| {
+        let mut engine = CountingEngine::with_capacity(subscriptions.len());
+        for s in &subscriptions {
+            engine.insert(s.clone());
+        }
+        b.iter(|| {
+            let mut matches = 0usize;
+            for event in &events {
+                matches += engine.match_event(event).len();
+            }
+            matches
+        });
+    });
+
+    group.bench_function("naive_engine", |b| {
+        let mut engine = NaiveEngine::new();
+        for s in &subscriptions {
+            engine.insert(s.clone());
+        }
+        b.iter(|| {
+            let mut matches = 0usize;
+            for event in &events {
+                matches += engine.match_event(event).len();
+            }
+            matches
+        });
+    });
+
+    group.bench_function("counting_engine_fully_pruned", |b| {
+        // The same subscriptions after exhaustive network-based pruning:
+        // smaller trees, more matches per event.
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+        let sample = generator.events(500);
+        let estimator = SelectivityEstimator::from_events(&sample);
+        let mut pruner = Pruner::new(
+            PrunerConfig::for_dimension(Dimension::NetworkLoad),
+            estimator,
+        );
+        pruner.register_all(subscriptions.iter().cloned());
+        pruner.prune_all();
+        let mut engine = CountingEngine::with_capacity(subscriptions.len());
+        for s in pruner.pruned_subscriptions() {
+            engine.insert(s);
+        }
+        b.iter(|| {
+            let mut matches = 0usize;
+            for event in &events {
+                matches += engine.match_event(event).len();
+            }
+            matches
+        });
+    });
+
+    group.bench_function("engine_construction", |b| {
+        b.iter_batched(
+            || subscriptions.clone(),
+            |subs| {
+                let mut engine = CountingEngine::with_capacity(subs.len());
+                for s in subs {
+                    engine.insert(s);
+                }
+                engine.len()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Pruner micro-benchmarks: queue-driven step-wise pruning across the three
+//! dimensions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pruning::{Dimension, Pruner, PrunerConfig};
+use selectivity::SelectivityEstimator;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(1_000);
+    let sample = generator.events(1_000);
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    for dimension in [
+        Dimension::NetworkLoad,
+        Dimension::Throughput,
+        Dimension::Memory,
+    ] {
+        group.bench_function(format!("register_1000_{}", dimension.label()), |b| {
+            b.iter_batched(
+                || subscriptions.clone(),
+                |subs| {
+                    let mut pruner =
+                        Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
+                    pruner.register_all(subs);
+                    pruner.len()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+
+        group.bench_function(format!("prune_100_steps_{}", dimension.label()), |b| {
+            b.iter_batched(
+                || {
+                    let mut pruner =
+                        Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
+                    pruner.register_all(subscriptions.iter().cloned());
+                    pruner
+                },
+                |mut pruner| pruner.prune_batch(100).len(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

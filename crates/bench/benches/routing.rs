@@ -1,0 +1,77 @@
+//! Distributed-routing micro-benchmarks: event propagation through the
+//! five-broker line with unoptimized and pruned routing tables.
+
+use broker::{Simulation, SimulationConfig, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pruning::{Dimension, Pruner, PrunerConfig};
+use selectivity::SelectivityEstimator;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+const SUBSCRIPTIONS: usize = 1_000;
+const EVENTS: usize = 100;
+
+fn build_simulation(pruned: bool) -> (Simulation, Vec<pubsub_core::EventMessage>) {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(SUBSCRIPTIONS);
+    let events = generator.events(EVENTS);
+    let mut sim = Simulation::new(SimulationConfig::new(Topology::line(5)));
+    sim.register_all(subscriptions);
+    if pruned {
+        let sample = generator.events(500);
+        let estimator = SelectivityEstimator::from_events(&sample);
+        for broker in sim.topology().broker_ids().collect::<Vec<_>>() {
+            let remote = sim.remote_subscriptions(broker);
+            if remote.is_empty() {
+                continue;
+            }
+            let mut pruner = Pruner::new(
+                PrunerConfig::for_dimension(Dimension::NetworkLoad),
+                estimator.clone(),
+            );
+            pruner.register_all(remote);
+            pruner.prune_all();
+            for sub in pruner.pruned_subscriptions() {
+                sim.install_remote_tree(broker, sub.id(), sub.tree().clone());
+            }
+        }
+    }
+    (sim, events)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("publish_100_events_unoptimized", |b| {
+        let (mut sim, events) = build_simulation(false);
+        b.iter(|| {
+            let report = sim.publish_all(&events);
+            report.deliveries
+        });
+    });
+
+    group.bench_function("publish_100_events_fully_pruned", |b| {
+        let (mut sim, events) = build_simulation(true);
+        b.iter(|| {
+            let report = sim.publish_all(&events);
+            report.deliveries
+        });
+    });
+
+    group.bench_function("subscription_forwarding_setup", |b| {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+        let subscriptions = generator.subscriptions(200);
+        b.iter(|| {
+            let mut sim = Simulation::new(SimulationConfig::new(Topology::line(5)));
+            sim.register_all(subscriptions.iter().cloned());
+            sim.memory_report().remote_subscriptions
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Baseline comparison: covering and merging (conjunctive-only optimizations,
+//! Section 2.3 of the paper) versus dimension-based pruning on the same
+//! auction workload.
+//!
+//! For each optimization the binary reports how many routing-table entries it
+//! applies to and the resulting reduction in predicate/subscription
+//! associations. Pruning is reported at several degradation budgets to show
+//! that it reaches comparable reductions while applying to *all*
+//! subscriptions, not only the conjunctive subset.
+
+use bench::cli::CliOptions;
+use pruning::{Dimension, Pruner, PrunerConfig};
+use routing_opt::{merge_subscriptions, CoveringIndex, MergeConfig};
+use selectivity::SelectivityEstimator;
+use workload::WorkloadGenerator;
+
+fn main() {
+    let options = match CliOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = options.centralized_scenario();
+    let mut generator = WorkloadGenerator::new(scenario.workload);
+    let subscriptions = generator.subscriptions(scenario.subscription_count);
+    let sample = generator.events(scenario.stats_sample);
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    let total_associations: usize = subscriptions
+        .iter()
+        .map(|s| s.tree().predicate_count())
+        .sum();
+    let conjunctive = subscriptions
+        .iter()
+        .filter(|s| s.tree().to_expr().is_conjunctive())
+        .count();
+
+    println!("optimization,applicable_subscriptions,total_subscriptions,association_reduction,notes");
+    eprintln!(
+        "# workload: {} subscriptions ({} conjunctive), {} predicate/subscription associations",
+        subscriptions.len(),
+        conjunctive,
+        total_associations
+    );
+
+    // Covering.
+    let mut covering = CoveringIndex::new();
+    covering.insert_all(subscriptions.iter().cloned());
+    let covering_report = covering.report();
+    println!(
+        "covering,{},{},{:.6},covered={}",
+        covering_report.conjunctive,
+        covering_report.total,
+        covering_report.association_reduction(),
+        covering_report.covered
+    );
+
+    // Merging.
+    let (_, merge_report) = merge_subscriptions(&subscriptions, MergeConfig::default());
+    println!(
+        "merging,{},{},{:.6},mergers={} perfect={}",
+        merge_report.conjunctive,
+        merge_report.total,
+        merge_report.association_reduction(),
+        merge_report.mergers,
+        merge_report.perfect_mergers
+    );
+
+    // Pruning at several selectivity-degradation budgets.
+    for budget in [0.01, 0.05, 0.2, f64::INFINITY] {
+        let mut pruner = Pruner::new(
+            PrunerConfig::for_dimension(Dimension::NetworkLoad),
+            estimator.clone(),
+        );
+        pruner.register_all(subscriptions.iter().cloned());
+        if budget.is_finite() {
+            pruner.prune_while(|scores| scores.delta_sel <= budget);
+        } else {
+            pruner.prune_all();
+        }
+        let snapshot = pruner.snapshot();
+        let label = if budget.is_finite() {
+            format!("delta_sel<={budget}")
+        } else {
+            "exhaustive".to_owned()
+        };
+        println!(
+            "pruning-network,{},{},{:.6},{} ({} prunings)",
+            subscriptions.len(),
+            subscriptions.len(),
+            snapshot.association_reduction(),
+            label,
+            snapshot.prunings_applied
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! A tiny, dependency-free command-line parser shared by the harness
+//! binaries.
+
+use workload::ScenarioConfig;
+
+/// Options common to all harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Which panel(s) to produce (`a`–`f`, `all`, or `summary`).
+    pub panel: String,
+    /// Number of subscriptions.
+    pub subs: usize,
+    /// Number of published events.
+    pub events: usize,
+    /// Number of events sampled for the selectivity statistics.
+    pub stats_sample: usize,
+    /// Number of brokers in the distributed setting.
+    pub brokers: usize,
+    /// Number of x-axis samples between 0 and 1 (inclusive).
+    pub fractions: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Use the full paper scale (200,000 subscriptions / 100,000 events).
+    pub paper_scale: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            panel: "all".to_owned(),
+            subs: 20_000,
+            events: 10_000,
+            stats_sample: 2_000,
+            brokers: 5,
+            fractions: 11,
+            seed: 42,
+            paper_scale: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from an argument iterator (without the program name).
+    /// Unknown flags produce an error string listing the supported flags.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            let mut take_value = |name: &str| -> Result<String, String> {
+                iter.next()
+                    .map(|v| v.as_ref().to_owned())
+                    .ok_or_else(|| format!("flag {name} expects a value"))
+            };
+            match arg {
+                "--panel" => options.panel = take_value("--panel")?,
+                "--subs" => {
+                    options.subs = take_value("--subs")?
+                        .parse()
+                        .map_err(|e| format!("--subs: {e}"))?
+                }
+                "--events" => {
+                    options.events = take_value("--events")?
+                        .parse()
+                        .map_err(|e| format!("--events: {e}"))?
+                }
+                "--stats-sample" => {
+                    options.stats_sample = take_value("--stats-sample")?
+                        .parse()
+                        .map_err(|e| format!("--stats-sample: {e}"))?
+                }
+                "--brokers" => {
+                    options.brokers = take_value("--brokers")?
+                        .parse()
+                        .map_err(|e| format!("--brokers: {e}"))?
+                }
+                "--fractions" => {
+                    options.fractions = take_value("--fractions")?
+                        .parse()
+                        .map_err(|e| format!("--fractions: {e}"))?
+                }
+                "--seed" => {
+                    options.seed = take_value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--paper-scale" => options.paper_scale = true,
+                "--help" | "-h" => return Err(Self::usage()),
+                other => return Err(format!("unknown flag {other}\n{}", Self::usage())),
+            }
+        }
+        if options.fractions < 2 {
+            return Err("--fractions must be at least 2".to_owned());
+        }
+        Ok(options)
+    }
+
+    /// The usage string printed on `--help` or parse errors.
+    pub fn usage() -> String {
+        [
+            "usage: <binary> [flags]",
+            "  --panel <a|b|c|d|e|f|all|summary>   which figure panel(s) to produce (default all)",
+            "  --subs <n>                          number of subscriptions (default 20000)",
+            "  --events <n>                        number of published events (default 10000)",
+            "  --stats-sample <n>                  events sampled for selectivity statistics (default 2000)",
+            "  --brokers <n>                       brokers in the distributed setting (default 5)",
+            "  --fractions <n>                     x-axis samples between 0 and 1 (default 11)",
+            "  --seed <n>                          workload seed (default 42)",
+            "  --paper-scale                       use the paper's scale (200k subs / 100k events)",
+        ]
+        .join("\n")
+    }
+
+    /// The x-axis fractions implied by `--fractions`.
+    pub fn fraction_list(&self) -> Vec<f64> {
+        let n = self.fractions.max(2);
+        (0..n).map(|i| i as f64 / (n - 1) as f64).collect()
+    }
+
+    /// The centralized scenario implied by these options.
+    pub fn centralized_scenario(&self) -> ScenarioConfig {
+        let mut scenario = if self.paper_scale {
+            ScenarioConfig::paper_centralized()
+        } else {
+            ScenarioConfig::small_centralized()
+        };
+        if !self.paper_scale {
+            scenario.subscription_count = self.subs;
+            scenario.event_count = self.events;
+            scenario.stats_sample = self.stats_sample;
+        }
+        scenario.workload.seed = self.seed;
+        scenario.broker_count = 1;
+        scenario
+    }
+
+    /// The distributed scenario implied by these options.
+    pub fn distributed_scenario(&self) -> ScenarioConfig {
+        let mut scenario = self.centralized_scenario();
+        scenario.broker_count = self.brokers.max(2);
+        scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_simple_flags() {
+        let options = CliOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(options, CliOptions::default());
+        let options =
+            CliOptions::parse(["--panel", "a", "--subs", "100", "--seed", "7"]).unwrap();
+        assert_eq!(options.panel, "a");
+        assert_eq!(options.subs, 100);
+        assert_eq!(options.seed, 7);
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_error() {
+        assert!(CliOptions::parse(["--bogus"]).is_err());
+        assert!(CliOptions::parse(["--subs"]).is_err());
+        assert!(CliOptions::parse(["--subs", "abc"]).is_err());
+        assert!(CliOptions::parse(["--help"]).is_err());
+        assert!(CliOptions::parse(["--fractions", "1"]).is_err());
+    }
+
+    #[test]
+    fn fraction_list_spans_zero_to_one() {
+        let options = CliOptions::parse(["--fractions", "5"]).unwrap();
+        let fractions = options.fraction_list();
+        assert_eq!(fractions.len(), 5);
+        assert_eq!(fractions[0], 0.0);
+        assert_eq!(*fractions.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn scenarios_reflect_options() {
+        let options = CliOptions::parse(["--subs", "500", "--events", "200", "--brokers", "3"])
+            .unwrap();
+        let central = options.centralized_scenario();
+        assert_eq!(central.subscription_count, 500);
+        assert_eq!(central.event_count, 200);
+        assert_eq!(central.broker_count, 1);
+        let distributed = options.distributed_scenario();
+        assert_eq!(distributed.broker_count, 3);
+
+        let paper = CliOptions::parse(["--paper-scale"]).unwrap().centralized_scenario();
+        assert_eq!(paper.subscription_count, 200_000);
+    }
+}

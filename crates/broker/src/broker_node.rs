@@ -1,0 +1,260 @@
+//! A single broker node.
+
+use crate::routing_table::RoutingTable;
+use crate::metrics::RoutingMemoryReport;
+use filtering::FilterStats;
+use pubsub_core::{BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree};
+use serde::{Deserialize, Serialize};
+
+/// Where a routing entry's matches must be sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Destination {
+    /// A subscriber connected directly to this broker.
+    LocalClient(SubscriberId),
+    /// The neighbor broker on the path towards the subscriber's home broker.
+    Neighbor(BrokerId),
+}
+
+/// The result of a broker processing one incoming event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventHandling {
+    /// Notifications to deliver to local subscribers.
+    pub deliveries: Vec<(SubscriberId, SubscriptionId)>,
+    /// Neighbors that need their own copy of the event.
+    pub forward_to: Vec<BrokerId>,
+}
+
+/// One broker of the distributed publish/subscribe network.
+///
+/// A broker owns a [`RoutingTable`] and knows its neighbors. It does not do
+/// any I/O: the [`Simulation`](crate::Simulation) moves events between
+/// brokers and accounts for the traffic, which keeps experiments
+/// deterministic and independent of the host machine's networking stack.
+#[derive(Debug)]
+pub struct Broker {
+    id: BrokerId,
+    neighbors: Vec<BrokerId>,
+    table: RoutingTable,
+}
+
+impl Broker {
+    /// Creates a broker with the given id and neighbor set.
+    pub fn new(id: BrokerId, neighbors: Vec<BrokerId>) -> Self {
+        Self {
+            id,
+            neighbors,
+            table: RoutingTable::new(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// This broker's neighbors.
+    pub fn neighbors(&self) -> &[BrokerId] {
+        &self.neighbors
+    }
+
+    /// Registers a subscription of a client connected to this broker.
+    pub fn register_local(&mut self, subscription: Subscription) {
+        self.table.add_local(subscription);
+    }
+
+    /// Registers a forwarded subscription whose home broker lies towards the
+    /// given neighbor.
+    ///
+    /// # Panics
+    /// Panics if `toward` is not one of this broker's neighbors — that would
+    /// mean subscription forwarding computed a bogus next hop.
+    pub fn register_remote(&mut self, subscription: Subscription, toward: BrokerId) {
+        assert!(
+            self.neighbors.contains(&toward),
+            "{}: {toward} is not a neighbor",
+            self.id
+        );
+        self.table.add_remote(subscription, toward);
+    }
+
+    /// Removes a subscription from this broker's routing table.
+    pub fn unregister(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        self.table.remove(id)
+    }
+
+    /// Installs a (pruned) tree for a remote entry. Returns `false` if the
+    /// subscription is not a remote entry of this broker.
+    pub fn install_remote_tree(&mut self, id: SubscriptionId, tree: SubscriptionTree) -> bool {
+        self.table.install_remote_tree(id, tree)
+    }
+
+    /// The current remote entries of this broker (the candidates for
+    /// pruning).
+    pub fn remote_subscriptions(&self) -> Vec<Subscription> {
+        self.table.remote_subscriptions()
+    }
+
+    /// The local-client entries of this broker.
+    pub fn local_subscriptions(&self) -> Vec<Subscription> {
+        self.table.local_subscriptions()
+    }
+
+    /// Processes one event: matches it against the routing table and reports
+    /// local deliveries plus the neighbors that need a copy.
+    ///
+    /// `from` is the neighbor the event arrived from (`None` when the event
+    /// was published by a local client); it is excluded from forwarding.
+    pub fn handle_event(&mut self, event: &EventMessage, from: Option<BrokerId>) -> EventHandling {
+        EventHandling {
+            deliveries: self.table.match_local(event),
+            forward_to: self.table.neighbors_to_forward(event, from),
+        }
+    }
+
+    /// Memory accounting of this broker's routing table.
+    pub fn memory_report(&self) -> RoutingMemoryReport {
+        self.table.memory_report()
+    }
+
+    /// Merged filtering statistics of this broker's engines.
+    pub fn filter_stats(&self) -> FilterStats {
+        self.table.filter_stats()
+    }
+
+    /// Resets this broker's filtering statistics.
+    pub fn reset_filter_stats(&mut self) {
+        self.table.reset_filter_stats()
+    }
+
+    /// Direct access to the routing table (used by tests and advanced
+    /// experiment setups).
+    pub fn routing_table(&self) -> &RoutingTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_core::Expr;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::from_raw(i)
+    }
+
+    fn sub(id: u64, subscriber: u64, expr: &Expr) -> Subscription {
+        Subscription::from_expr(
+            SubscriptionId::from_raw(id),
+            SubscriberId::from_raw(subscriber),
+            expr,
+        )
+    }
+
+    fn broker() -> Broker {
+        Broker::new(b(1), vec![b(0), b(2)])
+    }
+
+    fn books_event() -> EventMessage {
+        EventMessage::builder()
+            .attr("category", "books")
+            .attr("price", 9i64)
+            .build()
+    }
+
+    #[test]
+    fn identity_and_neighbors() {
+        let broker = broker();
+        assert_eq!(broker.id(), b(1));
+        assert_eq!(broker.neighbors(), &[b(0), b(2)]);
+    }
+
+    #[test]
+    fn local_delivery_and_forwarding() {
+        let mut broker = broker();
+        broker.register_local(sub(1, 11, &Expr::eq("category", "books")));
+        broker.register_remote(sub(2, 22, &Expr::eq("category", "books")), b(0));
+        broker.register_remote(sub(3, 33, &Expr::eq("category", "music")), b(2));
+
+        let handling = broker.handle_event(&books_event(), None);
+        assert_eq!(
+            handling.deliveries,
+            vec![(SubscriberId::from_raw(11), SubscriptionId::from_raw(1))]
+        );
+        assert_eq!(handling.forward_to, vec![b(0)]);
+
+        // An event arriving from broker 0 is not forwarded back there.
+        let handling = broker.handle_event(&books_event(), Some(b(0)));
+        assert!(handling.forward_to.is_empty());
+        assert_eq!(handling.deliveries.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbor")]
+    fn remote_registration_requires_a_neighbor() {
+        let mut broker = broker();
+        broker.register_remote(sub(1, 1, &Expr::eq("a", 1i64)), b(7));
+    }
+
+    #[test]
+    fn pruned_remote_entry_changes_forwarding() {
+        let mut broker = broker();
+        broker.register_remote(
+            sub(
+                1,
+                11,
+                &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 5i64)]),
+            ),
+            b(2),
+        );
+        assert!(broker.handle_event(&books_event(), None).forward_to.is_empty());
+        assert!(broker.install_remote_tree(
+            SubscriptionId::from_raw(1),
+            SubscriptionTree::from_expr(&Expr::eq("category", "books")),
+        ));
+        assert_eq!(broker.handle_event(&books_event(), None).forward_to, vec![b(2)]);
+        // Local entries cannot be replaced through this API.
+        broker.register_local(sub(5, 55, &Expr::eq("x", 1i64)));
+        assert!(!broker.install_remote_tree(
+            SubscriptionId::from_raw(5),
+            SubscriptionTree::from_expr(&Expr::eq("x", 2i64)),
+        ));
+    }
+
+    #[test]
+    fn unregister_and_listings() {
+        let mut broker = broker();
+        broker.register_local(sub(1, 11, &Expr::eq("a", 1i64)));
+        broker.register_remote(sub(2, 22, &Expr::eq("b", 1i64)), b(0));
+        assert_eq!(broker.local_subscriptions().len(), 1);
+        assert_eq!(broker.remote_subscriptions().len(), 1);
+        assert!(broker.unregister(SubscriptionId::from_raw(2)).is_some());
+        assert!(broker.remote_subscriptions().is_empty());
+    }
+
+    #[test]
+    fn stats_and_memory_reports() {
+        let mut broker = broker();
+        broker.register_local(sub(1, 11, &Expr::eq("category", "books")));
+        broker.register_remote(sub(2, 22, &Expr::eq("category", "books")), b(0));
+        let _ = broker.handle_event(&books_event(), None);
+        assert!(broker.filter_stats().events_filtered > 0);
+        broker.reset_filter_stats();
+        assert_eq!(broker.filter_stats().events_filtered, 0);
+        let memory = broker.memory_report();
+        assert_eq!(memory.local_subscriptions, 1);
+        assert_eq!(memory.remote_subscriptions, 1);
+        assert_eq!(broker.routing_table().local_len(), 1);
+    }
+
+    #[test]
+    fn destination_serde_roundtrip() {
+        let d = Destination::Neighbor(b(3));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Destination = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        let d = Destination::LocalClient(SubscriberId::from_raw(4));
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Destination = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,351 @@
+//! Parallel event publishing.
+//!
+//! The figures of the paper are produced with the deterministic,
+//! single-threaded [`Simulation`](crate::Simulation) so that message counts
+//! and filter times are exactly reproducible. Real deployments, however, run
+//! brokers concurrently; this module provides a thread-per-broker executor on
+//! top of the same [`Broker`](crate::Broker) type to measure aggregate system
+//! throughput (events per second) on multi-core hosts.
+//!
+//! Design: each broker runs on its own worker thread behind a
+//! `parking_lot::Mutex` and owns a `crossbeam` channel of incoming
+//! [`Envelope`]s. Publishing an event injects it at its origin broker; each
+//! hop forwards the envelope to the neighbor's channel. A shared atomic
+//! in-flight counter detects quiescence so [`ParallelNetwork::run`] can return
+//! once every event has been fully routed.
+
+use crate::broker_node::Broker;
+use crate::metrics::NetworkStats;
+use crate::topology::Topology;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use pubsub_core::{BrokerId, EventMessage};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One message travelling between brokers (or from a publisher into its
+/// origin broker).
+#[derive(Debug, Clone)]
+enum Envelope {
+    /// An event copy plus the link it arrived on.
+    Event {
+        event: EventMessage,
+        from: Option<BrokerId>,
+    },
+    /// Orderly shutdown: the run is quiescent and the worker should exit.
+    /// Needed because every worker holds senders to every neighbor, so
+    /// channel disconnection alone can never terminate the workers.
+    Shutdown,
+}
+
+/// Aggregate results of a parallel publishing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelRunReport {
+    /// Number of events injected.
+    pub events_published: u64,
+    /// Total notifications delivered to local subscribers.
+    pub deliveries: u64,
+    /// Inter-broker messages exchanged while routing the batch.
+    pub broker_messages: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ParallelRunReport {
+    /// Events routed per second of wall-clock time.
+    pub fn events_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events_published as f64 / secs
+        }
+    }
+}
+
+/// A thread-per-broker executor over a set of [`Broker`]s.
+///
+/// The network is built from brokers that have already been populated with
+/// routing entries (typically by draining a [`Simulation`](crate::Simulation)
+/// via [`ParallelNetwork::from_brokers`], or by registering subscriptions on
+/// the brokers directly).
+#[derive(Debug)]
+pub struct ParallelNetwork {
+    topology: Topology,
+    brokers: BTreeMap<BrokerId, Arc<Mutex<Broker>>>,
+    deliveries: Arc<AtomicU64>,
+    messages: Arc<AtomicU64>,
+}
+
+impl ParallelNetwork {
+    /// Builds a parallel network from pre-populated brokers.
+    ///
+    /// # Panics
+    /// Panics if the broker set does not cover exactly the topology's broker
+    /// ids.
+    pub fn from_brokers(topology: Topology, brokers: Vec<Broker>) -> Self {
+        let map: BTreeMap<BrokerId, Arc<Mutex<Broker>>> = brokers
+            .into_iter()
+            .map(|b| (b.id(), Arc::new(Mutex::new(b))))
+            .collect();
+        for id in topology.broker_ids() {
+            assert!(map.contains_key(&id), "missing broker {id}");
+        }
+        assert_eq!(
+            map.len(),
+            topology.len(),
+            "broker set does not match the topology"
+        );
+        Self {
+            topology,
+            brokers: map,
+            deliveries: Arc::new(AtomicU64::new(0)),
+            messages: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Total notifications delivered so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries.load(Ordering::Relaxed)
+    }
+
+    /// Total inter-broker messages so far.
+    pub fn broker_messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Routes a batch of events through the network using one worker thread
+    /// per broker. Events are injected round-robin over the brokers. Returns
+    /// once every event has been fully routed.
+    pub fn run(&self, events: &[EventMessage]) -> ParallelRunReport {
+        let start = Instant::now();
+        let broker_ids: Vec<BrokerId> = self.topology.broker_ids().collect();
+
+        // Channels, one per broker.
+        let mut senders: BTreeMap<BrokerId, Sender<Envelope>> = BTreeMap::new();
+        let mut receivers: BTreeMap<BrokerId, Receiver<Envelope>> = BTreeMap::new();
+        for id in &broker_ids {
+            let (tx, rx) = unbounded();
+            senders.insert(*id, tx);
+            receivers.insert(*id, rx);
+        }
+
+        // In-flight envelopes: workers exit when the counter reaches zero and
+        // all events have been injected.
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let deliveries = Arc::new(AtomicU64::new(0));
+        let messages = Arc::new(AtomicU64::new(0));
+
+        crossbeam::scope(|scope| {
+            // Worker per broker.
+            for id in &broker_ids {
+                let receiver = receivers[id].clone();
+                let senders = senders.clone();
+                let broker = Arc::clone(&self.brokers[id]);
+                let in_flight = Arc::clone(&in_flight);
+                let deliveries = Arc::clone(&deliveries);
+                let messages = Arc::clone(&messages);
+                scope.spawn(move |_| {
+                    // Workers drain their channel until the injector tells
+                    // them the run is quiescent.
+                    while let Ok(envelope) = receiver.recv() {
+                        let (event, from) = match envelope {
+                            Envelope::Shutdown => break,
+                            Envelope::Event { event, from } => (event, from),
+                        };
+                        let own_id = broker.lock().id();
+                        let handling = broker.lock().handle_event(&event, from);
+                        deliveries.fetch_add(handling.deliveries.len() as u64, Ordering::Relaxed);
+                        for neighbor in handling.forward_to {
+                            messages.fetch_add(1, Ordering::Relaxed);
+                            in_flight.fetch_add(1, Ordering::Relaxed);
+                            senders[&neighbor]
+                                .send(Envelope::Event {
+                                    event: event.clone(),
+                                    from: Some(own_id),
+                                })
+                                .expect("receiver outlives forwarding");
+                        }
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                });
+            }
+
+            // Injector: publish each event at its round-robin origin.
+            for (i, event) in events.iter().enumerate() {
+                let origin = broker_ids[i % broker_ids.len()];
+                in_flight.fetch_add(1, Ordering::Relaxed);
+                senders[&origin]
+                    .send(Envelope::Event {
+                        event: event.clone(),
+                        from: None,
+                    })
+                    .expect("workers are running");
+            }
+
+            // Wait for quiescence, then tell every worker to exit.
+            while in_flight.load(Ordering::Relaxed) > 0 {
+                std::thread::yield_now();
+            }
+            for sender in senders.values() {
+                sender
+                    .send(Envelope::Shutdown)
+                    .expect("workers are still draining their channels");
+            }
+            drop(senders);
+        })
+        .expect("broker worker panicked");
+
+        self.deliveries
+            .fetch_add(deliveries.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.messages
+            .fetch_add(messages.load(Ordering::Relaxed), Ordering::Relaxed);
+
+        ParallelRunReport {
+            events_published: events.len() as u64,
+            deliveries: deliveries.load(Ordering::Relaxed),
+            broker_messages: messages.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Aggregated network statistics reconstructed from the per-broker filter
+    /// statistics (message counts only; per-link attribution requires the
+    /// deterministic [`Simulation`](crate::Simulation)).
+    pub fn network_stats(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.broker_messages(),
+            bytes: 0,
+            per_link: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Simulation, SimulationConfig};
+    use pubsub_core::{Expr, SubscriberId, Subscription, SubscriptionId};
+
+    fn sub(id: u64, subscriber: u64, expr: &Expr) -> Subscription {
+        Subscription::from_expr(
+            SubscriptionId::from_raw(id),
+            SubscriberId::from_raw(subscriber),
+            expr,
+        )
+    }
+
+    /// Builds brokers with the same routing state the deterministic
+    /// simulation would install, by reusing the simulation's forwarding
+    /// logic against standalone brokers.
+    fn build_brokers(topology: &Topology, subscriptions: &[Subscription]) -> Vec<Broker> {
+        let mut sim = Simulation::new(SimulationConfig::new(topology.clone()));
+        sim.register_all(subscriptions.iter().cloned());
+        topology
+            .broker_ids()
+            .map(|id| {
+                let mut broker = Broker::new(id, topology.neighbors(id));
+                for s in sim.broker(id).unwrap().local_subscriptions() {
+                    broker.register_local(s);
+                }
+                for s in sim.broker(id).unwrap().remote_subscriptions() {
+                    let toward = sim
+                        .broker(id)
+                        .unwrap()
+                        .routing_table()
+                        .remote_destination(s.id())
+                        .unwrap();
+                    broker.register_remote(s, toward);
+                }
+                broker
+            })
+            .collect()
+    }
+
+    fn events(n: usize) -> Vec<EventMessage> {
+        (0..n)
+            .map(|i| {
+                EventMessage::builder()
+                    .id(i as u64)
+                    .attr("category", if i % 2 == 0 { "books" } else { "music" })
+                    .attr("price", (i % 40) as i64)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_run_matches_the_deterministic_simulation() {
+        let topology = Topology::line(4);
+        let subscriptions = vec![
+            sub(1, 0, &Expr::eq("category", "books")),
+            sub(2, 1, &Expr::and(vec![Expr::eq("category", "music"), Expr::le("price", 10i64)])),
+            sub(3, 3, &Expr::ge("price", 30i64)),
+        ];
+        let events = events(40);
+
+        // Deterministic reference.
+        let mut sim = Simulation::new(SimulationConfig::new(topology.clone()));
+        sim.register_all(subscriptions.iter().cloned());
+        let reference = sim.publish_all(&events);
+
+        // Parallel run over equivalent brokers.
+        let network = ParallelNetwork::from_brokers(
+            topology.clone(),
+            build_brokers(&topology, &subscriptions),
+        );
+        let report = network.run(&events);
+
+        assert_eq!(report.events_published, 40);
+        assert_eq!(report.deliveries, reference.deliveries);
+        assert_eq!(report.broker_messages, reference.network.messages);
+        assert_eq!(network.deliveries(), reference.deliveries);
+        assert_eq!(network.broker_messages(), reference.network.messages);
+        assert!(report.events_per_second() > 0.0);
+    }
+
+    #[test]
+    fn repeated_runs_accumulate_counters() {
+        let topology = Topology::star(3);
+        let subscriptions = vec![sub(1, 0, &Expr::eq("category", "books"))];
+        let network = ParallelNetwork::from_brokers(
+            topology.clone(),
+            build_brokers(&topology, &subscriptions),
+        );
+        let first = network.run(&events(10));
+        let second = network.run(&events(10));
+        assert_eq!(first.deliveries, second.deliveries);
+        assert_eq!(network.deliveries(), first.deliveries + second.deliveries);
+        assert_eq!(network.network_stats().messages, network.broker_messages());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let topology = Topology::single();
+        let network = ParallelNetwork::from_brokers(
+            topology.clone(),
+            vec![Broker::new(BrokerId::from_raw(0), vec![])],
+        );
+        let report = network.run(&[]);
+        assert_eq!(report.events_published, 0);
+        assert_eq!(report.deliveries, 0);
+        assert_eq!(report.events_per_second(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing broker")]
+    fn broker_set_must_cover_the_topology() {
+        let topology = Topology::line(3);
+        let _ = ParallelNetwork::from_brokers(
+            topology,
+            vec![Broker::new(BrokerId::from_raw(0), vec![BrokerId::from_raw(1)])],
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Per-broker routing tables: local-client entries and per-neighbor remote
+//! entries.
+
+use crate::metrics::RoutingMemoryReport;
+use filtering::{CountingEngine, FilterStats, MatchingEngine};
+use pubsub_core::{BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree};
+use std::collections::BTreeMap;
+
+/// The routing table of one broker.
+///
+/// Subscription forwarding installs each subscription in two kinds of places:
+///
+/// * at the subscriber's **home broker** as a *local entry* — these are exact
+///   and are never pruned (otherwise notifications could be lost);
+/// * at every **other broker** as a *remote entry* pointing towards the
+///   neighbor that leads to the home broker — these are the entries the
+///   pruning optimization may generalize, because any false positive they
+///   admit is post-filtered closer to (or at) the home broker.
+///
+/// Each destination is backed by its own [`CountingEngine`], so matching an
+/// event against the routing table answers both "which local subscribers get
+/// a notification" and "which neighbors need a copy of this event".
+#[derive(Debug, Default)]
+pub struct RoutingTable {
+    local: CountingEngine,
+    per_neighbor: BTreeMap<BrokerId, CountingEngine>,
+    /// Where each remote entry currently lives (subscription id → neighbor).
+    remote_destination: BTreeMap<SubscriptionId, BrokerId>,
+}
+
+impl RoutingTable {
+    /// Creates an empty routing table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a local-client subscription.
+    pub fn add_local(&mut self, subscription: Subscription) {
+        self.local.insert(subscription);
+    }
+
+    /// Registers a remote entry whose matches must be forwarded towards the
+    /// given neighbor.
+    pub fn add_remote(&mut self, subscription: Subscription, toward: BrokerId) {
+        self.remote_destination.insert(subscription.id(), toward);
+        self.per_neighbor.entry(toward).or_default().insert(subscription);
+    }
+
+    /// Removes a subscription from wherever it is registered.
+    pub fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        if let Some(sub) = self.local.remove(id) {
+            return Some(sub);
+        }
+        let toward = self.remote_destination.remove(&id)?;
+        self.per_neighbor.get_mut(&toward)?.remove(id)
+    }
+
+    /// Replaces the tree of a remote entry (installing a pruned version).
+    /// Returns `false` if the subscription is not a remote entry of this
+    /// table.
+    pub fn install_remote_tree(&mut self, id: SubscriptionId, tree: SubscriptionTree) -> bool {
+        let Some(toward) = self.remote_destination.get(&id) else {
+            return false;
+        };
+        let Some(engine) = self.per_neighbor.get_mut(toward) else {
+            return false;
+        };
+        let Some(existing) = engine.get(id) else {
+            return false;
+        };
+        let replacement = existing.with_tree(tree);
+        engine.insert(replacement);
+        true
+    }
+
+    /// The current remote entries (their possibly pruned form), in
+    /// subscription-id order.
+    pub fn remote_subscriptions(&self) -> Vec<Subscription> {
+        let mut subs: Vec<Subscription> = self
+            .per_neighbor
+            .values()
+            .flat_map(|engine| engine.subscriptions().cloned())
+            .collect();
+        subs.sort_by_key(Subscription::id);
+        subs
+    }
+
+    /// The current local entries, in subscription-id order.
+    pub fn local_subscriptions(&self) -> Vec<Subscription> {
+        let mut subs: Vec<Subscription> = self.local.subscriptions().cloned().collect();
+        subs.sort_by_key(Subscription::id);
+        subs
+    }
+
+    /// The neighbor a remote entry currently points towards.
+    pub fn remote_destination(&self, id: SubscriptionId) -> Option<BrokerId> {
+        self.remote_destination.get(&id).copied()
+    }
+
+    /// Matches an event against the local entries, returning
+    /// `(subscriber, subscription)` pairs to notify.
+    pub fn match_local(&mut self, event: &EventMessage) -> Vec<(SubscriberId, SubscriptionId)> {
+        let ids = self.local.match_event(event);
+        ids.into_iter()
+            .map(|id| {
+                let subscriber = self
+                    .local
+                    .get(id)
+                    .expect("matched subscription is registered")
+                    .subscriber();
+                (subscriber, id)
+            })
+            .collect()
+    }
+
+    /// Determines which neighbors need a copy of the event: every neighbor
+    /// (except `exclude`, the link the event arrived on) whose engine reports
+    /// at least one matching remote entry.
+    pub fn neighbors_to_forward(
+        &mut self,
+        event: &EventMessage,
+        exclude: Option<BrokerId>,
+    ) -> Vec<BrokerId> {
+        let mut forward = Vec::new();
+        for (neighbor, engine) in &mut self.per_neighbor {
+            if Some(*neighbor) == exclude {
+                continue;
+            }
+            if !engine.match_event(event).is_empty() {
+                forward.push(*neighbor);
+            }
+        }
+        forward
+    }
+
+    /// Number of local entries.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Number of remote entries.
+    pub fn remote_len(&self) -> usize {
+        self.remote_destination.len()
+    }
+
+    /// Memory accounting for this routing table.
+    pub fn memory_report(&self) -> RoutingMemoryReport {
+        let local = self.local.report();
+        let mut remote_associations = 0;
+        let mut remote_bytes = 0;
+        let mut remote_subscriptions = 0;
+        for engine in self.per_neighbor.values() {
+            let report = engine.report();
+            remote_associations += report.association_count;
+            remote_bytes += report.tree_bytes;
+            remote_subscriptions += report.subscription_count;
+        }
+        RoutingMemoryReport {
+            local_subscriptions: local.subscription_count,
+            local_associations: local.association_count,
+            local_bytes: local.tree_bytes,
+            remote_subscriptions,
+            remote_associations,
+            remote_bytes,
+        }
+    }
+
+    /// Merged filtering statistics of all engines in this table.
+    pub fn filter_stats(&self) -> FilterStats {
+        let mut stats = *self.local.stats();
+        for engine in self.per_neighbor.values() {
+            stats.merge(engine.stats());
+        }
+        stats
+    }
+
+    /// Resets the filtering statistics of all engines.
+    pub fn reset_filter_stats(&mut self) {
+        self.local.reset_stats();
+        for engine in self.per_neighbor.values_mut() {
+            engine.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_core::Expr;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::from_raw(i)
+    }
+
+    fn sub(id: u64, subscriber: u64, expr: &Expr) -> Subscription {
+        Subscription::from_expr(
+            SubscriptionId::from_raw(id),
+            SubscriberId::from_raw(subscriber),
+            expr,
+        )
+    }
+
+    fn books_event(price: i64) -> EventMessage {
+        EventMessage::builder()
+            .attr("category", "books")
+            .attr("price", price)
+            .build()
+    }
+
+    #[test]
+    fn local_matching_reports_subscribers() {
+        let mut table = RoutingTable::new();
+        table.add_local(sub(1, 10, &Expr::eq("category", "books")));
+        table.add_local(sub(2, 20, &Expr::eq("category", "music")));
+        let hits = table.match_local(&books_event(5));
+        assert_eq!(hits, vec![(SubscriberId::from_raw(10), SubscriptionId::from_raw(1))]);
+        assert_eq!(table.local_len(), 2);
+        assert_eq!(table.remote_len(), 0);
+    }
+
+    #[test]
+    fn forwarding_targets_only_matching_neighbors() {
+        let mut table = RoutingTable::new();
+        table.add_remote(sub(1, 10, &Expr::eq("category", "books")), b(1));
+        table.add_remote(sub(2, 20, &Expr::eq("category", "music")), b(2));
+        let forward = table.neighbors_to_forward(&books_event(5), None);
+        assert_eq!(forward, vec![b(1)]);
+        // The link the event arrived on is excluded even if it matches.
+        let forward = table.neighbors_to_forward(&books_event(5), Some(b(1)));
+        assert!(forward.is_empty());
+    }
+
+    #[test]
+    fn install_remote_tree_generalizes_entry() {
+        let mut table = RoutingTable::new();
+        let original = sub(
+            1,
+            10,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+        );
+        table.add_remote(original.clone(), b(1));
+        // An expensive book does not match the exact entry.
+        assert!(table.neighbors_to_forward(&books_event(50), None).is_empty());
+        // Install the pruned entry (price constraint removed).
+        let pruned_tree = SubscriptionTree::from_expr(&Expr::eq("category", "books"));
+        assert!(table.install_remote_tree(SubscriptionId::from_raw(1), pruned_tree));
+        assert_eq!(table.neighbors_to_forward(&books_event(50), None), vec![b(1)]);
+        // Destination is unchanged.
+        assert_eq!(
+            table.remote_destination(SubscriptionId::from_raw(1)),
+            Some(b(1))
+        );
+        // Installing for an unknown subscription fails.
+        assert!(!table.install_remote_tree(
+            SubscriptionId::from_raw(99),
+            SubscriptionTree::from_expr(&Expr::eq("category", "books"))
+        ));
+    }
+
+    #[test]
+    fn memory_report_separates_local_and_remote() {
+        let mut table = RoutingTable::new();
+        table.add_local(sub(
+            1,
+            10,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+        ));
+        table.add_remote(sub(2, 20, &Expr::eq("category", "music")), b(1));
+        table.add_remote(
+            sub(3, 30, &Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)])),
+            b(2),
+        );
+        let report = table.memory_report();
+        assert_eq!(report.local_subscriptions, 1);
+        assert_eq!(report.local_associations, 2);
+        assert_eq!(report.remote_subscriptions, 2);
+        assert_eq!(report.remote_associations, 3);
+        assert!(report.remote_bytes > 0);
+        assert_eq!(report.total_associations(), 5);
+    }
+
+    #[test]
+    fn remove_works_for_both_kinds() {
+        let mut table = RoutingTable::new();
+        table.add_local(sub(1, 10, &Expr::eq("a", 1i64)));
+        table.add_remote(sub(2, 20, &Expr::eq("b", 2i64)), b(1));
+        assert!(table.remove(SubscriptionId::from_raw(1)).is_some());
+        assert!(table.remove(SubscriptionId::from_raw(2)).is_some());
+        assert!(table.remove(SubscriptionId::from_raw(2)).is_none());
+        assert_eq!(table.local_len(), 0);
+        assert_eq!(table.remote_len(), 0);
+    }
+
+    #[test]
+    fn subscription_listings_are_sorted() {
+        let mut table = RoutingTable::new();
+        table.add_remote(sub(5, 20, &Expr::eq("b", 2i64)), b(1));
+        table.add_remote(sub(3, 20, &Expr::eq("c", 2i64)), b(2));
+        table.add_local(sub(9, 10, &Expr::eq("a", 1i64)));
+        table.add_local(sub(4, 10, &Expr::eq("a", 2i64)));
+        let remote_ids: Vec<u64> = table.remote_subscriptions().iter().map(|s| s.id().raw()).collect();
+        assert_eq!(remote_ids, vec![3, 5]);
+        let local_ids: Vec<u64> = table.local_subscriptions().iter().map(|s| s.id().raw()).collect();
+        assert_eq!(local_ids, vec![4, 9]);
+    }
+
+    #[test]
+    fn filter_stats_accumulate_and_reset() {
+        let mut table = RoutingTable::new();
+        table.add_local(sub(1, 10, &Expr::eq("category", "books")));
+        table.add_remote(sub(2, 20, &Expr::eq("category", "books")), b(1));
+        let _ = table.match_local(&books_event(1));
+        let _ = table.neighbors_to_forward(&books_event(1), None);
+        let stats = table.filter_stats();
+        assert_eq!(stats.events_filtered, 2); // one per engine touched
+        assert_eq!(stats.matches, 2);
+        table.reset_filter_stats();
+        assert_eq!(table.filter_stats().events_filtered, 0);
+    }
+}

@@ -1,0 +1,567 @@
+//! The deterministic, single-process simulation of the broker network.
+
+use crate::broker_node::Broker;
+use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
+use crate::topology::Topology;
+use filtering::FilterStats;
+use pubsub_core::{
+    BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// The broker topology.
+    pub topology: Topology,
+    /// Whether events published at a broker are also matched against that
+    /// broker's own routing table before being forwarded (always true in real
+    /// systems; kept configurable for micro-benchmarks of pure forwarding).
+    pub deliver_at_origin: bool,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration over the given topology with default options.
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            deliver_at_origin: true,
+        }
+    }
+
+    /// The paper's distributed setting: five brokers connected as a line.
+    pub fn paper_line() -> Self {
+        Self::new(Topology::line(5))
+    }
+
+    /// The centralized setting: a single broker.
+    pub fn centralized() -> Self {
+        Self::new(Topology::single())
+    }
+}
+
+/// The outcome of publishing a single event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PublishOutcome {
+    /// Notifications delivered to local subscribers, across all brokers.
+    pub deliveries: Vec<(SubscriberId, SubscriptionId)>,
+    /// Number of inter-broker messages the event caused.
+    pub broker_messages: u64,
+    /// Estimated bytes carried by those messages.
+    pub bytes: u64,
+}
+
+/// A deterministic simulation of the distributed publish/subscribe network.
+///
+/// Subscriptions are assigned to home brokers by subscriber id (round-robin)
+/// and flooded through the acyclic topology as routing entries (subscription
+/// forwarding). Published events are routed hop-by-hop: each broker delivers
+/// to its matching local clients and forwards one copy per matching neighbor
+/// direction, never back over the link the event arrived on.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimulationConfig,
+    brokers: BTreeMap<BrokerId, Broker>,
+    network: NetworkStats,
+    publish_counter: u64,
+    events_published: u64,
+    deliveries: u64,
+}
+
+impl Simulation {
+    /// Builds an empty simulation over the configured topology.
+    pub fn new(config: SimulationConfig) -> Self {
+        let brokers = config
+            .topology
+            .broker_ids()
+            .map(|id| (id, Broker::new(id, config.topology.neighbors(id))))
+            .collect();
+        Self {
+            config,
+            brokers,
+            network: NetworkStats::new(),
+            publish_counter: 0,
+            events_published: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// The simulation's configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The broker topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// Number of brokers.
+    pub fn broker_count(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Read access to one broker.
+    pub fn broker(&self, id: BrokerId) -> Option<&Broker> {
+        self.brokers.get(&id)
+    }
+
+    /// The home broker of a subscriber: subscribers are distributed over the
+    /// brokers round-robin by subscriber id.
+    pub fn home_broker_of(&self, subscriber: SubscriberId) -> BrokerId {
+        let index = (subscriber.raw() % self.brokers.len() as u64) as usize;
+        self.config
+            .topology
+            .broker_ids()
+            .nth(index)
+            .expect("index is within broker count")
+    }
+
+    /// The broker a publisher uses for the `n`-th published event
+    /// (round-robin over all brokers).
+    pub fn publisher_broker(&self, n: u64) -> BrokerId {
+        let index = (n % self.brokers.len() as u64) as usize;
+        self.config
+            .topology
+            .broker_ids()
+            .nth(index)
+            .expect("index is within broker count")
+    }
+
+    /// Registers a subscription: installs it as a local entry at the
+    /// subscriber's home broker and floods remote entries to every other
+    /// broker (subscription forwarding).
+    pub fn register_subscription(&mut self, subscription: Subscription) {
+        let home = self.home_broker_of(subscription.subscriber());
+        self.register_subscription_at(subscription, home);
+    }
+
+    /// Registers a subscription with an explicit home broker.
+    pub fn register_subscription_at(&mut self, subscription: Subscription, home: BrokerId) {
+        assert!(
+            self.brokers.contains_key(&home),
+            "{home} is not part of the topology"
+        );
+        self.brokers
+            .get_mut(&home)
+            .expect("home broker exists")
+            .register_local(subscription.clone());
+        // Flood routing entries: every other broker points towards its next
+        // hop on the unique path to the home broker.
+        let broker_ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
+        for broker_id in broker_ids {
+            if broker_id == home {
+                continue;
+            }
+            let path = self
+                .config
+                .topology
+                .path(broker_id, home)
+                .expect("topology is connected");
+            let next_hop = path[1];
+            self.brokers
+                .get_mut(&broker_id)
+                .expect("broker exists")
+                .register_remote(subscription.clone(), next_hop);
+        }
+    }
+
+    /// Registers many subscriptions.
+    pub fn register_all(&mut self, subscriptions: impl IntoIterator<Item = Subscription>) {
+        for s in subscriptions {
+            self.register_subscription(s);
+        }
+    }
+
+    /// Publishes one event at its round-robin publisher broker.
+    pub fn publish(&mut self, event: EventMessage) -> PublishOutcome {
+        let origin = self.publisher_broker(self.publish_counter);
+        self.publish_counter += 1;
+        self.publish_at(event, origin)
+    }
+
+    /// Publishes one event at an explicit broker and routes it through the
+    /// network.
+    pub fn publish_at(&mut self, event: EventMessage, origin: BrokerId) -> PublishOutcome {
+        assert!(
+            self.brokers.contains_key(&origin),
+            "{origin} is not part of the topology"
+        );
+        let mut outcome = PublishOutcome::default();
+        let event_bytes = event.size_bytes();
+        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
+        queue.push_back((origin, None));
+        while let Some((broker_id, from)) = queue.pop_front() {
+            let broker = self.brokers.get_mut(&broker_id).expect("broker exists");
+            let is_origin = from.is_none();
+            let handling = if is_origin && !self.config.deliver_at_origin {
+                // Forward-only handling at the origin (benchmark option).
+                let mut handling = broker.handle_event(&event, from);
+                handling.deliveries.clear();
+                handling
+            } else {
+                broker.handle_event(&event, from)
+            };
+            outcome.deliveries.extend(handling.deliveries);
+            for neighbor in handling.forward_to {
+                self.network.record(broker_id, neighbor, event_bytes);
+                outcome.broker_messages += 1;
+                outcome.bytes += event_bytes as u64;
+                queue.push_back((neighbor, Some(broker_id)));
+            }
+        }
+        self.events_published += 1;
+        self.deliveries += outcome.deliveries.len() as u64;
+        outcome
+    }
+
+    /// Publishes a batch of events (round-robin over publisher brokers) and
+    /// returns a run report covering exactly this batch.
+    pub fn publish_all(&mut self, events: &[EventMessage]) -> RunReport {
+        let network_before = self.network.clone();
+        let filter_before: BTreeMap<BrokerId, FilterStats> = self
+            .brokers
+            .iter()
+            .map(|(id, b)| (*id, b.filter_stats()))
+            .collect();
+        let mut deliveries = 0u64;
+        for event in events {
+            let outcome = self.publish(event.clone());
+            deliveries += outcome.deliveries.len() as u64;
+        }
+        let mut per_broker_filter = BTreeMap::new();
+        let mut filter_stats = FilterStats::new();
+        for (id, broker) in &self.brokers {
+            let mut stats = broker.filter_stats();
+            let before = filter_before[id];
+            // Report only the delta caused by this batch.
+            stats.events_filtered -= before.events_filtered;
+            stats.matches -= before.matches;
+            stats.trees_evaluated -= before.trees_evaluated;
+            stats.skipped_by_pmin -= before.skipped_by_pmin;
+            stats.predicates_fulfilled -= before.predicates_fulfilled;
+            stats.filter_time -= before.filter_time;
+            filter_stats.merge(&stats);
+            per_broker_filter.insert(*id, stats);
+        }
+        let mut network = self.network.clone();
+        network.messages -= network_before.messages;
+        network.bytes -= network_before.bytes;
+        for (link, count) in &network_before.per_link {
+            if let Some(current) = network.per_link.get_mut(link) {
+                *current -= count;
+            }
+        }
+        RunReport {
+            events_published: events.len() as u64,
+            deliveries,
+            network,
+            filter_stats,
+            per_broker_filter,
+        }
+    }
+
+    /// Cumulative inter-broker traffic since construction (or the last
+    /// [`reset_metrics`](Self::reset_metrics)).
+    pub fn network_stats(&self) -> &NetworkStats {
+        &self.network
+    }
+
+    /// Merged filtering statistics of all brokers.
+    pub fn filter_stats(&self) -> FilterStats {
+        let mut stats = FilterStats::new();
+        for broker in self.brokers.values() {
+            stats.merge(&broker.filter_stats());
+        }
+        stats
+    }
+
+    /// Total events published since construction (or the last reset).
+    pub fn events_published(&self) -> u64 {
+        self.events_published
+    }
+
+    /// Total notifications delivered since construction (or the last reset).
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Resets traffic and filtering statistics (routing tables are kept).
+    pub fn reset_metrics(&mut self) {
+        self.network = NetworkStats::new();
+        self.events_published = 0;
+        self.deliveries = 0;
+        for broker in self.brokers.values_mut() {
+            broker.reset_filter_stats();
+        }
+    }
+
+    /// Aggregated memory report over all brokers.
+    pub fn memory_report(&self) -> RoutingMemoryReport {
+        let mut total = RoutingMemoryReport::default();
+        for broker in self.brokers.values() {
+            total.merge(&broker.memory_report());
+        }
+        total
+    }
+
+    /// Per-broker memory reports.
+    pub fn memory_report_per_broker(&self) -> BTreeMap<BrokerId, RoutingMemoryReport> {
+        self.brokers
+            .iter()
+            .map(|(id, b)| (*id, b.memory_report()))
+            .collect()
+    }
+
+    /// The remote (prunable) routing entries of one broker in their current
+    /// form.
+    pub fn remote_subscriptions(&self, broker: BrokerId) -> Vec<Subscription> {
+        self.brokers
+            .get(&broker)
+            .map(|b| b.remote_subscriptions())
+            .unwrap_or_default()
+    }
+
+    /// Installs a (pruned) tree for a remote entry of one broker. Returns
+    /// `false` if the broker or entry is unknown.
+    pub fn install_remote_tree(
+        &mut self,
+        broker: BrokerId,
+        id: SubscriptionId,
+        tree: SubscriptionTree,
+    ) -> bool {
+        self.brokers
+            .get_mut(&broker)
+            .map(|b| b.install_remote_tree(id, tree))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_core::Expr;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::from_raw(i)
+    }
+
+    fn sub(id: u64, subscriber: u64, expr: &Expr) -> Subscription {
+        Subscription::from_expr(
+            SubscriptionId::from_raw(id),
+            SubscriberId::from_raw(subscriber),
+            expr,
+        )
+    }
+
+    fn books(price: i64) -> EventMessage {
+        EventMessage::builder()
+            .attr("category", "books")
+            .attr("price", price)
+            .build()
+    }
+
+    fn line_simulation() -> Simulation {
+        Simulation::new(SimulationConfig::new(Topology::line(5)))
+    }
+
+    #[test]
+    fn assignment_is_round_robin() {
+        let sim = line_simulation();
+        assert_eq!(sim.broker_count(), 5);
+        assert_eq!(sim.home_broker_of(SubscriberId::from_raw(0)), b(0));
+        assert_eq!(sim.home_broker_of(SubscriberId::from_raw(3)), b(3));
+        assert_eq!(sim.home_broker_of(SubscriberId::from_raw(7)), b(2));
+        assert_eq!(sim.publisher_broker(0), b(0));
+        assert_eq!(sim.publisher_broker(6), b(1));
+    }
+
+    #[test]
+    fn subscription_forwarding_installs_entries_everywhere() {
+        let mut sim = line_simulation();
+        // Subscriber 0 -> home broker 0.
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+        assert_eq!(sim.broker(b(0)).unwrap().local_subscriptions().len(), 1);
+        assert!(sim.broker(b(0)).unwrap().remote_subscriptions().is_empty());
+        for i in 1..5u32 {
+            let broker = sim.broker(b(i)).unwrap();
+            assert_eq!(broker.remote_subscriptions().len(), 1, "broker {i}");
+            assert!(broker.local_subscriptions().is_empty(), "broker {i}");
+            // The remote entry points towards broker 0, i.e. to neighbor i-1.
+            assert_eq!(
+                broker
+                    .routing_table()
+                    .remote_destination(SubscriptionId::from_raw(1)),
+                Some(b(i - 1))
+            );
+        }
+    }
+
+    #[test]
+    fn events_are_routed_only_towards_interested_brokers() {
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+
+        // Published at broker 4, the event must travel the whole line (4 hops).
+        let outcome = sim.publish_at(books(5), b(4));
+        assert_eq!(outcome.broker_messages, 4);
+        assert_eq!(
+            outcome.deliveries,
+            vec![(SubscriberId::from_raw(0), SubscriptionId::from_raw(1))]
+        );
+
+        // Published at broker 0 itself, no inter-broker traffic is needed.
+        let outcome = sim.publish_at(books(5), b(0));
+        assert_eq!(outcome.broker_messages, 0);
+        assert_eq!(outcome.deliveries.len(), 1);
+
+        // A non-matching event generates no traffic and no deliveries.
+        let outcome = sim.publish_at(
+            EventMessage::builder().attr("category", "music").build(),
+            b(4),
+        );
+        assert_eq!(outcome.broker_messages, 0);
+        assert!(outcome.deliveries.is_empty());
+    }
+
+    #[test]
+    fn deliveries_match_centralized_matching() {
+        // The distributed system must deliver exactly the notifications a
+        // centralized matcher would produce.
+        let mut sim = line_simulation();
+        let subs = vec![
+            sub(1, 0, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)])),
+            sub(2, 1, &Expr::eq("category", "books")),
+            sub(3, 7, &Expr::gt("price", 50i64)),
+        ];
+        sim.register_all(subs.clone());
+        for price in [5i64, 20, 80] {
+            let event = books(price);
+            let mut expected: Vec<SubscriptionId> = subs
+                .iter()
+                .filter(|s| s.matches(&event))
+                .map(|s| s.id())
+                .collect();
+            expected.sort();
+            let mut got: Vec<SubscriptionId> = sim
+                .publish_at(event, b(2))
+                .deliveries
+                .iter()
+                .map(|(_, id)| *id)
+                .collect();
+            got.sort();
+            assert_eq!(got, expected, "price {price}");
+        }
+    }
+
+    #[test]
+    fn pruned_remote_entries_increase_traffic_but_not_deliveries() {
+        let mut sim = line_simulation();
+        let original = sub(
+            1,
+            0,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+        );
+        sim.register_all(vec![original.clone()]);
+
+        // Baseline: an expensive book does not travel at all.
+        let outcome = sim.publish_at(books(100), b(4));
+        assert_eq!(outcome.broker_messages, 0);
+
+        // Prune the remote entries at every broker (drop the price predicate).
+        let pruned_tree = SubscriptionTree::from_expr(&Expr::eq("category", "books"));
+        for i in 1..5u32 {
+            assert!(sim.install_remote_tree(b(i), SubscriptionId::from_raw(1), pruned_tree.clone()));
+        }
+
+        // The expensive book now travels the line (post-filtering happens at
+        // the home broker) but is still not delivered.
+        let outcome = sim.publish_at(books(100), b(4));
+        assert_eq!(outcome.broker_messages, 4);
+        assert!(outcome.deliveries.is_empty());
+
+        // A matching event is still delivered exactly once.
+        let outcome = sim.publish_at(books(5), b(4));
+        assert_eq!(outcome.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn publish_all_reports_the_batch_delta() {
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+        // Warm up with some traffic that must not leak into the report.
+        let _ = sim.publish_at(books(1), b(4));
+
+        let events: Vec<EventMessage> = (0..10).map(|i| books(i)).collect();
+        let report = sim.publish_all(&events);
+        assert_eq!(report.events_published, 10);
+        assert_eq!(report.deliveries, 10);
+        assert!(report.network.messages > 0);
+        assert!(report.filter_stats.events_filtered > 0);
+        assert_eq!(report.per_broker_filter.len(), 5);
+        // Cumulative counters keep including the warm-up event.
+        assert_eq!(sim.events_published(), 11);
+        assert_eq!(sim.deliveries(), 11);
+    }
+
+    #[test]
+    fn memory_reports_aggregate_over_brokers() {
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(
+            1,
+            0,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+        ));
+        let report = sim.memory_report();
+        // 1 local entry (2 predicates) + 4 remote entries (2 predicates each).
+        assert_eq!(report.local_subscriptions, 1);
+        assert_eq!(report.remote_subscriptions, 4);
+        assert_eq!(report.local_associations, 2);
+        assert_eq!(report.remote_associations, 8);
+        let per_broker = sim.memory_report_per_broker();
+        assert_eq!(per_broker.len(), 5);
+        assert_eq!(per_broker[&b(0)].local_subscriptions, 1);
+        assert_eq!(per_broker[&b(3)].remote_subscriptions, 1);
+    }
+
+    #[test]
+    fn reset_metrics_clears_counters_but_keeps_entries() {
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+        let _ = sim.publish_at(books(1), b(4));
+        assert!(sim.network_stats().messages > 0);
+        sim.reset_metrics();
+        assert_eq!(sim.network_stats().messages, 0);
+        assert_eq!(sim.events_published(), 0);
+        assert_eq!(sim.filter_stats().events_filtered, 0);
+        assert_eq!(sim.memory_report().remote_subscriptions, 4);
+    }
+
+    #[test]
+    fn centralized_configuration_has_no_network_traffic() {
+        let mut sim = Simulation::new(SimulationConfig::centralized());
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+        sim.register_subscription(sub(2, 1, &Expr::eq("category", "music")));
+        let outcome = sim.publish(books(3));
+        assert_eq!(outcome.broker_messages, 0);
+        assert_eq!(outcome.deliveries.len(), 1);
+        assert_eq!(sim.memory_report().remote_subscriptions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the topology")]
+    fn publishing_at_an_unknown_broker_panics() {
+        let mut sim = line_simulation();
+        let _ = sim.publish_at(books(1), b(99));
+    }
+
+    #[test]
+    fn paper_line_preset() {
+        let config = SimulationConfig::paper_line();
+        assert_eq!(config.topology.len(), 5);
+        assert!(config.deliver_at_origin);
+        let config = SimulationConfig::centralized();
+        assert_eq!(config.topology.len(), 1);
+    }
+}

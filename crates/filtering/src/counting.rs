@@ -1,0 +1,414 @@
+//! The counting matcher with per-attribute predicate indexes and the `pmin`
+//! shortcut.
+
+use crate::index::{AttributeIndex, PredicateKey};
+use crate::{EngineReport, FilterStats, MatchingEngine};
+use pubsub_core::{EventMessage, NodeId, Subscription, SubscriptionId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-subscription bookkeeping kept by the engine.
+#[derive(Debug)]
+struct SubEntry {
+    subscription: Subscription,
+    /// `pmin` of the current tree, cached at insertion time.
+    pmin: usize,
+}
+
+/// The production matching engine.
+///
+/// All predicate leaves are registered in an [`AttributeIndex`]. Matching an
+/// event proceeds in two phases:
+///
+/// 1. **Predicate phase** — the index reports every fulfilled predicate as a
+///    `(subscription, leaf node)` pair; fulfilled leaves are grouped per
+///    subscription.
+/// 2. **Subscription phase** — only subscriptions whose number of fulfilled
+///    leaves reaches the tree's `pmin` are evaluated; the tree is evaluated
+///    with the leaf truth assignment discovered in phase 1, so no predicate
+///    is evaluated twice.
+///
+/// The `pmin` shortcut is exactly what makes the paper's throughput heuristic
+/// meaningful: pruning that *raises* `pmin` makes the subscription cheaper to
+/// filter because it is evaluated for fewer events.
+#[derive(Debug, Default)]
+pub struct CountingEngine {
+    subscriptions: HashMap<SubscriptionId, SubEntry>,
+    /// Subscriptions with `pmin == 0` (only possible with negations). They can
+    /// match events that fulfil none of their predicates and therefore have to
+    /// be evaluated for every event.
+    zero_pmin: Vec<SubscriptionId>,
+    index: AttributeIndex,
+    stats: FilterStats,
+}
+
+impl CountingEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty engine with capacity for roughly `n` subscriptions.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            subscriptions: HashMap::with_capacity(n),
+            zero_pmin: Vec::new(),
+            index: AttributeIndex::new(),
+            stats: FilterStats::new(),
+        }
+    }
+
+    /// Iterates over the registered subscriptions in arbitrary order.
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subscriptions.values().map(|e| &e.subscription)
+    }
+
+    /// Direct access to the underlying predicate index (read-only), mainly
+    /// for inspection in tests and benchmarks.
+    pub fn index(&self) -> &AttributeIndex {
+        &self.index
+    }
+
+    fn register_predicates(&mut self, subscription: &Subscription) {
+        for (node, predicate) in subscription.tree().predicates() {
+            self.index
+                .insert(predicate, PredicateKey::new(subscription.id(), node));
+        }
+    }
+
+    fn unregister_predicates(&mut self, subscription: &Subscription) {
+        for (node, predicate) in subscription.tree().predicates() {
+            self.index
+                .remove(predicate, PredicateKey::new(subscription.id(), node));
+        }
+    }
+}
+
+impl MatchingEngine for CountingEngine {
+    fn insert(&mut self, subscription: Subscription) {
+        let id = subscription.id();
+        if let Some(old) = self.subscriptions.remove(&id) {
+            let old_sub = old.subscription;
+            self.unregister_predicates(&old_sub);
+            self.zero_pmin.retain(|z| *z != id);
+        }
+        self.register_predicates(&subscription);
+        let pmin = subscription.tree().pmin();
+        if pmin == 0 {
+            self.zero_pmin.push(id);
+        }
+        self.subscriptions.insert(
+            id,
+            SubEntry {
+                subscription,
+                pmin,
+            },
+        );
+    }
+
+    fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
+        let entry = self.subscriptions.remove(&id)?;
+        self.unregister_predicates(&entry.subscription);
+        if entry.pmin == 0 {
+            self.zero_pmin.retain(|z| *z != id);
+        }
+        Some(entry.subscription)
+    }
+
+    fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
+        self.subscriptions.get(&id).map(|e| &e.subscription)
+    }
+
+    fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId> {
+        let start = Instant::now();
+
+        // Phase 1: resolve fulfilled predicates through the index and group
+        // the fulfilled leaf nodes per subscription.
+        let mut fulfilled: HashMap<SubscriptionId, Vec<NodeId>> = HashMap::new();
+        let mut fulfilled_count = 0u64;
+        self.index.fulfilled(event, |key: PredicateKey| {
+            fulfilled.entry(key.subscription).or_default().push(key.node);
+            fulfilled_count += 1;
+        });
+        self.stats.predicates_fulfilled += fulfilled_count;
+
+        // Phase 2: evaluate only the candidate subscriptions — those with at
+        // least one fulfilled predicate whose fulfilled-leaf count reaches the
+        // tree's pmin. Subscriptions with pmin == 0 (possible only with
+        // negations) are evaluated for every event, because they can match an
+        // event that fulfils none of their predicates.
+        let mut matches = Vec::new();
+        for (id, leaves) in &fulfilled {
+            let Some(entry) = self.subscriptions.get(id) else {
+                continue;
+            };
+            if leaves.len() < entry.pmin {
+                self.stats.skipped_by_pmin += 1;
+                continue;
+            }
+            self.stats.trees_evaluated += 1;
+            let matched = entry
+                .subscription
+                .tree()
+                .evaluate_leaves(&mut |node, _| leaves.contains(&node));
+            if matched {
+                matches.push(*id);
+            }
+        }
+        for id in &self.zero_pmin {
+            if fulfilled.contains_key(id) {
+                // Already handled as a candidate above.
+                continue;
+            }
+            let entry = &self.subscriptions[id];
+            self.stats.trees_evaluated += 1;
+            if entry.subscription.tree().evaluate_leaves(&mut |_, _| false) {
+                matches.push(*id);
+            }
+        }
+
+        self.stats.events_filtered += 1;
+        self.stats.matches += matches.len() as u64;
+        self.stats.filter_time += start.elapsed();
+        matches
+    }
+
+    fn len(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    fn stats(&self) -> &FilterStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FilterStats::new();
+    }
+
+    fn report(&self) -> EngineReport {
+        EngineReport {
+            subscription_count: self.subscriptions.len(),
+            association_count: self.index.len(),
+            tree_bytes: self
+                .subscriptions
+                .values()
+                .map(|e| e.subscription.tree().size_bytes())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveEngine;
+    use pubsub_core::{Expr, SubscriberId};
+
+    fn sub(id: u64, expr: &Expr) -> Subscription {
+        Subscription::from_expr(
+            SubscriptionId::from_raw(id),
+            SubscriberId::from_raw(id),
+            expr,
+        )
+    }
+
+    fn book_event(category: &str, price: i64, bids: i64) -> EventMessage {
+        EventMessage::builder()
+            .attr("category", category)
+            .attr("price", price)
+            .attr("bids", bids)
+            .build()
+    }
+
+    #[test]
+    fn basic_conjunction_matching() {
+        let mut e = CountingEngine::new();
+        e.insert(sub(
+            1,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+        ));
+        assert_eq!(
+            e.match_event(&book_event("books", 10, 0)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+        assert!(e.match_event(&book_event("books", 30, 0)).is_empty());
+        assert!(e.match_event(&book_event("music", 10, 0)).is_empty());
+    }
+
+    #[test]
+    fn disjunction_matching_and_pmin_shortcut() {
+        let mut e = CountingEngine::new();
+        // OR of two conjunctions -> pmin = 2.
+        e.insert(sub(
+            1,
+            &Expr::or(vec![
+                Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+                Expr::and(vec![Expr::eq("category", "music"), Expr::ge("bids", 5i64)]),
+            ]),
+        ));
+        // Event fulfilling only one predicate is skipped by pmin, not evaluated.
+        assert!(e.match_event(&book_event("books", 50, 0)).is_empty());
+        assert_eq!(e.stats().skipped_by_pmin, 1);
+        assert_eq!(e.stats().trees_evaluated, 0);
+        // Event fulfilling a whole branch matches.
+        assert_eq!(
+            e.match_event(&book_event("music", 50, 7)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+    }
+
+    #[test]
+    fn negation_only_subscriptions_are_always_evaluated() {
+        let mut e = CountingEngine::new();
+        // NOT(category = books): matches events that are not books,
+        // including events that fulfil none of the registered predicates.
+        e.insert(sub(1, &Expr::not(Expr::eq("category", "books"))));
+        assert_eq!(
+            e.match_event(&book_event("music", 10, 0)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+        assert!(e.match_event(&book_event("books", 10, 0)).is_empty());
+        // An event without the attribute at all still matches the negation.
+        let bare = EventMessage::builder().attr("other", 1i64).build();
+        assert_eq!(e.match_event(&bare), vec![SubscriptionId::from_raw(1)]);
+    }
+
+    #[test]
+    fn insert_with_same_id_replaces_and_reindexes() {
+        let mut e = CountingEngine::new();
+        e.insert(sub(
+            1,
+            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+        ));
+        assert_eq!(e.report().association_count, 2);
+        // Replace with a pruned version (only the category predicate).
+        e.insert(sub(1, &Expr::eq("category", "books")));
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.report().association_count, 1);
+        // The pruned subscription now matches expensive books too.
+        assert_eq!(
+            e.match_event(&book_event("books", 100, 0)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+    }
+
+    #[test]
+    fn remove_unregisters_predicates() {
+        let mut e = CountingEngine::new();
+        e.insert(sub(1, &Expr::eq("category", "books")));
+        e.insert(sub(2, &Expr::eq("category", "books")));
+        assert_eq!(e.report().association_count, 2);
+        assert!(e.remove(SubscriptionId::from_raw(1)).is_some());
+        assert_eq!(e.report().association_count, 1);
+        assert_eq!(
+            e.match_event(&book_event("books", 1, 0)),
+            vec![SubscriptionId::from_raw(2)]
+        );
+        assert!(e.remove(SubscriptionId::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_predicates_within_one_subscription() {
+        let mut e = CountingEngine::new();
+        // The same predicate appears in both OR branches.
+        e.insert(sub(
+            1,
+            &Expr::or(vec![
+                Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+                Expr::and(vec![Expr::eq("category", "books"), Expr::ge("bids", 3i64)]),
+            ]),
+        ));
+        assert_eq!(e.report().association_count, 4);
+        assert_eq!(
+            e.match_event(&book_event("books", 5, 0)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+        assert_eq!(
+            e.match_event(&book_event("books", 50, 5)),
+            vec![SubscriptionId::from_raw(1)]
+        );
+        assert!(e.match_event(&book_event("books", 50, 0)).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive_engine_on_a_deterministic_workload() {
+        // Differential test: a grid of subscriptions of varying shapes matched
+        // against a grid of events must give identical results in both engines.
+        let mut counting = CountingEngine::new();
+        let mut naive = NaiveEngine::new();
+        let categories = ["books", "music", "games"];
+        let mut next_id = 0u64;
+        let mut add = |expr: &Expr, counting: &mut CountingEngine, naive: &mut NaiveEngine| {
+            next_id += 1;
+            counting.insert(sub(next_id, expr));
+            naive.insert(sub(next_id, expr));
+        };
+        for (i, cat) in categories.iter().enumerate() {
+            for price in [5i64, 15, 25] {
+                add(
+                    &Expr::and(vec![Expr::eq("category", *cat), Expr::le("price", price)]),
+                    &mut counting,
+                    &mut naive,
+                );
+                add(
+                    &Expr::or(vec![
+                        Expr::eq("category", *cat),
+                        Expr::gt("bids", (i as i64) * 2),
+                    ]),
+                    &mut counting,
+                    &mut naive,
+                );
+                add(
+                    &Expr::and(vec![
+                        Expr::ne("category", *cat),
+                        Expr::not(Expr::ge("price", price)),
+                    ]),
+                    &mut counting,
+                    &mut naive,
+                );
+            }
+        }
+        for cat in ["books", "music", "games", "tools"] {
+            for price in 0..30i64 {
+                let ev = book_event(cat, price, price % 7);
+                let mut a = counting.match_event(&ev);
+                let mut b = naive.match_event(&ev);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "divergence for category={cat} price={price}");
+            }
+        }
+    }
+
+    #[test]
+    fn report_tracks_index_size() {
+        let mut e = CountingEngine::new();
+        for i in 0..10u64 {
+            e.insert(sub(
+                i,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", i as i64),
+                    Expr::ge("bids", 1i64),
+                ]),
+            ));
+        }
+        let r = e.report();
+        assert_eq!(r.subscription_count, 10);
+        assert_eq!(r.association_count, 30);
+        assert!(r.tree_bytes > 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut e = CountingEngine::new();
+        e.insert(sub(1, &Expr::eq("category", "books")));
+        e.match_event(&book_event("books", 1, 1));
+        e.match_event(&book_event("music", 1, 1));
+        assert_eq!(e.stats().events_filtered, 2);
+        assert_eq!(e.stats().matches, 1);
+        assert!(e.stats().filter_time.as_nanos() > 0);
+        e.reset_stats();
+        assert_eq!(e.stats().events_filtered, 0);
+    }
+}

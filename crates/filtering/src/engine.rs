@@ -1,0 +1,111 @@
+//! The common interface of all matching engines.
+
+use crate::FilterStats;
+use pubsub_core::{EventMessage, Subscription, SubscriptionId};
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time summary of an engine's contents, used by the memory
+/// experiments (Figures 1(c) and 1(f) of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Number of registered subscriptions.
+    pub subscription_count: usize,
+    /// Number of predicate/subscription associations, i.e. the total number
+    /// of predicate leaves registered across all subscriptions. This is the
+    /// quantity whose *proportional reduction* the paper plots as "memory
+    /// usage".
+    pub association_count: usize,
+    /// Estimated memory footprint of all subscription trees in bytes.
+    pub tree_bytes: usize,
+}
+
+impl EngineReport {
+    /// Proportional reduction in predicate/subscription associations relative
+    /// to a baseline report (the un-optimized engine). `0.5` means half of
+    /// the associations have disappeared.
+    pub fn association_reduction_vs(&self, baseline: &EngineReport) -> f64 {
+        if baseline.association_count == 0 {
+            return 0.0;
+        }
+        1.0 - self.association_count as f64 / baseline.association_count as f64
+    }
+
+    /// Proportional reduction in estimated tree bytes relative to a baseline.
+    pub fn bytes_reduction_vs(&self, baseline: &EngineReport) -> f64 {
+        if baseline.tree_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.tree_bytes as f64 / baseline.tree_bytes as f64
+    }
+}
+
+/// A filtering engine: stores subscriptions and matches events against them.
+///
+/// Implementations must be deterministic: matching the same event against the
+/// same set of subscriptions always yields the same set of subscription ids
+/// (order of the returned vector is unspecified).
+pub trait MatchingEngine {
+    /// Registers a subscription, replacing any existing subscription with the
+    /// same id.
+    fn insert(&mut self, subscription: Subscription);
+
+    /// Removes a subscription. Returns the removed subscription if present.
+    fn remove(&mut self, id: SubscriptionId) -> Option<Subscription>;
+
+    /// Returns the registered subscription with the given id, if any.
+    fn get(&self, id: SubscriptionId) -> Option<&Subscription>;
+
+    /// Matches an event, returning the ids of all fulfilled subscriptions.
+    fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId>;
+
+    /// Number of registered subscriptions.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no subscriptions are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative filtering statistics since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    fn stats(&self) -> &FilterStats;
+
+    /// Resets the cumulative filtering statistics.
+    fn reset_stats(&mut self);
+
+    /// A point-in-time summary of the engine contents.
+    fn report(&self) -> EngineReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn association_reduction_is_proportional() {
+        let baseline = EngineReport {
+            subscription_count: 10,
+            association_count: 100,
+            tree_bytes: 1000,
+        };
+        let pruned = EngineReport {
+            subscription_count: 10,
+            association_count: 40,
+            tree_bytes: 400,
+        };
+        assert!((pruned.association_reduction_vs(&baseline) - 0.6).abs() < 1e-12);
+        assert!((pruned.bytes_reduction_vs(&baseline) - 0.6).abs() < 1e-12);
+        assert_eq!(baseline.association_reduction_vs(&baseline), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_yields_zero_reduction() {
+        let empty = EngineReport {
+            subscription_count: 0,
+            association_count: 0,
+            tree_bytes: 0,
+        };
+        assert_eq!(empty.association_reduction_vs(&empty), 0.0);
+        assert_eq!(empty.bytes_reduction_vs(&empty), 0.0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Per-attribute predicate indexes.
+//!
+//! The counting matcher registers every predicate leaf of every subscription
+//! in an [`AttributeIndex`]. For an incoming event the index reports, per
+//! attribute–value pair carried by the event, which registered predicates are
+//! fulfilled — without touching subscriptions whose predicates cannot match.
+//!
+//! Three sub-indexes are kept per attribute, in the spirit of the
+//! one-dimensional index structures of Fabret et al. (SIGMOD 2001):
+//!
+//! * an **equality index** (hash map from constant to predicate keys) for
+//!   `=` predicates;
+//! * an **interval index** (two ordered maps over numeric thresholds) for
+//!   `<`, `≤`, `>`, `≥` predicates on numeric constants;
+//! * a **scan list** for everything else (string pattern operators, `≠`,
+//!   ordering on strings), which is evaluated predicate-by-predicate but only
+//!   for events that actually carry the attribute.
+
+use pubsub_core::{EventMessage, NodeId, Operator, Predicate, SubscriptionId, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one registered predicate leaf: the subscription it belongs to
+/// and the leaf's node id inside that subscription's current tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredicateKey {
+    /// The owning subscription.
+    pub subscription: SubscriptionId,
+    /// The predicate leaf inside the subscription's tree.
+    pub node: NodeId,
+}
+
+impl PredicateKey {
+    /// Creates a new predicate key.
+    pub fn new(subscription: SubscriptionId, node: NodeId) -> Self {
+        Self { subscription, node }
+    }
+}
+
+/// A totally ordered wrapper for `f64` used as a BTreeMap key.
+///
+/// NaN constants are rejected at registration time, so the total order only
+/// needs to handle non-NaN values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN keys are rejected at registration")
+    }
+}
+
+/// Key for the equality hash index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum EqKey {
+    Bool(bool),
+    /// Numeric constants are normalized to their bit pattern after an
+    /// `Int -> Float` widening so that `= 3` and `= 3.0` share a bucket.
+    Num(u64),
+    Str(String),
+}
+
+impl EqKey {
+    fn from_value(v: &Value) -> Option<EqKey> {
+        match v {
+            Value::Bool(b) => Some(EqKey::Bool(*b)),
+            Value::Int(i) => Some(EqKey::Num((*i as f64).to_bits())),
+            Value::Float(f) if !f.is_nan() => Some(EqKey::Num(f.to_bits())),
+            Value::Float(_) => None,
+            Value::Str(s) => Some(EqKey::Str(s.clone())),
+        }
+    }
+}
+
+/// The per-attribute sub-indexes.
+#[derive(Debug, Default)]
+struct AttributeBuckets {
+    /// `attribute = constant` predicates, keyed by the constant.
+    equality: HashMap<EqKey, Vec<PredicateKey>>,
+    /// `attribute < t` / `attribute <= t` predicates: fulfilled by event
+    /// values strictly/weakly below the threshold.
+    upper_bounds: BTreeMap<OrderedF64, UpperBucket>,
+    /// `attribute > t` / `attribute >= t` predicates: fulfilled by event
+    /// values strictly/weakly above the threshold.
+    lower_bounds: BTreeMap<OrderedF64, LowerBucket>,
+    /// Everything else, checked by direct evaluation against the event value.
+    scan: Vec<(Predicate, PredicateKey)>,
+}
+
+#[derive(Debug, Default)]
+struct UpperBucket {
+    /// `< t` predicates with this threshold.
+    strict: Vec<PredicateKey>,
+    /// `<= t` predicates with this threshold.
+    inclusive: Vec<PredicateKey>,
+}
+
+#[derive(Debug, Default)]
+struct LowerBucket {
+    /// `> t` predicates with this threshold.
+    strict: Vec<PredicateKey>,
+    /// `>= t` predicates with this threshold.
+    inclusive: Vec<PredicateKey>,
+}
+
+/// The top-level predicate index: attribute name → per-attribute buckets.
+#[derive(Debug, Default)]
+pub struct AttributeIndex {
+    attributes: HashMap<String, AttributeBuckets>,
+    registered: usize,
+}
+
+impl AttributeIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered predicates (predicate/subscription associations).
+    pub fn len(&self) -> usize {
+        self.registered
+    }
+
+    /// Returns `true` if no predicates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.registered == 0
+    }
+
+    /// Number of distinct attributes that carry at least one predicate.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Registers a predicate under the given key.
+    pub fn insert(&mut self, predicate: &Predicate, key: PredicateKey) {
+        let buckets = self
+            .attributes
+            .entry(predicate.attribute().to_owned())
+            .or_default();
+        match predicate.operator() {
+            Operator::Eq => {
+                if let Some(eq_key) = EqKey::from_value(predicate.constant()) {
+                    buckets.equality.entry(eq_key).or_default().push(key);
+                } else {
+                    buckets.scan.push((predicate.clone(), key));
+                }
+            }
+            Operator::Lt | Operator::Le => match predicate.constant().as_f64() {
+                Some(t) if !t.is_nan() => {
+                    let bucket = buckets.upper_bounds.entry(OrderedF64(t)).or_default();
+                    if predicate.operator() == Operator::Lt {
+                        bucket.strict.push(key);
+                    } else {
+                        bucket.inclusive.push(key);
+                    }
+                }
+                _ => buckets.scan.push((predicate.clone(), key)),
+            },
+            Operator::Gt | Operator::Ge => match predicate.constant().as_f64() {
+                Some(t) if !t.is_nan() => {
+                    let bucket = buckets.lower_bounds.entry(OrderedF64(t)).or_default();
+                    if predicate.operator() == Operator::Gt {
+                        bucket.strict.push(key);
+                    } else {
+                        bucket.inclusive.push(key);
+                    }
+                }
+                _ => buckets.scan.push((predicate.clone(), key)),
+            },
+            _ => buckets.scan.push((predicate.clone(), key)),
+        }
+        self.registered += 1;
+    }
+
+    /// Unregisters a predicate previously inserted under the given key.
+    ///
+    /// The predicate must be identical to the one passed to
+    /// [`insert`](Self::insert); returns `true` if an entry was removed.
+    pub fn remove(&mut self, predicate: &Predicate, key: PredicateKey) -> bool {
+        let Some(buckets) = self.attributes.get_mut(predicate.attribute()) else {
+            return false;
+        };
+        let removed = match predicate.operator() {
+            Operator::Eq => match EqKey::from_value(predicate.constant()) {
+                Some(eq_key) => match buckets.equality.get_mut(&eq_key) {
+                    Some(keys) => remove_key(keys, key),
+                    None => false,
+                },
+                None => remove_scan(&mut buckets.scan, key),
+            },
+            Operator::Lt | Operator::Le => match predicate.constant().as_f64() {
+                Some(t) if !t.is_nan() => match buckets.upper_bounds.get_mut(&OrderedF64(t)) {
+                    Some(bucket) => {
+                        if predicate.operator() == Operator::Lt {
+                            remove_key(&mut bucket.strict, key)
+                        } else {
+                            remove_key(&mut bucket.inclusive, key)
+                        }
+                    }
+                    None => false,
+                },
+                _ => remove_scan(&mut buckets.scan, key),
+            },
+            Operator::Gt | Operator::Ge => match predicate.constant().as_f64() {
+                Some(t) if !t.is_nan() => match buckets.lower_bounds.get_mut(&OrderedF64(t)) {
+                    Some(bucket) => {
+                        if predicate.operator() == Operator::Gt {
+                            remove_key(&mut bucket.strict, key)
+                        } else {
+                            remove_key(&mut bucket.inclusive, key)
+                        }
+                    }
+                    None => false,
+                },
+                _ => remove_scan(&mut buckets.scan, key),
+            },
+            _ => remove_scan(&mut buckets.scan, key),
+        };
+        if removed {
+            self.registered -= 1;
+        }
+        removed
+    }
+
+    /// Reports every registered predicate fulfilled by the event, by calling
+    /// `on_fulfilled` once per fulfilled predicate key.
+    pub fn fulfilled(&self, event: &EventMessage, mut on_fulfilled: impl FnMut(PredicateKey)) {
+        for (attribute, value) in event.iter() {
+            let Some(buckets) = self.attributes.get(attribute) else {
+                continue;
+            };
+            // Equality index.
+            if let Some(eq_key) = EqKey::from_value(value) {
+                if let Some(keys) = buckets.equality.get(&eq_key) {
+                    for k in keys {
+                        on_fulfilled(*k);
+                    }
+                }
+            }
+            // Interval indexes only apply to numeric event values.
+            if let Some(v) = value.as_f64() {
+                if !v.is_nan() {
+                    // `value < t` (strict) fulfilled when t > value;
+                    // `value <= t` fulfilled when t >= value.
+                    for (threshold, bucket) in
+                        buckets.upper_bounds.range(OrderedF64(v)..)
+                    {
+                        if threshold.0 > v {
+                            for k in &bucket.strict {
+                                on_fulfilled(*k);
+                            }
+                        }
+                        for k in &bucket.inclusive {
+                            on_fulfilled(*k);
+                        }
+                    }
+                    // `value > t` fulfilled when t < value;
+                    // `value >= t` fulfilled when t <= value.
+                    for (threshold, bucket) in
+                        buckets.lower_bounds.range(..=OrderedF64(v))
+                    {
+                        if threshold.0 < v {
+                            for k in &bucket.strict {
+                                on_fulfilled(*k);
+                            }
+                        }
+                        for k in &bucket.inclusive {
+                            on_fulfilled(*k);
+                        }
+                    }
+                }
+            }
+            // Scan list.
+            for (predicate, k) in &buckets.scan {
+                if predicate.evaluate_value(value) {
+                    on_fulfilled(*k);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper collecting the fulfilled keys into a vector.
+    pub fn fulfilled_keys(&self, event: &EventMessage) -> Vec<PredicateKey> {
+        let mut out = Vec::new();
+        self.fulfilled(event, |k| out.push(k));
+        out
+    }
+}
+
+fn remove_key(keys: &mut Vec<PredicateKey>, key: PredicateKey) -> bool {
+    match keys.iter().position(|k| *k == key) {
+        Some(pos) => {
+            keys.swap_remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn remove_scan(scan: &mut Vec<(Predicate, PredicateKey)>, key: PredicateKey) -> bool {
+    match scan.iter().position(|(_, k)| *k == key) {
+        Some(pos) => {
+            scan.swap_remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_core::EventMessage;
+
+    fn key(sub: u64, node: u32) -> PredicateKey {
+        PredicateKey::new(SubscriptionId::from_raw(sub), NodeId(node))
+    }
+
+    fn event(price: i64, category: &str) -> EventMessage {
+        EventMessage::builder()
+            .attr("price", price)
+            .attr("category", category)
+            .build()
+    }
+
+    #[test]
+    fn equality_index_matches_exact_values() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("category", Operator::Eq, "books"), key(1, 0));
+        idx.insert(&Predicate::new("category", Operator::Eq, "music"), key(2, 0));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.attribute_count(), 1);
+
+        let hits = idx.fulfilled_keys(&event(10, "books"));
+        assert_eq!(hits, vec![key(1, 0)]);
+        let hits = idx.fulfilled_keys(&event(10, "music"));
+        assert_eq!(hits, vec![key(2, 0)]);
+        let hits = idx.fulfilled_keys(&event(10, "games"));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn integer_and_float_equality_share_buckets() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("price", Operator::Eq, 3.0f64), key(1, 0));
+        let ev = EventMessage::builder().attr("price", 3i64).build();
+        assert_eq!(idx.fulfilled_keys(&ev), vec![key(1, 0)]);
+    }
+
+    #[test]
+    fn interval_index_upper_bounds() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("price", Operator::Lt, 10i64), key(1, 0));
+        idx.insert(&Predicate::new("price", Operator::Le, 10i64), key(2, 0));
+        idx.insert(&Predicate::new("price", Operator::Lt, 20i64), key(3, 0));
+
+        let mut hits = idx.fulfilled_keys(&event(10, "x"));
+        hits.sort();
+        // price=10 fulfils `<= 10` and `< 20`, but not `< 10`.
+        assert_eq!(hits, vec![key(2, 0), key(3, 0)]);
+
+        let mut hits = idx.fulfilled_keys(&event(5, "x"));
+        hits.sort();
+        assert_eq!(hits, vec![key(1, 0), key(2, 0), key(3, 0)]);
+
+        let hits = idx.fulfilled_keys(&event(25, "x"));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn interval_index_lower_bounds() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("price", Operator::Gt, 10i64), key(1, 0));
+        idx.insert(&Predicate::new("price", Operator::Ge, 10i64), key(2, 0));
+        idx.insert(&Predicate::new("price", Operator::Ge, 30i64), key(3, 0));
+
+        let mut hits = idx.fulfilled_keys(&event(10, "x"));
+        hits.sort();
+        assert_eq!(hits, vec![key(2, 0)]);
+
+        let mut hits = idx.fulfilled_keys(&event(40, "x"));
+        hits.sort();
+        assert_eq!(hits, vec![key(1, 0), key(2, 0), key(3, 0)]);
+
+        let hits = idx.fulfilled_keys(&event(3, "x"));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn scan_list_handles_string_and_ne_operators() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("category", Operator::Ne, "books"), key(1, 0));
+        idx.insert(
+            &Predicate::new("category", Operator::Prefix, "mus"),
+            key(2, 0),
+        );
+        idx.insert(
+            &Predicate::new("category", Operator::Contains, "oo"),
+            key(3, 0),
+        );
+
+        let mut hits = idx.fulfilled_keys(&event(1, "music"));
+        hits.sort();
+        assert_eq!(hits, vec![key(1, 0), key(2, 0)]);
+
+        let mut hits = idx.fulfilled_keys(&event(1, "books"));
+        hits.sort();
+        assert_eq!(hits, vec![key(3, 0)]);
+    }
+
+    #[test]
+    fn events_without_the_attribute_fulfil_nothing() {
+        let mut idx = AttributeIndex::new();
+        idx.insert(&Predicate::new("rating", Operator::Ge, 4i64), key(1, 0));
+        assert!(idx.fulfilled_keys(&event(10, "books")).is_empty());
+    }
+
+    #[test]
+    fn removal_unregisters_predicates() {
+        let mut idx = AttributeIndex::new();
+        let p_eq = Predicate::new("category", Operator::Eq, "books");
+        let p_le = Predicate::new("price", Operator::Le, 10i64);
+        let p_ne = Predicate::new("category", Operator::Ne, "music");
+        idx.insert(&p_eq, key(1, 0));
+        idx.insert(&p_le, key(1, 1));
+        idx.insert(&p_ne, key(1, 2));
+        assert_eq!(idx.len(), 3);
+
+        assert!(idx.remove(&p_eq, key(1, 0)));
+        assert!(idx.remove(&p_le, key(1, 1)));
+        assert!(idx.remove(&p_ne, key(1, 2)));
+        assert_eq!(idx.len(), 0);
+        assert!(idx.fulfilled_keys(&event(5, "books")).is_empty());
+
+        // Double removal reports false and does not underflow.
+        assert!(!idx.remove(&p_eq, key(1, 0)));
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn removal_of_unknown_attribute_is_noop() {
+        let mut idx = AttributeIndex::new();
+        assert!(!idx.remove(&Predicate::new("zzz", Operator::Eq, 1i64), key(1, 0)));
+    }
+
+    #[test]
+    fn duplicate_predicates_under_different_keys_both_fire() {
+        let mut idx = AttributeIndex::new();
+        let p = Predicate::new("price", Operator::Le, 10i64);
+        idx.insert(&p, key(1, 0));
+        idx.insert(&p, key(2, 5));
+        let mut hits = idx.fulfilled_keys(&event(5, "x"));
+        hits.sort();
+        assert_eq!(hits, vec![key(1, 0), key(2, 5)]);
+        assert!(idx.remove(&p, key(1, 0)));
+        assert_eq!(idx.fulfilled_keys(&event(5, "x")), vec![key(2, 5)]);
+    }
+
+    #[test]
+    fn index_results_agree_with_direct_evaluation() {
+        // Differential test over a deterministic grid of predicates/events.
+        let mut idx = AttributeIndex::new();
+        let mut predicates = Vec::new();
+        let ops = [
+            Operator::Eq,
+            Operator::Ne,
+            Operator::Lt,
+            Operator::Le,
+            Operator::Gt,
+            Operator::Ge,
+        ];
+        let mut next = 0u64;
+        for op in ops {
+            for threshold in [0i64, 5, 10, 15] {
+                let p = Predicate::new("price", op, threshold);
+                let k = key(next, 0);
+                idx.insert(&p, k);
+                predicates.push((p, k));
+                next += 1;
+            }
+        }
+        for value in -2i64..20 {
+            let ev = EventMessage::builder().attr("price", value).build();
+            let mut expected: Vec<PredicateKey> = predicates
+                .iter()
+                .filter(|(p, _)| p.evaluate(&ev))
+                .map(|(_, k)| *k)
+                .collect();
+            expected.sort();
+            let mut got = idx.fulfilled_keys(&ev);
+            got.sort();
+            assert_eq!(got, expected, "mismatch for price={value}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # filtering
+//!
+//! Event-filtering engines for Boolean subscriptions.
+//!
+//! Two engines are provided behind the common [`MatchingEngine`] trait:
+//!
+//! * [`CountingEngine`] — the production engine. Predicate leaves of all
+//!   registered subscriptions are indexed per attribute (hash index for
+//!   equalities, interval index for ordering predicates, a scan list for the
+//!   rest). An incoming event first resolves which predicates it fulfils
+//!   through the index, then only evaluates subscription trees whose number
+//!   of fulfilled predicates reaches the tree's `pmin` — the minimum number of
+//!   fulfilled predicates that can possibly fulfil the subscription. This is
+//!   the non-canonical counting algorithm of Bittner & Hinze \[2\] that the
+//!   paper's throughput heuristic (`Δ≈eff`) reasons about.
+//! * [`NaiveEngine`] — a brute-force baseline that evaluates every
+//!   subscription tree against every event. Used for differential testing and
+//!   as the unindexed baseline in benchmarks.
+//!
+//! Both engines expose the *predicate/subscription association count*, the
+//! memory metric reported in the paper's Figures 1(c) and 1(f).
+//!
+//! ```
+//! use filtering::{CountingEngine, MatchingEngine};
+//! use pubsub_core::{Expr, EventMessage, Subscription, SubscriptionId, SubscriberId};
+//!
+//! let mut engine = CountingEngine::new();
+//! engine.insert(Subscription::from_expr(
+//!     SubscriptionId::from_raw(1),
+//!     SubscriberId::from_raw(1),
+//!     &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+//! ));
+//!
+//! let event = EventMessage::builder()
+//!     .attr("category", "books")
+//!     .attr("price", 12i64)
+//!     .build();
+//! let matches = engine.match_event(&event);
+//! assert_eq!(matches.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counting;
+mod engine;
+mod index;
+mod naive;
+mod stats;
+
+pub use counting::CountingEngine;
+pub use engine::{EngineReport, MatchingEngine};
+pub use index::{AttributeIndex, PredicateKey};
+pub use naive::NaiveEngine;
+pub use stats::FilterStats;

@@ -1,0 +1,148 @@
+//! Cumulative filtering statistics.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Counters accumulated by a matching engine while filtering events.
+///
+/// The time-efficiency experiments (Figures 1(a) and 1(d) of the paper) are
+/// driven by [`avg_filter_time`](FilterStats::avg_filter_time); the remaining
+/// counters explain *why* a configuration is faster or slower (how many tree
+/// evaluations the `pmin` counting shortcut skipped, how many candidate
+/// subscriptions were touched, and so on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Number of events filtered.
+    pub events_filtered: u64,
+    /// Total number of subscription matches produced.
+    pub matches: u64,
+    /// Number of subscription trees actually evaluated.
+    pub trees_evaluated: u64,
+    /// Number of candidate subscriptions skipped because the number of
+    /// fulfilled predicates stayed below the tree's `pmin`.
+    pub skipped_by_pmin: u64,
+    /// Number of fulfilled predicate instances reported by the indexes.
+    pub predicates_fulfilled: u64,
+    /// Total wall-clock time spent inside `match_event`.
+    #[serde(with = "duration_micros")]
+    pub filter_time: Duration,
+}
+
+mod duration_micros {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        (d.as_micros() as u64).serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        Ok(Duration::from_micros(u64::deserialize(d)?))
+    }
+}
+
+impl FilterStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average number of matches per filtered event.
+    pub fn avg_matches_per_event(&self) -> f64 {
+        if self.events_filtered == 0 {
+            0.0
+        } else {
+            self.matches as f64 / self.events_filtered as f64
+        }
+    }
+
+    /// Average wall-clock time spent filtering one event.
+    pub fn avg_filter_time(&self) -> Duration {
+        if self.events_filtered == 0 {
+            Duration::ZERO
+        } else {
+            self.filter_time / u32::try_from(self.events_filtered).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// Average number of subscription-tree evaluations per event.
+    pub fn avg_evaluations_per_event(&self) -> f64 {
+        if self.events_filtered == 0 {
+            0.0
+        } else {
+            self.trees_evaluated as f64 / self.events_filtered as f64
+        }
+    }
+
+    /// Merges another statistics block into this one (used when aggregating
+    /// per-broker statistics into a system-wide view).
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.events_filtered += other.events_filtered;
+        self.matches += other.matches;
+        self.trees_evaluated += other.trees_evaluated;
+        self.skipped_by_pmin += other.skipped_by_pmin;
+        self.predicates_fulfilled += other.predicates_fulfilled;
+        self.filter_time += other.filter_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_over_zero_events_are_zero() {
+        let s = FilterStats::new();
+        assert_eq!(s.avg_matches_per_event(), 0.0);
+        assert_eq!(s.avg_filter_time(), Duration::ZERO);
+        assert_eq!(s.avg_evaluations_per_event(), 0.0);
+    }
+
+    #[test]
+    fn averages_divide_by_event_count() {
+        let s = FilterStats {
+            events_filtered: 4,
+            matches: 8,
+            trees_evaluated: 12,
+            skipped_by_pmin: 2,
+            predicates_fulfilled: 20,
+            filter_time: Duration::from_millis(40),
+        };
+        assert_eq!(s.avg_matches_per_event(), 2.0);
+        assert_eq!(s.avg_filter_time(), Duration::from_millis(10));
+        assert_eq!(s.avg_evaluations_per_event(), 3.0);
+    }
+
+    #[test]
+    fn merge_accumulates_all_counters() {
+        let mut a = FilterStats {
+            events_filtered: 1,
+            matches: 2,
+            trees_evaluated: 3,
+            skipped_by_pmin: 4,
+            predicates_fulfilled: 5,
+            filter_time: Duration::from_micros(10),
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.events_filtered, 2);
+        assert_eq!(a.matches, 4);
+        assert_eq!(a.trees_evaluated, 6);
+        assert_eq!(a.skipped_by_pmin, 8);
+        assert_eq!(a.predicates_fulfilled, 10);
+        assert_eq!(a.filter_time, Duration::from_micros(20));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_duration() {
+        let s = FilterStats {
+            events_filtered: 3,
+            filter_time: Duration::from_micros(1234),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FilterStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.filter_time, Duration::from_micros(1234));
+        assert_eq!(back.events_filtered, 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! # pruning
+//!
+//! Dimension-based subscription pruning — the core contribution of
+//! *Bittner & Hinze, "Dimension-Based Subscription Pruning for
+//! Publish/Subscribe Systems"* (ICDCS Workshops 2006).
+//!
+//! Subscription pruning generalizes a Boolean subscription by removing a
+//! subtree of its filter expression: the pruned subscription matches a
+//! superset of the events the original matched, so routing correctness is
+//! preserved while routing entries shrink and filtering gets cheaper. Which
+//! subtree to remove next — across *all* registered subscriptions — is decided
+//! by a heuristic aligned with one of three optimization dimensions:
+//!
+//! | Dimension | Heuristic | Goal |
+//! |---|---|---|
+//! | [`Dimension::NetworkLoad`] | `Δ≈sel` — estimated selectivity degradation vs. the *original* subscription | admit as few additional events as possible |
+//! | [`Dimension::Memory`] | `Δ≈mem` — bytes saved vs. the *current* subscription | shrink routing tables as fast as possible |
+//! | [`Dimension::Throughput`] | `Δ≈eff` — change of the counting threshold `pmin` vs. the *original* subscription | keep subscriptions cheap to evaluate |
+//!
+//! Ties are broken by consulting the remaining dimensions in a fixed,
+//! dimension-specific order (Section 3.4 of the paper).
+//!
+//! The central type is the [`Pruner`]: it owns the original and the current
+//! (already pruned) tree of every registered subscription, keeps the best
+//! candidate pruning of each subscription in a priority queue, and applies
+//! prunings one at a time (or in batches, or until a degradation threshold is
+//! reached). Every applied pruning is recorded in a [`PruningPlan`] that can
+//! be replayed later — the benchmark harness uses this to take measurements at
+//! arbitrary fractions of "all possible prunings".
+//!
+//! ```
+//! use pruning::{Dimension, Pruner, PrunerConfig};
+//! use selectivity::SelectivityEstimator;
+//! use pubsub_core::{EventMessage, Expr, Subscription, SubscriptionId, SubscriberId};
+//!
+//! // Event statistics the selectivity heuristic will work from.
+//! let events: Vec<EventMessage> = (0..100)
+//!     .map(|i| EventMessage::builder().attr("price", i as i64).build())
+//!     .collect();
+//! let estimator = SelectivityEstimator::from_events(&events);
+//!
+//! let mut pruner = Pruner::new(PrunerConfig::for_dimension(Dimension::NetworkLoad), estimator);
+//! pruner.register(Subscription::from_expr(
+//!     SubscriptionId::from_raw(1),
+//!     SubscriberId::from_raw(1),
+//!     &Expr::and(vec![Expr::lt("price", 10i64), Expr::gt("price", 2i64)]),
+//! ));
+//!
+//! // One pruning is possible before the subscription degenerates to a single
+//! // predicate, which is never pruned away entirely.
+//! let applied = pruner.prune_step().expect("a candidate exists");
+//! assert_eq!(applied.subscription, SubscriptionId::from_raw(1));
+//! assert!(pruner.prune_step().is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod candidate;
+mod controller;
+mod dimension;
+mod heuristics;
+mod plan;
+mod pruner;
+mod queue;
+
+pub use candidate::{enumerate_candidates, PruningCandidate};
+pub use controller::{ControlDecision, ControllerConfig, PruningController, SystemPressure};
+pub use dimension::{Dimension, HeuristicKind};
+pub use heuristics::{HeuristicScores, ScoreContext};
+pub use plan::{AppliedPruning, PruningPlan};
+pub use pruner::{Pruner, PrunerConfig, PrunerSnapshot};
+pub use queue::CandidateQueue;

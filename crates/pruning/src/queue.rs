@@ -1,0 +1,198 @@
+//! The priority queue of per-subscription best candidate prunings.
+
+use crate::{Dimension, PruningCandidate};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry of the candidate queue: a candidate pruning plus the version of
+/// the owning subscription at the time the candidate was computed. The
+/// [`Pruner`](crate::Pruner) uses the version to discard stale entries lazily.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    candidate: PruningCandidate,
+    version: u64,
+    dimension: Dimension,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Primary: the dimension's lexicographic heuristic comparison
+        // ("greater" = better = popped first from the max-heap).
+        self.candidate
+            .scores
+            .compare(&other.candidate.scores, self.dimension)
+            // Determinism on full ties: lower subscription id first, then
+            // lower node id (reversed because BinaryHeap pops the maximum).
+            .then_with(|| {
+                other
+                    .candidate
+                    .subscription
+                    .cmp(&self.candidate.subscription)
+            })
+            .then_with(|| other.candidate.node.cmp(&self.candidate.node))
+    }
+}
+
+/// A max-priority queue over candidate prunings, ordered by the heuristic
+/// order of a fixed [`Dimension`].
+///
+/// The queue holds (at most) one entry per subscription: its currently best
+/// candidate. After a pruning is applied, the owning subscription's next-best
+/// candidate is pushed with a bumped version; entries with outdated versions
+/// are discarded by the caller when popped (lazy deletion).
+#[derive(Debug, Clone)]
+pub struct CandidateQueue {
+    heap: BinaryHeap<QueueEntry>,
+    dimension: Dimension,
+}
+
+impl CandidateQueue {
+    /// Creates an empty queue for the given dimension.
+    pub fn new(dimension: Dimension) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            dimension,
+        }
+    }
+
+    /// The dimension this queue orders by.
+    pub fn dimension(&self) -> Dimension {
+        self.dimension
+    }
+
+    /// Pushes a candidate computed at the given subscription version.
+    pub fn push(&mut self, candidate: PruningCandidate, version: u64) {
+        self.heap.push(QueueEntry {
+            candidate,
+            version,
+            dimension: self.dimension,
+        });
+    }
+
+    /// Pops the best candidate together with the version it was computed at.
+    pub fn pop(&mut self) -> Option<(PruningCandidate, u64)> {
+        self.heap.pop().map(|e| (e.candidate, e.version))
+    }
+
+    /// Peeks at the best candidate without removing it.
+    pub fn peek(&self) -> Option<(&PruningCandidate, u64)> {
+        self.heap.peek().map(|e| (&e.candidate, e.version))
+    }
+
+    /// Number of entries currently stored (including possibly stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeuristicScores;
+    use pubsub_core::{NodeId, SubscriptionId};
+
+    fn candidate(sub: u64, node: u32, sel: f64, mem: f64, eff: f64) -> PruningCandidate {
+        PruningCandidate {
+            subscription: SubscriptionId::from_raw(sub),
+            node: NodeId(node),
+            scores: HeuristicScores {
+                delta_sel: sel,
+                delta_mem: mem,
+                delta_eff: eff,
+            },
+        }
+    }
+
+    #[test]
+    fn network_queue_pops_smallest_degradation_first() {
+        let mut q = CandidateQueue::new(Dimension::NetworkLoad);
+        q.push(candidate(1, 0, 0.5, 10.0, 0.0), 0);
+        q.push(candidate(2, 0, 0.1, 10.0, 0.0), 0);
+        q.push(candidate(3, 0, 0.3, 10.0, 0.0), 0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(2));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(3));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(1));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn memory_queue_pops_largest_saving_first() {
+        let mut q = CandidateQueue::new(Dimension::Memory);
+        q.push(candidate(1, 0, 0.0, 10.0, 0.0), 0);
+        q.push(candidate(2, 0, 0.0, 90.0, 0.0), 0);
+        q.push(candidate(3, 0, 0.0, 50.0, 0.0), 0);
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(2));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(3));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(1));
+    }
+
+    #[test]
+    fn throughput_queue_pops_least_pmin_loss_first() {
+        let mut q = CandidateQueue::new(Dimension::Throughput);
+        q.push(candidate(1, 0, 0.0, 10.0, -3.0), 0);
+        q.push(candidate(2, 0, 0.0, 10.0, 0.0), 0);
+        q.push(candidate(3, 0, 0.0, 10.0, -1.0), 0);
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(2));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(3));
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(1));
+    }
+
+    #[test]
+    fn ties_broken_by_secondary_heuristics_then_ids() {
+        let mut q = CandidateQueue::new(Dimension::NetworkLoad);
+        // Same delta_sel; throughput (eff) breaks the tie.
+        q.push(candidate(1, 0, 0.2, 10.0, -2.0), 0);
+        q.push(candidate(2, 0, 0.2, 10.0, 0.0), 0);
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(2));
+        q.clear();
+        // Full score tie: lower subscription id wins.
+        q.push(candidate(9, 4, 0.2, 10.0, 0.0), 0);
+        q.push(candidate(3, 7, 0.2, 10.0, 0.0), 0);
+        assert_eq!(q.pop().unwrap().0.subscription, SubscriptionId::from_raw(3));
+    }
+
+    #[test]
+    fn versions_travel_with_entries() {
+        let mut q = CandidateQueue::new(Dimension::Memory);
+        q.push(candidate(1, 0, 0.0, 10.0, 0.0), 42);
+        let (c, version) = q.pop().unwrap();
+        assert_eq!(c.subscription, SubscriptionId::from_raw(1));
+        assert_eq!(version, 42);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = CandidateQueue::new(Dimension::Memory);
+        q.push(candidate(1, 0, 0.0, 10.0, 0.0), 0);
+        assert!(q.peek().is_some());
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.peek().is_none());
+    }
+}

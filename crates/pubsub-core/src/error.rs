@@ -1,0 +1,49 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced by core model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An expression was structurally invalid, e.g. an AND/OR node without
+    /// children or a NOT node without exactly one child.
+    InvalidExpression(String),
+    /// A node id did not refer to a live node of the tree it was used with.
+    UnknownNode(String),
+    /// A requested pruning operation was not valid on the target tree.
+    InvalidPrune(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidExpression(msg) => write!(f, "invalid expression: {msg}"),
+            CoreError::UnknownNode(msg) => write!(f, "unknown node: {msg}"),
+            CoreError::InvalidPrune(msg) => write!(f, "invalid prune: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidExpression("and node with no children".into());
+        assert!(e.to_string().contains("invalid expression"));
+        let e = CoreError::UnknownNode("node-7".into());
+        assert!(e.to_string().contains("unknown node"));
+        let e = CoreError::InvalidPrune("root".into());
+        assert!(e.to_string().contains("invalid prune"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&CoreError::UnknownNode("x".into()));
+    }
+}

@@ -1,0 +1,244 @@
+//! Event messages: sets of attribute–value pairs.
+
+use crate::{EventId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A published event message.
+///
+/// Following the attribute–value pair model, an event message is a set of
+/// attribute–value pairs describing its content, e.g. an auction event
+/// `{title: "dune", category: "books", price: 12.5, bids: 3}`.
+///
+/// Attribute names are stored in a sorted map so that message contents are
+/// deterministic (useful for hashing, serialization, and reproducible tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventMessage {
+    id: EventId,
+    attributes: BTreeMap<String, Value>,
+}
+
+impl EventMessage {
+    /// Starts building an event message with id 0.
+    ///
+    /// Use [`EventBuilder::id`] to assign a real identifier, or
+    /// [`EventMessage::with_id`] afterwards.
+    pub fn builder() -> EventBuilder {
+        EventBuilder::new()
+    }
+
+    /// Creates an empty event message with the given id.
+    pub fn empty(id: EventId) -> Self {
+        Self {
+            id,
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// The identifier of this event.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Returns a copy of this event with a different identifier.
+    pub fn with_id(mut self, id: EventId) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Looks up the value of `attribute`, if present.
+    pub fn get(&self, attribute: &str) -> Option<&Value> {
+        self.attributes.get(attribute)
+    }
+
+    /// Returns `true` if the event carries the given attribute.
+    pub fn contains(&self, attribute: &str) -> bool {
+        self.attributes.contains_key(attribute)
+    }
+
+    /// Number of attribute–value pairs in the event.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Returns `true` if the event carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Iterates over the attribute–value pairs in attribute-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attributes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Inserts (or replaces) an attribute–value pair.
+    pub fn insert(&mut self, attribute: impl Into<String>, value: impl Into<Value>) {
+        self.attributes.insert(attribute.into(), value.into());
+    }
+
+    /// Removes an attribute, returning its previous value if present.
+    pub fn remove(&mut self, attribute: &str) -> Option<Value> {
+        self.attributes.remove(attribute)
+    }
+
+    /// Approximate wire size of this event in bytes: attribute names plus
+    /// value payloads plus a small fixed framing overhead per pair.
+    ///
+    /// The distributed simulation uses this to account for network load in
+    /// bytes in addition to message counts.
+    pub fn size_bytes(&self) -> usize {
+        const PER_PAIR_OVERHEAD: usize = 4;
+        const HEADER: usize = 16;
+        HEADER
+            + self
+                .attributes
+                .iter()
+                .map(|(k, v)| k.len() + v.size_bytes() + PER_PAIR_OVERHEAD)
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for EventMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.id)?;
+        let mut first = true;
+        for (k, v) in &self.attributes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`EventMessage`].
+#[derive(Debug, Default, Clone)]
+pub struct EventBuilder {
+    id: EventId,
+    attributes: BTreeMap<String, Value>,
+}
+
+impl Default for EventId {
+    fn default() -> Self {
+        EventId::from_raw(0)
+    }
+}
+
+impl EventBuilder {
+    /// Creates a new builder with id 0 and no attributes.
+    pub fn new() -> Self {
+        Self {
+            id: EventId::from_raw(0),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the event identifier.
+    pub fn id(mut self, id: impl Into<EventId>) -> Self {
+        self.id = id.into();
+        self
+    }
+
+    /// Adds an attribute–value pair.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attributes.insert(name.into(), value.into());
+        self
+    }
+
+    /// Finishes building the event message.
+    pub fn build(self) -> EventMessage {
+        EventMessage {
+            id: self.id,
+            attributes: self.attributes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventMessage {
+        EventMessage::builder()
+            .id(7u64)
+            .attr("title", "dune")
+            .attr("category", "books")
+            .attr("price", 12.5)
+            .attr("bids", 3i64)
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_expected_contents() {
+        let ev = sample();
+        assert_eq!(ev.id(), EventId::from_raw(7));
+        assert_eq!(ev.len(), 4);
+        assert_eq!(ev.get("title"), Some(&Value::from("dune")));
+        assert_eq!(ev.get("price"), Some(&Value::Float(12.5)));
+        assert_eq!(ev.get("missing"), None);
+        assert!(ev.contains("bids"));
+        assert!(!ev.contains("seller"));
+        assert!(!ev.is_empty());
+    }
+
+    #[test]
+    fn empty_event() {
+        let ev = EventMessage::empty(EventId::from_raw(1));
+        assert!(ev.is_empty());
+        assert_eq!(ev.len(), 0);
+        assert_eq!(ev.id(), EventId::from_raw(1));
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut ev = sample();
+        ev.insert("price", 20.0);
+        assert_eq!(ev.get("price"), Some(&Value::Float(20.0)));
+        assert_eq!(ev.len(), 4);
+        let removed = ev.remove("bids");
+        assert_eq!(removed, Some(Value::Int(3)));
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev.remove("bids"), None);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_attribute_name() {
+        let ev = sample();
+        let names: Vec<&str> = ev.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["bids", "category", "price", "title"]);
+    }
+
+    #[test]
+    fn with_id_replaces_identifier_only() {
+        let ev = sample().with_id(EventId::from_raw(99));
+        assert_eq!(ev.id(), EventId::from_raw(99));
+        assert_eq!(ev.len(), 4);
+    }
+
+    #[test]
+    fn size_estimate_grows_with_content() {
+        let small = EventMessage::builder().attr("a", 1i64).build();
+        let large = sample();
+        assert!(large.size_bytes() > small.size_bytes());
+        assert!(small.size_bytes() >= 16);
+    }
+
+    #[test]
+    fn display_contains_attributes() {
+        let s = sample().to_string();
+        assert!(s.contains("event-7"));
+        assert!(s.contains("title"));
+        assert!(s.contains("\"dune\""));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ev = sample();
+        let json = serde_json::to_string(&ev).unwrap();
+        let back: EventMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+}

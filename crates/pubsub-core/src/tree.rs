@@ -1,0 +1,790 @@
+//! Arena-based Boolean subscription trees.
+//!
+//! A [`SubscriptionTree`] stores the Boolean filter expression of a
+//! subscription as a flat arena of [`Node`]s. Compared to the recursive
+//! [`Expr`](crate::Expr) form, the arena representation gives every subtree a
+//! stable [`NodeId`], which the pruning machinery needs to talk about
+//! *which* subtree to remove, how many bytes it occupies, and whether its
+//! removal generalizes the subscription.
+
+use crate::{CoreError, EventMessage, Expr, NodeId, Predicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of a tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Conjunction of the node's children.
+    And,
+    /// Disjunction of the node's children.
+    Or,
+    /// Negation of the node's single child.
+    Not,
+    /// A predicate leaf.
+    Predicate(Predicate),
+}
+
+impl NodeKind {
+    /// Returns `true` if this node is a predicate leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeKind::Predicate(_))
+    }
+}
+
+/// A node of a [`SubscriptionTree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The node's parent, or `None` for the root.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The node's children (empty for leaves).
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+}
+
+/// Why a requested pruning was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// The node id does not exist in this tree.
+    UnknownNode(NodeId),
+    /// The root of a subscription cannot be pruned away.
+    CannotPruneRoot,
+    /// Removing this node would *specialize* (not generalize) the
+    /// subscription, which would break routing correctness.
+    WouldSpecialize(NodeId),
+    /// The node's parent would be left without children.
+    ParentWouldBeEmpty(NodeId),
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::UnknownNode(n) => write!(f, "node {n} does not exist in this tree"),
+            PruneError::CannotPruneRoot => write!(f, "the subscription root cannot be pruned"),
+            PruneError::WouldSpecialize(n) => {
+                write!(f, "removing node {n} would specialize the subscription")
+            }
+            PruneError::ParentWouldBeEmpty(n) => {
+                write!(f, "removing node {n} would leave its parent childless")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PruneError {}
+
+impl From<PruneError> for CoreError {
+    fn from(e: PruneError) -> Self {
+        CoreError::InvalidPrune(e.to_string())
+    }
+}
+
+/// Summary statistics of a subscription tree, used by heuristics and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Total number of nodes (internal and leaves).
+    pub node_count: usize,
+    /// Number of predicate leaves.
+    pub predicate_count: usize,
+    /// Depth of the tree (a single predicate has depth 1).
+    pub depth: usize,
+    /// Minimum number of fulfilled predicates that can fulfil the tree
+    /// (the `pmin` quantity of the paper's throughput heuristic).
+    pub pmin: usize,
+    /// Estimated memory footprint of the tree in bytes (`mem≈`).
+    pub size_bytes: usize,
+}
+
+/// An arbitrary Boolean subscription filter stored as an arena of nodes.
+///
+/// Invariants maintained by every constructor and by [`prune`](Self::prune):
+///
+/// * there is exactly one root and every non-root node has a parent;
+/// * AND/OR nodes have at least two children (single-child nodes are
+///   collapsed), NOT nodes have exactly one child;
+/// * leaves are predicates and have no children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriptionTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl SubscriptionTree {
+    /// Builds a tree from a recursive expression.
+    ///
+    /// Single-child AND/OR nodes in the expression are collapsed so that the
+    /// arena upholds the structural invariants documented on the type.
+    ///
+    /// # Panics
+    /// Panics if the expression is structurally invalid (an AND/OR node with
+    /// zero children); use [`Expr::is_valid`] to check untrusted input first.
+    pub fn from_expr(expr: &Expr) -> Self {
+        assert!(expr.is_valid(), "expression is structurally invalid");
+        let mut nodes = Vec::with_capacity(expr.node_count());
+        let root = Self::build_node(expr, None, &mut nodes);
+        Self { nodes, root }
+    }
+
+    /// Builds a tree consisting of a single predicate.
+    pub fn from_predicate(predicate: Predicate) -> Self {
+        Self::from_expr(&Expr::Pred(predicate))
+    }
+
+    fn build_node(expr: &Expr, parent: Option<NodeId>, nodes: &mut Vec<Node>) -> NodeId {
+        match expr {
+            Expr::Pred(p) => {
+                let id = NodeId::from_index(nodes.len());
+                nodes.push(Node {
+                    kind: NodeKind::Predicate(p.clone()),
+                    parent,
+                    children: Vec::new(),
+                });
+                id
+            }
+            Expr::And(children) | Expr::Or(children) if children.len() == 1 => {
+                // Collapse single-child AND/OR.
+                Self::build_node(&children[0], parent, nodes)
+            }
+            Expr::And(children) => {
+                let id = NodeId::from_index(nodes.len());
+                nodes.push(Node {
+                    kind: NodeKind::And,
+                    parent,
+                    children: Vec::new(),
+                });
+                let kids: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| Self::build_node(c, Some(id), nodes))
+                    .collect();
+                nodes[id.index()].children = kids;
+                id
+            }
+            Expr::Or(children) => {
+                let id = NodeId::from_index(nodes.len());
+                nodes.push(Node {
+                    kind: NodeKind::Or,
+                    parent,
+                    children: Vec::new(),
+                });
+                let kids: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| Self::build_node(c, Some(id), nodes))
+                    .collect();
+                nodes[id.index()].children = kids;
+                id
+            }
+            Expr::Not(child) => {
+                let id = NodeId::from_index(nodes.len());
+                nodes.push(Node {
+                    kind: NodeKind::Not,
+                    parent,
+                    children: Vec::new(),
+                });
+                let kid = Self::build_node(child, Some(id), nodes);
+                nodes[id.index()].children = vec![kid];
+                id
+            }
+        }
+    }
+
+    /// Converts the tree back into a recursive expression.
+    pub fn to_expr(&self) -> Expr {
+        self.subtree_to_expr(self.root, None)
+            .expect("root subtree is never excluded")
+    }
+
+    fn subtree_to_expr(&self, node: NodeId, exclude: Option<NodeId>) -> Option<Expr> {
+        if Some(node) == exclude {
+            return None;
+        }
+        let n = &self.nodes[node.index()];
+        match &n.kind {
+            NodeKind::Predicate(p) => Some(Expr::Pred(p.clone())),
+            NodeKind::Not => {
+                let child = self.subtree_to_expr(n.children[0], exclude)?;
+                Some(Expr::Not(Box::new(child)))
+            }
+            NodeKind::And => {
+                let children: Vec<Expr> = n
+                    .children
+                    .iter()
+                    .filter_map(|c| self.subtree_to_expr(*c, exclude))
+                    .collect();
+                match children.len() {
+                    0 => None,
+                    _ => Some(Expr::and(children)),
+                }
+            }
+            NodeKind::Or => {
+                let children: Vec<Expr> = n
+                    .children
+                    .iter()
+                    .filter_map(|c| self.subtree_to_expr(*c, exclude))
+                    .collect();
+                match children.len() {
+                    0 => None,
+                    _ => Some(Expr::or(children)),
+                }
+            }
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Returns the node with the given id, or `None` if it does not exist.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of predicate leaves.
+    pub fn predicate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Predicate(_)))
+            .count()
+    }
+
+    /// Returns `true` if the tree consists of a single predicate leaf.
+    pub fn is_single_predicate(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Iterates over all node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all predicate leaves as `(node id, predicate)` pairs.
+    pub fn predicates(&self) -> impl Iterator<Item = (NodeId, &Predicate)> {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match &n.kind {
+            NodeKind::Predicate(p) => Some((NodeId::from_index(i), p)),
+            _ => None,
+        })
+    }
+
+    /// Depth of the tree (a single predicate has depth 1).
+    pub fn depth(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    fn depth_of(&self, node: NodeId) -> usize {
+        let n = &self.nodes[node.index()];
+        1 + n
+            .children
+            .iter()
+            .map(|c| self.depth_of(*c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates the tree against an event message.
+    pub fn evaluate(&self, event: &EventMessage) -> bool {
+        self.evaluate_leaves(&mut |_, p| p.evaluate(event))
+    }
+
+    /// Evaluates the tree using an externally supplied truth assignment for
+    /// the predicate leaves. The matching engine uses this after resolving
+    /// predicates through its attribute indexes.
+    pub fn evaluate_leaves(&self, leaf_truth: &mut impl FnMut(NodeId, &Predicate) -> bool) -> bool {
+        self.evaluate_node(self.root, leaf_truth)
+    }
+
+    fn evaluate_node(
+        &self,
+        node: NodeId,
+        leaf_truth: &mut impl FnMut(NodeId, &Predicate) -> bool,
+    ) -> bool {
+        let n = &self.nodes[node.index()];
+        match &n.kind {
+            NodeKind::Predicate(p) => leaf_truth(node, p),
+            NodeKind::And => n
+                .children
+                .iter()
+                .all(|c| self.evaluate_node(*c, leaf_truth)),
+            NodeKind::Or => n
+                .children
+                .iter()
+                .any(|c| self.evaluate_node(*c, leaf_truth)),
+            NodeKind::Not => !self.evaluate_node(n.children[0], leaf_truth),
+        }
+    }
+
+    /// The minimum number of fulfilled predicates that can fulfil the tree.
+    ///
+    /// This is the `pmin` quantity used by the counting matcher of
+    /// Bittner & Hinze \[2\] and by the throughput heuristic `Δ≈eff`:
+    ///
+    /// * a predicate leaf requires 1 fulfilled predicate;
+    /// * an AND requires the sum over its children;
+    /// * an OR requires the minimum over its children;
+    /// * a NOT can be fulfilled with 0 fulfilled predicates (its child being
+    ///   unfulfilled is sufficient), so it contributes 0.
+    pub fn pmin(&self) -> usize {
+        self.pmin_of(self.root)
+    }
+
+    fn pmin_of(&self, node: NodeId) -> usize {
+        let n = &self.nodes[node.index()];
+        match &n.kind {
+            NodeKind::Predicate(_) => 1,
+            NodeKind::And => n.children.iter().map(|c| self.pmin_of(*c)).sum(),
+            NodeKind::Or => n
+                .children
+                .iter()
+                .map(|c| self.pmin_of(*c))
+                .min()
+                .unwrap_or(0),
+            NodeKind::Not => 0,
+        }
+    }
+
+    /// Estimated memory footprint of the whole tree in bytes (`mem≈`).
+    pub fn size_bytes(&self) -> usize {
+        self.subtree_size_bytes(self.root)
+    }
+
+    /// Estimated memory footprint of the subtree rooted at `node` in bytes.
+    ///
+    /// Returns 0 for unknown nodes.
+    pub fn subtree_size_bytes(&self, node: NodeId) -> usize {
+        const INTERNAL_NODE_OVERHEAD: usize = 24;
+        const LEAF_NODE_OVERHEAD: usize = 16;
+        let Some(n) = self.nodes.get(node.index()) else {
+            return 0;
+        };
+        match &n.kind {
+            NodeKind::Predicate(p) => LEAF_NODE_OVERHEAD + p.size_bytes(),
+            _ => {
+                INTERNAL_NODE_OVERHEAD
+                    + n.children
+                        .iter()
+                        .map(|c| self.subtree_size_bytes(*c))
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of predicate leaves inside the subtree rooted at `node`.
+    pub fn subtree_predicate_count(&self, node: NodeId) -> usize {
+        let Some(n) = self.nodes.get(node.index()) else {
+            return 0;
+        };
+        match &n.kind {
+            NodeKind::Predicate(_) => 1,
+            _ => n
+                .children
+                .iter()
+                .map(|c| self.subtree_predicate_count(*c))
+                .sum(),
+        }
+    }
+
+    /// Summary statistics of this tree.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            node_count: self.node_count(),
+            predicate_count: self.predicate_count(),
+            depth: self.depth(),
+            pmin: self.pmin(),
+            size_bytes: self.size_bytes(),
+        }
+    }
+
+    /// Negation parity of a node: `true` if the node lies below an odd number
+    /// of NOT nodes. Removal semantics flip under odd parity.
+    pub fn negation_parity(&self, node: NodeId) -> bool {
+        let mut parity = false;
+        let mut current = self.nodes[node.index()].parent;
+        while let Some(p) = current {
+            let n = &self.nodes[p.index()];
+            if matches!(n.kind, NodeKind::Not) {
+                parity = !parity;
+            }
+            current = n.parent;
+        }
+        parity
+    }
+
+    /// Checks whether removing the subtree rooted at `node` is a *valid
+    /// pruning*, i.e. whether the resulting tree is fulfilled by a superset of
+    /// the events fulfilling the current tree (generalization), and the tree
+    /// stays structurally valid.
+    ///
+    /// A removal generalizes the subscription exactly when the removed node is
+    /// a child of an AND node under even negation parity, or a child of an OR
+    /// node under odd negation parity, and the parent keeps at least one other
+    /// child.
+    pub fn validate_prune(&self, node: NodeId) -> Result<(), PruneError> {
+        let n = self
+            .nodes
+            .get(node.index())
+            .ok_or(PruneError::UnknownNode(node))?;
+        let parent_id = n.parent.ok_or(PruneError::CannotPruneRoot)?;
+        let parent = &self.nodes[parent_id.index()];
+        if parent.children.len() < 2 {
+            return Err(PruneError::ParentWouldBeEmpty(node));
+        }
+        let parity = self.negation_parity(parent_id);
+        let generalizes = match parent.kind {
+            NodeKind::And => !parity,
+            NodeKind::Or => parity,
+            // The only child of a NOT cannot be removed without leaving the
+            // NOT childless.
+            NodeKind::Not | NodeKind::Predicate(_) => false,
+        };
+        if generalizes {
+            Ok(())
+        } else {
+            Err(PruneError::WouldSpecialize(node))
+        }
+    }
+
+    /// Returns `true` if removing `node` is a valid pruning (see
+    /// [`validate_prune`](Self::validate_prune)).
+    pub fn is_valid_prune(&self, node: NodeId) -> bool {
+        self.validate_prune(node).is_ok()
+    }
+
+    /// Enumerates all nodes whose removal is a valid pruning, in arena order.
+    pub fn generalizing_removals(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|id| self.is_valid_prune(*id))
+            .collect()
+    }
+
+    /// Removes the subtree rooted at `node` and returns the resulting,
+    /// freshly compacted tree. The original tree is left untouched.
+    ///
+    /// Node ids of the returned tree are *not* related to node ids of `self`.
+    pub fn prune(&self, node: NodeId) -> Result<SubscriptionTree, PruneError> {
+        self.validate_prune(node)?;
+        let expr = self
+            .subtree_to_expr(self.root, Some(node))
+            .expect("validated prune keeps at least one sibling");
+        Ok(SubscriptionTree::from_expr(&expr))
+    }
+
+    /// Simulates a pruning without materializing the tree: returns the
+    /// [`TreeStats`] the tree would have after removing `node`.
+    ///
+    /// This is what the heuristics use to score candidate prunings cheaply.
+    pub fn stats_after_prune(&self, node: NodeId) -> Result<TreeStats, PruneError> {
+        // Building the pruned tree is O(size of tree); trees are small
+        // (tens of nodes), so this stays cheap while remaining exact.
+        Ok(self.prune(node)?.stats())
+    }
+}
+
+impl fmt::Display for SubscriptionTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operator;
+
+    /// (category = books AND price <= 20 AND bids >= 2) OR (seller = "acme" AND rating >= 4)
+    fn sample_expr() -> Expr {
+        Expr::or(vec![
+            Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 20i64),
+                Expr::ge("bids", 2i64),
+            ]),
+            Expr::and(vec![
+                Expr::eq("seller", "acme"),
+                Expr::ge("rating", 4i64),
+            ]),
+        ])
+    }
+
+    fn sample_tree() -> SubscriptionTree {
+        SubscriptionTree::from_expr(&sample_expr())
+    }
+
+    fn matching_event() -> EventMessage {
+        EventMessage::builder()
+            .attr("category", "books")
+            .attr("price", 10i64)
+            .attr("bids", 5i64)
+            .attr("seller", "other")
+            .attr("rating", 3i64)
+            .build()
+    }
+
+    #[test]
+    fn construction_counts() {
+        let t = sample_tree();
+        assert_eq!(t.predicate_count(), 5);
+        assert_eq!(t.node_count(), 8); // or + 2 and + 5 leaves
+        assert_eq!(t.depth(), 3);
+        assert!(!t.is_single_predicate());
+        assert_eq!(t.predicates().count(), 5);
+    }
+
+    #[test]
+    fn single_child_and_or_collapse_on_construction() {
+        let e = Expr::And(vec![Expr::Or(vec![Expr::eq("a", 1i64)])]);
+        let t = SubscriptionTree::from_expr(&e);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.is_single_predicate());
+    }
+
+    #[test]
+    fn evaluation_matches_expr_evaluation() {
+        let e = sample_expr();
+        let t = sample_tree();
+        let ev = matching_event();
+        assert_eq!(t.evaluate(&ev), e.evaluate(&ev));
+        assert!(t.evaluate(&ev));
+
+        let non_matching = EventMessage::builder()
+            .attr("category", "music")
+            .attr("price", 10i64)
+            .build();
+        assert!(!t.evaluate(&non_matching));
+    }
+
+    #[test]
+    fn evaluate_leaves_uses_supplied_truth() {
+        let t = sample_tree();
+        // All leaves true -> matches.
+        assert!(t.evaluate_leaves(&mut |_, _| true));
+        // All leaves false -> does not match.
+        assert!(!t.evaluate_leaves(&mut |_, _| false));
+        // Only the "seller"/"rating" branch true -> matches via OR.
+        assert!(t.evaluate_leaves(&mut |_, p| {
+            p.attribute() == "seller" || p.attribute() == "rating"
+        }));
+    }
+
+    #[test]
+    fn pmin_computation() {
+        // OR(AND(3 preds), AND(2 preds)) -> min(3, 2) = 2
+        assert_eq!(sample_tree().pmin(), 2);
+        // Single predicate -> 1
+        assert_eq!(
+            SubscriptionTree::from_predicate(Predicate::new("a", Operator::Eq, 1i64)).pmin(),
+            1
+        );
+        // AND of 4 predicates -> 4
+        let conj = Expr::and(vec![
+            Expr::eq("a", 1i64),
+            Expr::eq("b", 1i64),
+            Expr::eq("c", 1i64),
+            Expr::eq("d", 1i64),
+        ]);
+        assert_eq!(SubscriptionTree::from_expr(&conj).pmin(), 4);
+        // NOT contributes 0: AND(pred, NOT(pred)) -> 1
+        let with_not = Expr::and(vec![Expr::eq("a", 1i64), Expr::not(Expr::eq("b", 2i64))]);
+        assert_eq!(SubscriptionTree::from_expr(&with_not).pmin(), 1);
+        // OR(pred, NOT(pred)) -> 0
+        let or_not = Expr::or(vec![Expr::eq("a", 1i64), Expr::not(Expr::eq("b", 2i64))]);
+        assert_eq!(SubscriptionTree::from_expr(&or_not).pmin(), 0);
+    }
+
+    #[test]
+    fn size_bytes_shrinks_with_pruning() {
+        let t = sample_tree();
+        let total = t.size_bytes();
+        assert!(total > 0);
+        let removable = t.generalizing_removals();
+        assert!(!removable.is_empty());
+        for node in removable {
+            let pruned = t.prune(node).unwrap();
+            assert!(pruned.size_bytes() < total, "pruning must shrink the tree");
+        }
+    }
+
+    #[test]
+    fn negation_parity() {
+        // NOT(AND(a, OR(b, c)))
+        let e = Expr::not(Expr::and(vec![
+            Expr::eq("a", 1i64),
+            Expr::or(vec![Expr::eq("b", 1i64), Expr::eq("c", 1i64)]),
+        ]));
+        let t = SubscriptionTree::from_expr(&e);
+        // Root NOT has even parity (no NOT above it).
+        assert!(!t.negation_parity(t.root()));
+        // Every other node lies below exactly one NOT.
+        for id in t.node_ids() {
+            if id != t.root() {
+                assert!(t.negation_parity(id), "node {id} should have odd parity");
+            }
+        }
+    }
+
+    #[test]
+    fn valid_prunings_on_positive_tree() {
+        let t = sample_tree();
+        let removable = t.generalizing_removals();
+        // Children of the two AND nodes are removable (5 leaves); the AND
+        // nodes themselves are children of the OR root under even parity and
+        // are NOT removable (that would specialize).
+        assert_eq!(removable.len(), 5);
+        for id in &removable {
+            assert!(t.node(*id).unwrap().kind().is_leaf());
+        }
+    }
+
+    #[test]
+    fn or_children_not_prunable_without_negation() {
+        let e = Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 1i64)]);
+        let t = SubscriptionTree::from_expr(&e);
+        assert!(t.generalizing_removals().is_empty());
+        for id in t.node_ids() {
+            if id != t.root() {
+                assert_eq!(
+                    t.validate_prune(id),
+                    Err(PruneError::WouldSpecialize(id))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn or_children_prunable_under_negation() {
+        // NOT(OR(a, b)): removing an OR child under odd parity generalizes,
+        // because NOT(a OR b) = NOT a AND NOT b, and dropping a conjunct
+        // (e.g. keeping only NOT a) is a generalization.
+        let e = Expr::not(Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 1i64)]));
+        let t = SubscriptionTree::from_expr(&e);
+        let removable = t.generalizing_removals();
+        assert_eq!(removable.len(), 2);
+
+        // And conversely, AND children under odd parity are not prunable.
+        let e = Expr::not(Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 1i64)]));
+        let t = SubscriptionTree::from_expr(&e);
+        assert!(t.generalizing_removals().is_empty());
+    }
+
+    #[test]
+    fn root_and_not_child_cannot_be_pruned() {
+        let t = sample_tree();
+        assert_eq!(t.validate_prune(t.root()), Err(PruneError::CannotPruneRoot));
+
+        let e = Expr::not(Expr::eq("a", 1i64));
+        let t = SubscriptionTree::from_expr(&e);
+        let child = t.node(t.root()).unwrap().children()[0];
+        assert!(t.validate_prune(child).is_err());
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let t = sample_tree();
+        let bogus = NodeId::from_index(10_000);
+        assert_eq!(t.validate_prune(bogus), Err(PruneError::UnknownNode(bogus)));
+        assert!(t.prune(bogus).is_err());
+        assert_eq!(t.subtree_size_bytes(bogus), 0);
+        assert_eq!(t.subtree_predicate_count(bogus), 0);
+    }
+
+    #[test]
+    fn pruning_generalizes_matching() {
+        let t = sample_tree();
+        // Event matching only part of the first conjunction.
+        let ev = EventMessage::builder()
+            .attr("category", "books")
+            .attr("price", 10i64)
+            .attr("bids", 0i64) // fails bids >= 2
+            .build();
+        assert!(!t.evaluate(&ev));
+        // Find and prune the bids predicate; the event must now match.
+        let bids_node = t
+            .predicates()
+            .find(|(_, p)| p.attribute() == "bids")
+            .map(|(id, _)| id)
+            .unwrap();
+        let pruned = t.prune(bids_node).unwrap();
+        assert!(pruned.evaluate(&ev));
+        assert_eq!(pruned.predicate_count(), 4);
+    }
+
+    #[test]
+    fn pruning_collapses_single_child_parents() {
+        // AND(a, b): removing b must leave just the predicate a.
+        let e = Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]);
+        let t = SubscriptionTree::from_expr(&e);
+        let b_node = t
+            .predicates()
+            .find(|(_, p)| p.attribute() == "b")
+            .map(|(id, _)| id)
+            .unwrap();
+        let pruned = t.prune(b_node).unwrap();
+        assert!(pruned.is_single_predicate());
+        assert_eq!(pruned.predicate_count(), 1);
+        assert_eq!(pruned.depth(), 1);
+    }
+
+    #[test]
+    fn stats_after_prune_matches_actual_prune() {
+        let t = sample_tree();
+        for node in t.generalizing_removals() {
+            let predicted = t.stats_after_prune(node).unwrap();
+            let actual = t.prune(node).unwrap().stats();
+            assert_eq!(predicted, actual);
+        }
+    }
+
+    #[test]
+    fn stats_summary() {
+        let t = sample_tree();
+        let s = t.stats();
+        assert_eq!(s.node_count, 8);
+        assert_eq!(s.predicate_count, 5);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.pmin, 2);
+        assert_eq!(s.size_bytes, t.size_bytes());
+    }
+
+    #[test]
+    fn expr_roundtrip_preserves_semantics() {
+        let t = sample_tree();
+        let back = SubscriptionTree::from_expr(&t.to_expr());
+        assert_eq!(back.predicate_count(), t.predicate_count());
+        assert_eq!(back.pmin(), t.pmin());
+        let ev = matching_event();
+        assert_eq!(back.evaluate(&ev), t.evaluate(&ev));
+    }
+
+    #[test]
+    fn display_shows_expression() {
+        let s = sample_tree().to_string();
+        assert!(s.contains("AND"));
+        assert!(s.contains("OR"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample_tree();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SubscriptionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

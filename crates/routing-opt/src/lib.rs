@@ -1,0 +1,28 @@
+//! # routing-opt
+//!
+//! Baseline routing optimizations the paper compares subscription pruning
+//! against (Section 2.3): subscription **covering** and subscription
+//! **merging**. Both are restricted to *conjunctive* subscriptions, which is
+//! exactly the limitation that motivates pruning as a structure-independent
+//! alternative.
+//!
+//! * [`CoveringIndex`] detects when one conjunctive subscription is more
+//!   general than another (its matching events are a superset); covered
+//!   subscriptions need not be forwarded to neighbor brokers.
+//! * [`merge_subscriptions`] greedily merges groups of similar conjunctive
+//!   subscriptions into a single, more general routing entry (a *perfect*
+//!   merger when possible, an *imperfect* one otherwise).
+//!
+//! Neither optimization applies to the disjunctive or negated subscriptions
+//! of the auction workload — the baseline benchmark quantifies how much of a
+//! routing table they can and cannot optimize compared to pruning.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod covering;
+mod merging;
+
+pub use covering::{CoveringIndex, CoveringReport};
+pub use merging::{merge_subscriptions, MergeConfig, MergeOutcome, MergeReport};

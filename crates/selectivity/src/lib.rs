@@ -1,0 +1,59 @@
+//! # selectivity
+//!
+//! Selectivity estimation for Boolean subscriptions.
+//!
+//! The network-load heuristic of the paper (`Δ≈sel`, Section 3.1) scores a
+//! candidate pruning by how much it *degrades* the selectivity of the
+//! subscription — i.e. by how many additional events the pruned subscription
+//! is expected to match. Computing exact selectivities online is too
+//! expensive, so the paper uses an estimation `sel≈(s)` made of three
+//! components: the minimal, average, and maximal possible selectivity.
+//!
+//! This crate provides that estimation machinery:
+//!
+//! * [`EventStatistics`] — per-attribute statistics (numeric histograms and
+//!   categorical frequency tables) collected from a sample of events;
+//! * [`SelectivityEstimate`] — the `(min, avg, max)` triple with the Boolean
+//!   combinators used to propagate leaf estimates up the subscription tree
+//!   (Fréchet bounds for min/max, an independence assumption for avg);
+//! * [`SelectivityEstimator`] — ties the two together: estimates predicates
+//!   from the statistics and whole subscription trees by bottom-up
+//!   propagation;
+//! * [`measured_selectivity`] — the exact selectivity of a tree over a given
+//!   event sample, used as ground truth in tests and experiments.
+//!
+//! ```
+//! use selectivity::{EventStatistics, SelectivityEstimator};
+//! use pubsub_core::{EventMessage, Expr, SubscriptionTree};
+//!
+//! // Collect statistics from a small event sample.
+//! let events: Vec<EventMessage> = (0..100)
+//!     .map(|i| {
+//!         EventMessage::builder()
+//!             .attr("price", i as i64)
+//!             .attr("category", if i % 4 == 0 { "books" } else { "music" })
+//!             .build()
+//!     })
+//!     .collect();
+//! let stats = EventStatistics::from_events(&events);
+//! let estimator = SelectivityEstimator::new(stats);
+//!
+//! // price < 50 matches about half of the events.
+//! let tree = SubscriptionTree::from_expr(&Expr::lt("price", 50i64));
+//! let est = estimator.estimate_tree(&tree);
+//! assert!((est.avg - 0.5).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod estimate;
+mod estimator;
+mod histogram;
+mod stats;
+
+pub use estimate::SelectivityEstimate;
+pub use estimator::{measured_selectivity, SelectivityEstimator};
+pub use histogram::{CategoricalStats, NumericHistogram};
+pub use stats::{AttributeStatistics, EventStatistics};

@@ -1,0 +1,188 @@
+//! Event-sample statistics per attribute.
+
+use crate::histogram::{numeric_observation, CategoricalStats, NumericHistogram};
+use pubsub_core::{EventMessage, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics about one attribute, gathered from an event sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeStatistics {
+    /// Number of sampled events carrying this attribute.
+    pub present: u64,
+    /// Histogram over the numeric observations of this attribute.
+    pub numeric: NumericHistogram,
+    /// Frequency table over the string observations of this attribute.
+    pub strings: CategoricalStats,
+    /// Number of `true` boolean observations.
+    pub bool_true: u64,
+    /// Number of `false` boolean observations.
+    pub bool_false: u64,
+}
+
+impl AttributeStatistics {
+    fn from_observations(values: &[&Value]) -> Self {
+        let numeric: Vec<f64> = values.iter().filter_map(|v| numeric_observation(v)).collect();
+        let strings: Vec<&str> = values.iter().filter_map(|v| v.as_str()).collect();
+        let bool_true = values
+            .iter()
+            .filter(|v| matches!(v, Value::Bool(true)))
+            .count() as u64;
+        let bool_false = values
+            .iter()
+            .filter(|v| matches!(v, Value::Bool(false)))
+            .count() as u64;
+        Self {
+            present: values.len() as u64,
+            numeric: NumericHistogram::from_values(&numeric),
+            strings: CategoricalStats::from_values(&strings),
+            bool_true,
+            bool_false,
+        }
+    }
+}
+
+/// Per-attribute statistics over a sample of event messages.
+///
+/// This is the knowledge base behind the selectivity estimation `sel≈` of the
+/// paper's network-load heuristic. In a deployed system the statistics would
+/// be maintained incrementally from the observed event stream; here they are
+/// built from a sample (either historical events or a warm-up prefix of the
+/// published stream).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventStatistics {
+    attributes: HashMap<String, AttributeStatistics>,
+    event_count: u64,
+}
+
+impl EventStatistics {
+    /// Builds statistics from a sample of events.
+    pub fn from_events(events: &[EventMessage]) -> Self {
+        let mut observations: HashMap<&str, Vec<&Value>> = HashMap::new();
+        for event in events {
+            for (attr, value) in event.iter() {
+                observations.entry(attr).or_default().push(value);
+            }
+        }
+        let attributes = observations
+            .into_iter()
+            .map(|(attr, values)| {
+                (attr.to_owned(), AttributeStatistics::from_observations(&values))
+            })
+            .collect();
+        Self {
+            attributes,
+            event_count: events.len() as u64,
+        }
+    }
+
+    /// Number of events in the sample.
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// Number of distinct attributes observed.
+    pub fn attribute_count(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Statistics for one attribute, if it was observed at all.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeStatistics> {
+        self.attributes.get(name)
+    }
+
+    /// Probability that a sampled event carries the attribute.
+    pub fn presence_probability(&self, name: &str) -> f64 {
+        if self.event_count == 0 {
+            return 0.0;
+        }
+        self.attributes
+            .get(name)
+            .map(|a| a.present as f64 / self.event_count as f64)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<EventMessage> {
+        (0..50)
+            .map(|i| {
+                let mut b = EventMessage::builder()
+                    .attr("price", i as i64)
+                    .attr("category", if i % 5 == 0 { "books" } else { "music" });
+                if i % 2 == 0 {
+                    b = b.attr("featured", true);
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn statistics_cover_all_attributes() {
+        let stats = EventStatistics::from_events(&sample_events());
+        assert_eq!(stats.event_count(), 50);
+        assert_eq!(stats.attribute_count(), 3);
+        assert!(stats.attribute("price").is_some());
+        assert!(stats.attribute("category").is_some());
+        assert!(stats.attribute("featured").is_some());
+        assert!(stats.attribute("missing").is_none());
+    }
+
+    #[test]
+    fn presence_probability() {
+        let stats = EventStatistics::from_events(&sample_events());
+        assert_eq!(stats.presence_probability("price"), 1.0);
+        assert!((stats.presence_probability("featured") - 0.5).abs() < 1e-9);
+        assert_eq!(stats.presence_probability("missing"), 0.0);
+    }
+
+    #[test]
+    fn per_attribute_breakdown() {
+        let stats = EventStatistics::from_events(&sample_events());
+        let price = stats.attribute("price").unwrap();
+        assert_eq!(price.numeric.total(), 50);
+        assert_eq!(price.strings.total(), 0);
+
+        let category = stats.attribute("category").unwrap();
+        assert_eq!(category.strings.total(), 50);
+        assert!((category.strings.fraction_eq("books") - 0.2).abs() < 1e-9);
+
+        let featured = stats.attribute("featured").unwrap();
+        assert_eq!(featured.bool_true, 25);
+        assert_eq!(featured.bool_false, 0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let stats = EventStatistics::from_events(&[]);
+        assert_eq!(stats.event_count(), 0);
+        assert_eq!(stats.attribute_count(), 0);
+        assert_eq!(stats.presence_probability("anything"), 0.0);
+    }
+
+    #[test]
+    fn mixed_type_attribute_is_split_by_type() {
+        let events = vec![
+            EventMessage::builder().attr("x", 1i64).build(),
+            EventMessage::builder().attr("x", "one").build(),
+            EventMessage::builder().attr("x", 2i64).build(),
+        ];
+        let stats = EventStatistics::from_events(&events);
+        let x = stats.attribute("x").unwrap();
+        assert_eq!(x.present, 3);
+        assert_eq!(x.numeric.total(), 2);
+        assert_eq!(x.strings.total(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let stats = EventStatistics::from_events(&sample_events());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: EventStatistics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,146 @@
+//! Zipf-distributed catalogs of named items (titles, authors, categories).
+
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+
+/// A catalog of named items with Zipf-distributed popularity.
+///
+/// Item `i` (0-based) is named `"<prefix>-<i>"`; lower indices are more
+/// popular. Both event generation and subscription generation sample from the
+/// same catalog, so subscriptions naturally concentrate on popular items just
+/// like real auction watchers do.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    prefix: String,
+    size: usize,
+    zipf: Zipf<f64>,
+}
+
+impl Catalog {
+    /// Creates a catalog of `size` items with the given Zipf exponent.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or the exponent is not positive and finite.
+    pub fn new(prefix: impl Into<String>, size: usize, exponent: f64) -> Self {
+        assert!(size > 0, "catalog must contain at least one item");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "Zipf exponent must be positive"
+        );
+        Self {
+            prefix: prefix.into(),
+            size,
+            zipf: Zipf::new(size as u64, exponent).expect("validated Zipf parameters"),
+        }
+    }
+
+    /// Number of items in the catalog.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Returns `true` if the catalog is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The name of item `index` (0-based). Indices wrap around the catalog
+    /// size so that the function is total.
+    pub fn name(&self, index: usize) -> String {
+        format!("{}-{:05}", self.prefix, index % self.size)
+    }
+
+    /// Samples an item index with Zipf-distributed popularity (0 = most
+    /// popular).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // rand_distr's Zipf samples ranks in [1, size].
+        (self.zipf.sample(rng) as usize).saturating_sub(1).min(self.size - 1)
+    }
+
+    /// Samples an item name with Zipf-distributed popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let idx = self.sample_index(rng);
+        self.name(idx)
+    }
+
+    /// Samples an item name uniformly (used for the long-tail interests of
+    /// some subscription classes).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let idx = rng.gen_range(0..self.size);
+        self.name(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn names_are_stable_and_wrap() {
+        let c = Catalog::new("title", 100, 1.0);
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_empty());
+        assert_eq!(c.name(3), "title-00003");
+        assert_eq!(c.name(103), "title-00003");
+    }
+
+    #[test]
+    fn sampling_is_skewed_towards_low_indices() {
+        let c = Catalog::new("title", 1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(c.sample_index(&mut rng)).or_insert(0) += 1;
+        }
+        let head: usize = (0..10).map(|i| counts.get(&i).copied().unwrap_or(0)).sum();
+        let tail: usize = (500..510)
+            .map(|i| counts.get(&i).copied().unwrap_or(0))
+            .sum();
+        assert!(
+            head > tail * 5,
+            "popular items should dominate: head={head} tail={tail}"
+        );
+        // All sampled indices stay in range.
+        assert!(counts.keys().all(|i| *i < 1000));
+    }
+
+    #[test]
+    fn uniform_sampling_covers_the_range() {
+        let c = Catalog::new("cat", 10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(c.sample_uniform(&mut rng));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let c = Catalog::new("author", 50, 1.0);
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| c.sample(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| c.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_sized_catalog_panics() {
+        let _ = Catalog::new("x", 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf exponent")]
+    fn non_positive_exponent_panics() {
+        let _ = Catalog::new("x", 10, 0.0);
+    }
+}

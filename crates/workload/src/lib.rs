@@ -1,0 +1,53 @@
+//! # workload
+//!
+//! The online book-auction workload used by the paper's evaluation
+//! (Section 4): event messages following the characteristic distributions of
+//! online book auctions, and subscriptions drawn from three classes typical
+//! for that application.
+//!
+//! The original evaluation relied on proprietary auction traces (Bittner &
+//! Hinze, Technical Report 03/2006). This crate substitutes a parametric,
+//! seeded generator that reproduces the *shape* of that workload:
+//!
+//! * a skewed catalog — popular titles/authors/categories are observed far
+//!   more often than the long tail (Zipf-distributed popularity);
+//! * log-normal prices, geometric-ish bid counts, a small set of item
+//!   conditions, uniform auction end times;
+//! * three subscription classes ([`SubscriptionClass`]): specific-title
+//!   watchers (conjunctive), category browsers (disjunction of categories plus
+//!   constraints), and author/bargain hunters (nested Boolean expressions,
+//!   optionally with negation).
+//!
+//! Everything is driven by a single seed, so experiments are reproducible
+//! run-to-run.
+//!
+//! ```
+//! use workload::{WorkloadConfig, WorkloadGenerator};
+//!
+//! let mut generator = WorkloadGenerator::new(WorkloadConfig {
+//!     seed: 7,
+//!     ..WorkloadConfig::small()
+//! });
+//! let events = generator.events(100);
+//! let subscriptions = generator.subscriptions(50);
+//! assert_eq!(events.len(), 100);
+//! assert_eq!(subscriptions.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod catalog;
+mod events;
+mod generator;
+mod scenario;
+mod schema;
+mod subscriptions;
+
+pub use catalog::Catalog;
+pub use events::EventGenerator;
+pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use scenario::ScenarioConfig;
+pub use schema::{attributes, AuctionSchema};
+pub use subscriptions::{ClassMix, SubscriptionClass, SubscriptionGenerator};

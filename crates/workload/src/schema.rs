@@ -1,0 +1,146 @@
+//! The auction event schema: attribute names and catalog sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Attribute names used by auction events and subscriptions.
+///
+/// Keeping them in one module avoids typo'd attribute strings scattered over
+/// generators, subscriptions, and tests.
+pub mod attributes {
+    /// Book title (string, Zipf-distributed popularity).
+    pub const TITLE: &str = "title";
+    /// Author name (string, Zipf-distributed popularity).
+    pub const AUTHOR: &str = "author";
+    /// Top-level category, e.g. "cat-03" (string, Zipf-distributed).
+    pub const CATEGORY: &str = "category";
+    /// Current price in currency units (float, log-normal).
+    pub const PRICE: &str = "price";
+    /// Number of bids placed so far (integer, geometric-ish).
+    pub const BIDS: &str = "bids";
+    /// Seller rating in `[0, 5]` (float).
+    pub const SELLER_RATING: &str = "seller_rating";
+    /// Hours until the auction closes (integer, uniform).
+    pub const END_TIME_HOURS: &str = "end_time_hours";
+    /// Item condition: `"new"`, `"like-new"`, `"used"`, or `"worn"`.
+    pub const CONDITION: &str = "condition";
+    /// Whether the auction offers a buy-now option (bool).
+    pub const BUY_NOW: &str = "buy_now";
+    /// Shipping cost in currency units (float).
+    pub const SHIPPING_COST: &str = "shipping_cost";
+}
+
+/// Item conditions used by the [`attributes::CONDITION`] attribute.
+pub const CONDITIONS: [&str; 4] = ["new", "like-new", "used", "worn"];
+
+/// The sizes and skews of the auction catalog the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionSchema {
+    /// Number of distinct book titles.
+    pub title_count: usize,
+    /// Number of distinct authors.
+    pub author_count: usize,
+    /// Number of distinct categories.
+    pub category_count: usize,
+    /// Zipf exponent of title/author popularity (1.0 ≈ classic Zipf).
+    pub popularity_skew: f64,
+    /// Zipf exponent of category popularity.
+    pub category_skew: f64,
+    /// Median price of the log-normal price distribution.
+    pub median_price: f64,
+    /// Log-space standard deviation of the price distribution.
+    pub price_sigma: f64,
+    /// Mean number of bids.
+    pub mean_bids: f64,
+    /// Maximum auction duration in hours.
+    pub max_end_time_hours: i64,
+}
+
+impl AuctionSchema {
+    /// The catalog used for full-scale (paper-sized) experiments.
+    pub fn paper() -> Self {
+        Self {
+            title_count: 20_000,
+            author_count: 5_000,
+            category_count: 30,
+            popularity_skew: 1.1,
+            category_skew: 0.9,
+            median_price: 18.0,
+            price_sigma: 0.8,
+            mean_bids: 4.0,
+            max_end_time_hours: 168,
+        }
+    }
+
+    /// A smaller catalog for unit tests and quick experiments.
+    pub fn small() -> Self {
+        Self {
+            title_count: 500,
+            author_count: 150,
+            category_count: 12,
+            popularity_skew: 1.1,
+            category_skew: 0.9,
+            median_price: 18.0,
+            price_sigma: 0.8,
+            mean_bids: 4.0,
+            max_end_time_hours: 168,
+        }
+    }
+}
+
+impl Default for AuctionSchema {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_plausible() {
+        let paper = AuctionSchema::paper();
+        let small = AuctionSchema::small();
+        assert!(paper.title_count > small.title_count);
+        assert!(paper.author_count > small.author_count);
+        assert!(small.category_count >= 4);
+        assert!(paper.popularity_skew > 0.0);
+        assert!(paper.median_price > 0.0);
+        assert_eq!(AuctionSchema::default(), small);
+    }
+
+    #[test]
+    fn condition_list_is_nonempty_and_unique() {
+        let mut set = std::collections::HashSet::new();
+        for c in CONDITIONS {
+            assert!(set.insert(c));
+        }
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn attribute_names_are_distinct() {
+        let names = [
+            attributes::TITLE,
+            attributes::AUTHOR,
+            attributes::CATEGORY,
+            attributes::PRICE,
+            attributes::BIDS,
+            attributes::SELLER_RATING,
+            attributes::END_TIME_HOURS,
+            attributes::CONDITION,
+            attributes::BUY_NOW,
+            attributes::SHIPPING_COST,
+        ];
+        let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = AuctionSchema::paper();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: AuctionSchema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,77 @@
+//! A miniature version of the paper's centralized experiment on the online
+//! book-auction workload: compare the three pruning dimensions at a fixed
+//! pruning fraction.
+//!
+//! ```text
+//! cargo run --release --example auction_scenario
+//! ```
+
+use dimension_pruning::matching::MatchingEngine;
+use dimension_pruning::prelude::*;
+
+const SUBSCRIPTIONS: usize = 3_000;
+const EVENTS: usize = 1_000;
+const PRUNING_FRACTION: f64 = 0.5;
+
+fn main() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(SUBSCRIPTIONS);
+    let events = generator.events(EVENTS);
+    let sample = generator.events(1_000);
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    // Unoptimized baseline.
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in &subscriptions {
+        engine.insert(s.clone());
+    }
+    let baseline_report = engine.report();
+    let (baseline_time, baseline_matches) = measure(&mut engine, &events);
+    println!(
+        "unoptimized: {:.3} ms/event, {:.4} matches/subscription/event, {} associations",
+        baseline_time * 1e3,
+        baseline_matches,
+        baseline_report.association_count
+    );
+
+    for dimension in [
+        Dimension::NetworkLoad,
+        Dimension::Throughput,
+        Dimension::Memory,
+    ] {
+        let mut pruner = Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
+        pruner.register_all(subscriptions.iter().cloned());
+        let total = pruner.total_possible_prunings();
+        let budget = (total as f64 * PRUNING_FRACTION) as usize;
+        pruner.prune_batch(budget);
+
+        let mut engine = CountingEngine::with_capacity(subscriptions.len());
+        for s in pruner.pruned_subscriptions() {
+            engine.insert(s);
+        }
+        let report = engine.report();
+        let (time, matches) = measure(&mut engine, &events);
+        println!(
+            "{dimension:<13} ({:>4} of {:>4} prunings): {:.3} ms/event, {:.4} matches, associations reduced by {:.1}%",
+            budget,
+            total,
+            time * 1e3,
+            matches,
+            report.association_reduction_vs(&baseline_report) * 100.0
+        );
+    }
+}
+
+/// Filters all events and returns (seconds per event, matches per
+/// subscription per event).
+fn measure(engine: &mut CountingEngine, events: &[EventMessage]) -> (f64, f64) {
+    engine.reset_stats();
+    for event in events {
+        let _ = engine.match_event(event);
+    }
+    let stats = *engine.stats();
+    let per_event = stats.avg_filter_time().as_secs_f64();
+    let matches =
+        stats.matches as f64 / (events.len() as f64 * engine.len().max(1) as f64);
+    (per_event, matches)
+}

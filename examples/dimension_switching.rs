@@ -1,0 +1,65 @@
+//! Dynamically choosing the pruning dimension from current system pressure,
+//! as sketched in the paper's introduction: memory pressure favours
+//! memory-based pruning, bandwidth limits favour network-based pruning, and
+//! CPU saturation favours throughput-based pruning.
+//!
+//! ```text
+//! cargo run --release --example dimension_switching
+//! ```
+
+use dimension_pruning::matching::MatchingEngine;
+use dimension_pruning::prelude::*;
+
+/// A toy controller that inspects "system pressure" indicators and picks the
+/// pruning dimension the paper recommends for that situation.
+fn choose_dimension(memory_pressure: f64, bandwidth_pressure: f64, cpu_pressure: f64) -> Dimension {
+    if memory_pressure >= bandwidth_pressure && memory_pressure >= cpu_pressure {
+        Dimension::Memory
+    } else if bandwidth_pressure >= cpu_pressure {
+        Dimension::NetworkLoad
+    } else {
+        Dimension::Throughput
+    }
+}
+
+fn main() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(2_000);
+    let events = generator.events(400);
+    let sample = generator.events(800);
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    // Three situations the paper's introduction motivates.
+    let situations = [
+        ("subscription burst (memory tight)", 0.9, 0.2, 0.3),
+        ("WAN links saturating (bandwidth tight)", 0.2, 0.9, 0.3),
+        ("matcher CPU saturated (throughput tight)", 0.2, 0.3, 0.9),
+    ];
+
+    for (label, memory, bandwidth, cpu) in situations {
+        let dimension = choose_dimension(memory, bandwidth, cpu);
+        let mut pruner = Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
+        pruner.register_all(subscriptions.iter().cloned());
+        // Spend a quarter of the available pruning budget.
+        let budget = pruner.total_possible_prunings() / 4;
+        pruner.prune_batch(budget);
+        let snapshot = pruner.snapshot();
+
+        // Quantify the resulting system behaviour on the shared event set.
+        let mut engine = CountingEngine::with_capacity(subscriptions.len());
+        for s in pruner.pruned_subscriptions() {
+            engine.insert(s);
+        }
+        for event in &events {
+            let _ = engine.match_event(event);
+        }
+        let stats = *engine.stats();
+        println!(
+            "{label}\n  -> chose {dimension} pruning: {} prunings, associations -{:.1}%, {:.3} ms/event, {:.4} matches/sub/event\n",
+            snapshot.prunings_applied,
+            snapshot.association_reduction() * 100.0,
+            stats.avg_filter_time().as_secs_f64() * 1e3,
+            stats.matches as f64 / (events.len() as f64 * subscriptions.len() as f64),
+        );
+    }
+}

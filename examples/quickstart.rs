@@ -1,0 +1,98 @@
+//! Quickstart: register Boolean subscriptions, match events, and apply a few
+//! dimension-based prunings.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dimension_pruning::prelude::*;
+
+fn main() {
+    // 1. Build a couple of Boolean subscriptions over auction-style events.
+    let subscriptions = vec![
+        Subscription::from_expr(
+            SubscriptionId::from_raw(1),
+            SubscriberId::from_raw(1),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 20i64),
+                Expr::ge("seller_rating", 4.0),
+            ]),
+        ),
+        Subscription::from_expr(
+            SubscriptionId::from_raw(2),
+            SubscriberId::from_raw(2),
+            &Expr::or(vec![
+                Expr::and(vec![Expr::eq("author", "herbert"), Expr::le("price", 15i64)]),
+                Expr::and(vec![Expr::le("bids", 2i64), Expr::le("end_time_hours", 6i64)]),
+            ]),
+        ),
+    ];
+
+    // 2. Register them in the counting matcher and filter an event.
+    let mut engine = CountingEngine::new();
+    for s in &subscriptions {
+        engine.insert(s.clone());
+    }
+    let event = EventMessage::builder()
+        .attr("category", "books")
+        .attr("author", "herbert")
+        .attr("price", 12i64)
+        .attr("seller_rating", 4.5)
+        .attr("bids", 5i64)
+        .attr("end_time_hours", 48i64)
+        .build();
+    let matches = engine.match_event(&event);
+    println!("event matches subscriptions: {matches:?}");
+
+    // 3. Build a selectivity estimator from a small synthetic event sample.
+    let sample: Vec<EventMessage> = (0..500)
+        .map(|i| {
+            EventMessage::builder()
+                .attr("category", if i % 5 == 0 { "books" } else { "music" })
+                .attr("author", if i % 7 == 0 { "herbert" } else { "other" })
+                .attr("price", (i % 60) as i64)
+                .attr("seller_rating", (i % 6) as f64)
+                .attr("bids", (i % 10) as i64)
+                .attr("end_time_hours", (i % 72) as i64)
+                .build()
+        })
+        .collect();
+    let estimator = SelectivityEstimator::from_events(&sample);
+
+    // 4. Prune based on the network-load dimension and inspect the effect.
+    let mut pruner = Pruner::new(
+        PrunerConfig::for_dimension(Dimension::NetworkLoad),
+        estimator,
+    );
+    pruner.register_all(subscriptions.clone());
+    println!(
+        "total possible prunings: {}",
+        pruner.total_possible_prunings()
+    );
+    while let Some(applied) = pruner.prune_step() {
+        println!(
+            "pruned {} (Δ≈sel = {:.4}, Δ≈mem = {} bytes, Δ≈eff = {}), {} predicates remain",
+            applied.subscription,
+            applied.scores.delta_sel,
+            applied.scores.delta_mem,
+            applied.scores.delta_eff,
+            applied.remaining_predicates
+        );
+    }
+
+    // 5. The pruned routing entries match a superset of the original events.
+    for original in &subscriptions {
+        let pruned = pruner.current_tree(original.id()).unwrap();
+        println!(
+            "{}: {} -> {}",
+            original.id(),
+            original.tree(),
+            pruned
+        );
+        if original.matches(&event) {
+            assert!(pruned.evaluate(&event), "pruning must not lose matches");
+        }
+    }
+    println!("done — pruned entries still match every original notification");
+}

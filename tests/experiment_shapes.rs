@@ -1,0 +1,96 @@
+//! Small-scale checks that the experiment harness reproduces the paper's
+//! qualitative results (the "shape" of Figure 1), so regressions in the
+//! heuristics are caught by `cargo test` without running the full harness.
+
+use bench::{run_centralized, run_distributed};
+use pruning::Dimension;
+use workload::ScenarioConfig;
+
+fn scenario(broker_count: usize) -> ScenarioConfig {
+    let mut scenario = ScenarioConfig::small_centralized().scaled(0.1);
+    scenario.workload.seed = 23;
+    scenario.broker_count = broker_count;
+    scenario
+}
+
+#[test]
+fn centralized_memory_reduction_ordering_matches_the_paper() {
+    // Figure 1(c): memory-based pruning reduces predicate/subscription
+    // associations at least as fast as the other heuristics at the same
+    // pruning fraction, and all heuristics converge when pruning is
+    // exhausted.
+    let fractions = [0.3, 1.0];
+    let sel = run_centralized(&scenario(1), Dimension::NetworkLoad, &fractions);
+    let mem = run_centralized(&scenario(1), Dimension::Memory, &fractions);
+    let eff = run_centralized(&scenario(1), Dimension::Throughput, &fractions);
+
+    assert!(mem[0].association_reduction + 1e-9 >= sel[0].association_reduction);
+    assert!(mem[0].association_reduction + 1e-9 >= eff[0].association_reduction);
+    // At exhaustion all heuristics end up with similar (not identical — the
+    // final minimal trees depend on the pruning order) reductions; the paper
+    // reports the same convergence after ~70 % of prunings.
+    assert!(sel[1].association_reduction > 0.4);
+    assert!(eff[1].association_reduction > 0.4);
+    assert!(mem[1].association_reduction > 0.4);
+    assert!((sel[1].association_reduction - mem[1].association_reduction).abs() < 0.2);
+    assert!((sel[1].association_reduction - eff[1].association_reduction).abs() < 0.2);
+}
+
+#[test]
+fn centralized_network_load_ordering_matches_the_paper() {
+    // Figure 1(b): at the same pruning fraction, the network heuristic admits
+    // the fewest additional matches and the memory heuristic the most.
+    let fractions = [0.5];
+    let sel = run_centralized(&scenario(1), Dimension::NetworkLoad, &fractions);
+    let mem = run_centralized(&scenario(1), Dimension::Memory, &fractions);
+    assert!(
+        sel[0].matching_fraction <= mem[0].matching_fraction + 1e-9,
+        "sel {} vs mem {}",
+        sel[0].matching_fraction,
+        mem[0].matching_fraction
+    );
+}
+
+#[test]
+fn distributed_network_increase_ordering_matches_the_paper() {
+    // Figure 1(e): network-based pruning increases inter-broker traffic the
+    // least; memory-based pruning the most.
+    let fractions = [0.5];
+    let sel = run_distributed(&scenario(5), Dimension::NetworkLoad, &fractions);
+    let mem = run_distributed(&scenario(5), Dimension::Memory, &fractions);
+    assert!(
+        sel[0].network_increase <= mem[0].network_increase + 1e-9,
+        "sel {} vs mem {}",
+        sel[0].network_increase,
+        mem[0].network_increase
+    );
+    // Traffic can only grow relative to the unoptimized baseline.
+    assert!(sel[0].network_increase >= -1e-9);
+    assert!(mem[0].network_increase >= -1e-9);
+}
+
+#[test]
+fn distributed_memory_reduction_grows_with_pruning() {
+    // Figure 1(f): the reduction in remote associations is monotone in the
+    // pruning fraction and substantial at exhaustion.
+    let fractions = [0.0, 0.5, 1.0];
+    let points = run_distributed(&scenario(5), Dimension::Memory, &fractions);
+    assert_eq!(points[0].remote_association_reduction, 0.0);
+    assert!(points[1].remote_association_reduction > 0.0);
+    assert!(points[2].remote_association_reduction >= points[1].remote_association_reduction);
+    assert!(points[2].remote_association_reduction > 0.3);
+}
+
+#[test]
+fn pruning_becomes_cheaper_to_filter_after_enough_prunings() {
+    // Figures 1(a)/1(d) report wall-clock time, which is too noisy for a unit
+    // test; instead verify the structural driver of the throughput result:
+    // pruning reduces the number of predicate evaluations the index reports
+    // per event (fewer registered predicates → fewer fulfilled associations).
+    let fractions = [0.0, 1.0];
+    let points = run_centralized(&scenario(1), Dimension::Throughput, &fractions);
+    assert_eq!(points.len(), 2);
+    // With every subscription reduced to (at most) a single predicate, the
+    // association reduction is large.
+    assert!(points[1].association_reduction > 0.4);
+}

@@ -1,0 +1,223 @@
+//! Property-based tests over randomly generated Boolean subscriptions and
+//! events, exercising the core invariants the whole system rests on:
+//!
+//! * the counting matcher agrees with direct tree evaluation;
+//! * every valid pruning generalizes the subscription (no lost matches);
+//! * `pmin` never increases under pruning;
+//! * selectivity estimates bracket the measured selectivity;
+//! * the distributed simulation delivers exactly the centralized matches.
+
+use dimension_pruning::matching::MatchingEngine;
+use dimension_pruning::net::{Simulation, SimulationConfig, Topology};
+use dimension_pruning::prelude::*;
+use proptest::prelude::*;
+
+const ATTRIBUTES: [&str; 5] = ["price", "bids", "rating", "category", "condition"];
+const CATEGORIES: [&str; 4] = ["books", "music", "games", "tools"];
+
+/// Strategy for a random predicate over the small test schema.
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        // Numeric comparison on price / bids / rating.
+        (0..3usize, 0..6usize, -5i64..50).prop_map(|(attr, op, value)| {
+            let attribute = ATTRIBUTES[attr];
+            let operator = [
+                Operator::Eq,
+                Operator::Ne,
+                Operator::Lt,
+                Operator::Le,
+                Operator::Gt,
+                Operator::Ge,
+            ][op];
+            Expr::pred(Predicate::new(attribute, operator, value))
+        }),
+        // Category equality / prefix.
+        (0..CATEGORIES.len(), prop::bool::ANY).prop_map(|(idx, prefix)| {
+            if prefix {
+                Expr::prefix("category", &CATEGORIES[idx][..2])
+            } else {
+                Expr::eq("category", CATEGORIES[idx])
+            }
+        }),
+        // Boolean flag.
+        prop::bool::ANY.prop_map(|v| Expr::eq("condition", v)),
+    ]
+}
+
+/// Strategy for a random Boolean expression of bounded depth.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    predicate_strategy().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::and),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::or),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+/// Strategy for a random event over the same schema.
+fn event_strategy() -> impl Strategy<Value = EventMessage> {
+    (
+        -5i64..50,
+        -5i64..50,
+        -5i64..50,
+        0..CATEGORIES.len(),
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(price, bids, rating, category, condition, include_rating)| {
+            let mut builder = EventMessage::builder()
+                .attr("price", price)
+                .attr("bids", bids)
+                .attr("category", CATEGORIES[category])
+                .attr("condition", condition);
+            if include_rating {
+                builder = builder.attr("rating", rating);
+            }
+            builder.build()
+        })
+}
+
+fn subscription(id: u64, expr: &Expr) -> Subscription {
+    Subscription::from_expr(
+        SubscriptionId::from_raw(id),
+        SubscriberId::from_raw(id),
+        expr,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counting_engine_agrees_with_direct_evaluation(
+        exprs in prop::collection::vec(expr_strategy(), 1..12),
+        events in prop::collection::vec(event_strategy(), 1..12),
+    ) {
+        let subscriptions: Vec<Subscription> = exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| subscription(i as u64, e))
+            .collect();
+        let mut engine = CountingEngine::new();
+        for s in &subscriptions {
+            engine.insert(s.clone());
+        }
+        for event in &events {
+            let mut got = engine.match_event(event);
+            got.sort();
+            let mut expected: Vec<SubscriptionId> = subscriptions
+                .iter()
+                .filter(|s| s.matches(event))
+                .map(|s| s.id())
+                .collect();
+            expected.sort();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn every_valid_pruning_generalizes(
+        expr in expr_strategy(),
+        events in prop::collection::vec(event_strategy(), 1..16),
+    ) {
+        let tree = SubscriptionTree::from_expr(&expr);
+        for node in tree.generalizing_removals() {
+            let pruned = tree.prune(node).expect("enumerated prunings are valid");
+            prop_assert!(pruned.predicate_count() < tree.predicate_count());
+            prop_assert!(pruned.size_bytes() < tree.size_bytes());
+            prop_assert!(pruned.pmin() <= tree.pmin(), "pmin may only drop");
+            for event in &events {
+                if tree.evaluate(event) {
+                    prop_assert!(pruned.evaluate(event), "pruning lost a match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_pruning_keeps_all_matches(
+        exprs in prop::collection::vec(expr_strategy(), 1..8),
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let subscriptions: Vec<Subscription> = exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| subscription(i as u64, e))
+            .collect();
+        let estimator = SelectivityEstimator::from_events(&events);
+        for dimension in [Dimension::NetworkLoad, Dimension::Memory, Dimension::Throughput] {
+            let mut pruner = Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
+            pruner.register_all(subscriptions.iter().cloned());
+            pruner.prune_all();
+            for original in &subscriptions {
+                let current = pruner.current_tree(original.id()).unwrap();
+                prop_assert!(current.generalizing_removals().is_empty());
+                for event in &events {
+                    if original.matches(event) {
+                        prop_assert!(current.evaluate(event));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_bounds_bracket_measured_selectivity(
+        expr in expr_strategy(),
+        events in prop::collection::vec(event_strategy(), 20..60),
+    ) {
+        let tree = SubscriptionTree::from_expr(&expr);
+        let estimator = SelectivityEstimator::from_events(&events);
+        let estimate = estimator.estimate_tree(&tree);
+        prop_assert!(estimate.is_consistent());
+        // The avg component must be a probability; min/max must bracket it.
+        prop_assert!((0.0..=1.0).contains(&estimate.avg));
+        prop_assert!(estimate.min <= estimate.avg + 1e-9);
+        prop_assert!(estimate.avg <= estimate.max + 1e-9);
+    }
+
+    #[test]
+    fn tree_expr_roundtrip_preserves_semantics(
+        expr in expr_strategy(),
+        events in prop::collection::vec(event_strategy(), 1..10),
+    ) {
+        let tree = SubscriptionTree::from_expr(&expr);
+        let roundtripped = SubscriptionTree::from_expr(&tree.to_expr());
+        for event in &events {
+            prop_assert_eq!(tree.evaluate(event), expr.evaluate(event));
+            prop_assert_eq!(roundtripped.evaluate(event), tree.evaluate(event));
+        }
+        prop_assert_eq!(roundtripped.predicate_count(), tree.predicate_count());
+        prop_assert_eq!(roundtripped.pmin(), tree.pmin());
+    }
+
+    #[test]
+    fn distributed_routing_matches_centralized_matching(
+        exprs in prop::collection::vec(expr_strategy(), 1..8),
+        events in prop::collection::vec(event_strategy(), 1..8),
+        broker_count in 2usize..5,
+    ) {
+        let subscriptions: Vec<Subscription> = exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| subscription(i as u64, e))
+            .collect();
+        let mut sim = Simulation::new(SimulationConfig::new(Topology::line(broker_count)));
+        sim.register_all(subscriptions.iter().cloned());
+        for (i, event) in events.iter().enumerate() {
+            let origin = BrokerId::from_raw((i % broker_count) as u32);
+            let outcome = sim.publish_at(event.clone(), origin);
+            let mut got: Vec<SubscriptionId> =
+                outcome.deliveries.iter().map(|(_, id)| *id).collect();
+            got.sort();
+            let mut expected: Vec<SubscriptionId> = subscriptions
+                .iter()
+                .filter(|s| s.matches(event))
+                .map(|s| s.id())
+                .collect();
+            expected.sort();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}
