@@ -10,7 +10,10 @@ use workload::{WorkloadConfig, WorkloadGenerator};
 const SUBSCRIPTIONS: usize = 2_000;
 const EVENTS: usize = 200;
 
-fn workload() -> (Vec<pubsub_core::Subscription>, Vec<pubsub_core::EventMessage>) {
+fn workload() -> (
+    Vec<pubsub_core::Subscription>,
+    Vec<pubsub_core::EventMessage>,
+) {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
     (
         generator.subscriptions(SUBSCRIPTIONS),

@@ -16,13 +16,7 @@ use selectivity::SelectivityEstimator;
 use workload::WorkloadGenerator;
 
 fn main() {
-    let options = match CliOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            std::process::exit(2);
-        }
-    };
+    let options = CliOptions::parse_or_exit();
     let scenario = options.centralized_scenario();
     let fractions = options.fraction_list();
 
@@ -36,18 +30,13 @@ fn main() {
 
     // Variant 1: the paper's configuration (original reference).
     // Variant 2: ablated reference (score against the current tree).
-    for (variant, reference_original) in [("original-reference", true), ("current-reference", false)]
+    for (variant, reference_original) in
+        [("original-reference", true), ("current-reference", false)]
     {
         for dimension in [Dimension::NetworkLoad, Dimension::Throughput] {
             let mut config = PrunerConfig::for_dimension(dimension);
             config.reference_original = reference_original;
-            let points = run_with_config(
-                config,
-                &subscriptions,
-                &events,
-                &estimator,
-                &fractions,
-            );
+            let points = run_with_config(config, &subscriptions, &events, &estimator, &fractions);
             for p in points {
                 println!(
                     "{variant},{},{:.4},{},{:.6},{:.6},{:.6}",
@@ -93,7 +82,13 @@ fn run_with_config(
     fractions: &[f64],
 ) -> Vec<bench::CentralizedPoint> {
     if config == PrunerConfig::for_dimension(config.dimension) {
-        return run_centralized_with(subscriptions, events, estimator, config.dimension, fractions);
+        return run_centralized_with(
+            subscriptions,
+            events,
+            estimator,
+            config.dimension,
+            fractions,
+        );
     }
     // Non-default configuration: produce the plan with the custom pruner and
     // reuse the default runner's measurement loop by replaying through a

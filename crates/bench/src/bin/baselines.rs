@@ -15,13 +15,7 @@ use selectivity::SelectivityEstimator;
 use workload::WorkloadGenerator;
 
 fn main() {
-    let options = match CliOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            std::process::exit(2);
-        }
-    };
+    let options = CliOptions::parse_or_exit();
     let scenario = options.centralized_scenario();
     let mut generator = WorkloadGenerator::new(scenario.workload);
     let subscriptions = generator.subscriptions(scenario.subscription_count);
@@ -37,7 +31,9 @@ fn main() {
         .filter(|s| s.tree().to_expr().is_conjunctive())
         .count();
 
-    println!("optimization,applicable_subscriptions,total_subscriptions,association_reduction,notes");
+    println!(
+        "optimization,applicable_subscriptions,total_subscriptions,association_reduction,notes"
+    );
     eprintln!(
         "# workload: {} subscriptions ({} conjunctive), {} predicate/subscription associations",
         subscriptions.len(),

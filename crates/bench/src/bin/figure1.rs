@@ -13,19 +13,13 @@
 //!   summary — the paper's §4.2 headline numbers for network-based pruning
 
 use bench::centralized::{centralized_csv_header, centralized_csv_row};
-use bench::distributed::{distributed_csv_header, distributed_csv_row};
 use bench::cli::CliOptions;
+use bench::distributed::{distributed_csv_header, distributed_csv_row};
 use bench::{all_dimensions, run_centralized, run_distributed};
 use pruning::Dimension;
 
 fn main() {
-    let options = match CliOptions::parse(std::env::args().skip(1)) {
-        Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            std::process::exit(2);
-        }
-    };
+    let options = CliOptions::parse_or_exit();
     let panel = options.panel.as_str();
     let fractions = options.fraction_list();
     let need_centralized = matches!(panel, "a" | "b" | "c" | "all");

@@ -4,13 +4,13 @@ use filtering::{CountingEngine, MatchingEngine};
 use pruning::{Dimension, Pruner, PrunerConfig};
 use pubsub_core::{EventMessage, Subscription};
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use workload::{ScenarioConfig, WorkloadGenerator};
 
 /// One measurement of the centralized setting: a `(heuristic, fraction)`
 /// point carrying the y-values of all three centralized panels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CentralizedPoint {
     /// The pruning heuristic (`sel`, `eff`, or `mem` in the paper's labels).
     pub dimension: Dimension,
@@ -80,8 +80,7 @@ pub fn run_centralized_with(
     let mut current_trees = originals.clone();
     let mut applied = 0usize;
     let mut points = Vec::with_capacity(sorted_fractions.len());
-    let subscription_index: HashMap<_, _> =
-        subscriptions.iter().map(|s| (s.id(), s)).collect();
+    let subscription_index: HashMap<_, _> = subscriptions.iter().map(|s| (s.id(), s)).collect();
 
     for fraction in sorted_fractions {
         let target = ((fraction.clamp(0.0, 1.0)) * total as f64).round() as usize;

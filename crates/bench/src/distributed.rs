@@ -2,15 +2,15 @@
 
 use broker::{BrokerId, Simulation, SimulationConfig, Topology};
 use pruning::{Dimension, Pruner, PrunerConfig, PruningPlan};
-use pubsub_core::{EventMessage, Subscription, SubscriptionTree, SubscriptionId};
+use pubsub_core::{EventMessage, Subscription, SubscriptionId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use workload::{ScenarioConfig, WorkloadGenerator};
 
 /// One measurement of the distributed setting: a `(heuristic, fraction)`
 /// point carrying the y-values of all three distributed panels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DistributedPoint {
     /// The pruning heuristic.
     pub dimension: Dimension,
@@ -98,7 +98,11 @@ pub fn run_distributed_with(
             applied: 0,
         });
     }
-    let total: usize = broker_plans.iter().map(|b| b.plan.len()).sum::<usize>().max(1);
+    let total: usize = broker_plans
+        .iter()
+        .map(|b| b.plan.len())
+        .sum::<usize>()
+        .max(1);
 
     let mut sorted_fractions: Vec<f64> = fractions.to_vec();
     sorted_fractions.sort_by(f64::total_cmp);
@@ -114,7 +118,9 @@ pub fn run_distributed_with(
                     .iter()
                     .map(|p| p.subscription)
                     .collect();
-                state.plan.apply_range(&mut state.trees, state.applied, target);
+                state
+                    .plan
+                    .apply_range(&mut state.trees, state.applied, target);
                 for id in changed {
                     let tree = state.trees[&id].clone();
                     assert!(
@@ -198,7 +204,9 @@ mod tests {
         // Pruning can only add traffic and can only shrink routing tables.
         assert!(points[2].network_increase >= -1e-9);
         assert!(points[2].remote_association_reduction > 0.0);
-        assert!(points[2].remote_association_reduction >= points[1].remote_association_reduction - 1e-9);
+        assert!(
+            points[2].remote_association_reduction >= points[1].remote_association_reduction - 1e-9
+        );
     }
 
     #[test]

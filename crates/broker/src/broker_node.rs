@@ -1,13 +1,15 @@
 //! A single broker node.
 
-use crate::routing_table::RoutingTable;
 use crate::metrics::RoutingMemoryReport;
+use crate::routing_table::RoutingTable;
 use filtering::FilterStats;
-use pubsub_core::{BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree};
-use serde::{Deserialize, Serialize};
+use pubsub_core::{
+    BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+};
 
 /// Where a routing entry's matches must be sent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Destination {
     /// A subscriber connected directly to this broker.
     LocalClient(SubscriberId),
@@ -206,12 +208,18 @@ mod tests {
             ),
             b(2),
         );
-        assert!(broker.handle_event(&books_event(), None).forward_to.is_empty());
+        assert!(broker
+            .handle_event(&books_event(), None)
+            .forward_to
+            .is_empty());
         assert!(broker.install_remote_tree(
             SubscriptionId::from_raw(1),
             SubscriptionTree::from_expr(&Expr::eq("category", "books")),
         ));
-        assert_eq!(broker.handle_event(&books_event(), None).forward_to, vec![b(2)]);
+        assert_eq!(
+            broker.handle_event(&books_event(), None).forward_to,
+            vec![b(2)]
+        );
         // Local entries cannot be replaced through this API.
         broker.register_local(sub(5, 55, &Expr::eq("x", 1i64)));
         assert!(!broker.install_remote_tree(
@@ -246,6 +254,7 @@ mod tests {
         assert_eq!(broker.routing_table().local_len(), 1);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn destination_serde_roundtrip() {
         let d = Destination::Neighbor(b(3));

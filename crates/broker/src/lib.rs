@@ -55,7 +55,7 @@ mod simulation;
 mod topology;
 
 pub use broker_node::{Broker, Destination, EventHandling};
-pub use metrics::{NetworkStats, RunReport, RoutingMemoryReport};
+pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;
 pub use routing_table::RoutingTable;

@@ -286,7 +286,14 @@ mod tests {
         let topology = Topology::line(4);
         let subscriptions = vec![
             sub(1, 0, &Expr::eq("category", "books")),
-            sub(2, 1, &Expr::and(vec![Expr::eq("category", "music"), Expr::le("price", 10i64)])),
+            sub(
+                2,
+                1,
+                &Expr::and(vec![
+                    Expr::eq("category", "music"),
+                    Expr::le("price", 10i64),
+                ]),
+            ),
             sub(3, 3, &Expr::ge("price", 30i64)),
         ];
         let events = events(40);
@@ -345,7 +352,10 @@ mod tests {
         let topology = Topology::line(3);
         let _ = ParallelNetwork::from_brokers(
             topology,
-            vec![Broker::new(BrokerId::from_raw(0), vec![BrokerId::from_raw(1)])],
+            vec![Broker::new(
+                BrokerId::from_raw(0),
+                vec![BrokerId::from_raw(1)],
+            )],
         );
     }
 }

@@ -3,7 +3,9 @@
 
 use crate::metrics::RoutingMemoryReport;
 use filtering::{CountingEngine, FilterStats, MatchingEngine};
-use pubsub_core::{BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree};
+use pubsub_core::{
+    BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+};
 use std::collections::BTreeMap;
 
 /// The routing table of one broker.
@@ -43,7 +45,10 @@ impl RoutingTable {
     /// given neighbor.
     pub fn add_remote(&mut self, subscription: Subscription, toward: BrokerId) {
         self.remote_destination.insert(subscription.id(), toward);
-        self.per_neighbor.entry(toward).or_default().insert(subscription);
+        self.per_neighbor
+            .entry(toward)
+            .or_default()
+            .insert(subscription);
     }
 
     /// Removes a subscription from wherever it is registered.
@@ -213,7 +218,10 @@ mod tests {
         table.add_local(sub(1, 10, &Expr::eq("category", "books")));
         table.add_local(sub(2, 20, &Expr::eq("category", "music")));
         let hits = table.match_local(&books_event(5));
-        assert_eq!(hits, vec![(SubscriberId::from_raw(10), SubscriptionId::from_raw(1))]);
+        assert_eq!(
+            hits,
+            vec![(SubscriberId::from_raw(10), SubscriptionId::from_raw(1))]
+        );
         assert_eq!(table.local_len(), 2);
         assert_eq!(table.remote_len(), 0);
     }
@@ -236,15 +244,23 @@ mod tests {
         let original = sub(
             1,
             10,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
         );
         table.add_remote(original.clone(), b(1));
         // An expensive book does not match the exact entry.
-        assert!(table.neighbors_to_forward(&books_event(50), None).is_empty());
+        assert!(table
+            .neighbors_to_forward(&books_event(50), None)
+            .is_empty());
         // Install the pruned entry (price constraint removed).
         let pruned_tree = SubscriptionTree::from_expr(&Expr::eq("category", "books"));
         assert!(table.install_remote_tree(SubscriptionId::from_raw(1), pruned_tree));
-        assert_eq!(table.neighbors_to_forward(&books_event(50), None), vec![b(1)]);
+        assert_eq!(
+            table.neighbors_to_forward(&books_event(50), None),
+            vec![b(1)]
+        );
         // Destination is unchanged.
         assert_eq!(
             table.remote_destination(SubscriptionId::from_raw(1)),
@@ -263,11 +279,18 @@ mod tests {
         table.add_local(sub(
             1,
             10,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
         ));
         table.add_remote(sub(2, 20, &Expr::eq("category", "music")), b(1));
         table.add_remote(
-            sub(3, 30, &Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)])),
+            sub(
+                3,
+                30,
+                &Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]),
+            ),
             b(2),
         );
         let report = table.memory_report();
@@ -298,9 +321,17 @@ mod tests {
         table.add_remote(sub(3, 20, &Expr::eq("c", 2i64)), b(2));
         table.add_local(sub(9, 10, &Expr::eq("a", 1i64)));
         table.add_local(sub(4, 10, &Expr::eq("a", 2i64)));
-        let remote_ids: Vec<u64> = table.remote_subscriptions().iter().map(|s| s.id().raw()).collect();
+        let remote_ids: Vec<u64> = table
+            .remote_subscriptions()
+            .iter()
+            .map(|s| s.id().raw())
+            .collect();
         assert_eq!(remote_ids, vec![3, 5]);
-        let local_ids: Vec<u64> = table.local_subscriptions().iter().map(|s| s.id().raw()).collect();
+        let local_ids: Vec<u64> = table
+            .local_subscriptions()
+            .iter()
+            .map(|s| s.id().raw())
+            .collect();
         assert_eq!(local_ids, vec![4, 9]);
     }
 

@@ -7,11 +7,11 @@ use filtering::FilterStats;
 use pubsub_core::{
     BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of a [`Simulation`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimulationConfig {
     /// The broker topology.
     pub topology: Topology,
@@ -431,7 +431,14 @@ mod tests {
         // centralized matcher would produce.
         let mut sim = line_simulation();
         let subs = vec![
-            sub(1, 0, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)])),
+            sub(
+                1,
+                0,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
+            ),
             sub(2, 1, &Expr::eq("category", "books")),
             sub(3, 7, &Expr::gt("price", 50i64)),
         ];
@@ -461,7 +468,10 @@ mod tests {
         let original = sub(
             1,
             0,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
         );
         sim.register_all(vec![original.clone()]);
 
@@ -472,7 +482,11 @@ mod tests {
         // Prune the remote entries at every broker (drop the price predicate).
         let pruned_tree = SubscriptionTree::from_expr(&Expr::eq("category", "books"));
         for i in 1..5u32 {
-            assert!(sim.install_remote_tree(b(i), SubscriptionId::from_raw(1), pruned_tree.clone()));
+            assert!(sim.install_remote_tree(
+                b(i),
+                SubscriptionId::from_raw(1),
+                pruned_tree.clone()
+            ));
         }
 
         // The expensive book now travels the line (post-filtering happens at
@@ -493,7 +507,7 @@ mod tests {
         // Warm up with some traffic that must not leak into the report.
         let _ = sim.publish_at(books(1), b(4));
 
-        let events: Vec<EventMessage> = (0..10).map(|i| books(i)).collect();
+        let events: Vec<EventMessage> = (0..10).map(books).collect();
         let report = sim.publish_all(&events);
         assert_eq!(report.events_published, 10);
         assert_eq!(report.deliveries, 10);
@@ -511,7 +525,10 @@ mod tests {
         sim.register_subscription(sub(
             1,
             0,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
         ));
         let report = sim.memory_report();
         // 1 local entry (2 predicates) + 4 remote entries (2 predicates each).

@@ -1,7 +1,6 @@
 //! Acyclic broker topologies.
 
 use pubsub_core::BrokerId;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// An acyclic, connected broker network (a tree).
@@ -10,7 +9,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// evaluation uses five brokers connected as a line. Constructors are provided
 /// for lines, stars, and balanced trees, plus arbitrary edge lists which are
 /// validated to be connected and acyclic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     /// Adjacency lists, keyed by broker id (sorted for determinism).
     adjacency: BTreeMap<BrokerId, BTreeSet<BrokerId>>,
@@ -84,10 +84,7 @@ impl Topology {
                 .insert(BrokerId::from_raw(*a));
         }
         let topology = Self { adjacency };
-        assert!(
-            topology.is_connected(),
-            "broker topology must be connected"
-        );
+        assert!(topology.is_connected(), "broker topology must be connected");
         assert!(
             edges.len() == n - 1,
             "an acyclic connected topology over {n} brokers needs exactly {} edges, got {}",
@@ -221,7 +218,10 @@ mod tests {
         assert_eq!(t.neighbors(b(2)), vec![b(1), b(3)]);
         assert_eq!(t.neighbors(b(4)), vec![b(3)]);
         assert_eq!(t.links().len(), 4);
-        assert_eq!(t.path(b(0), b(4)).unwrap(), vec![b(0), b(1), b(2), b(3), b(4)]);
+        assert_eq!(
+            t.path(b(0), b(4)).unwrap(),
+            vec![b(0), b(1), b(2), b(3), b(4)]
+        );
         assert_eq!(t.distance(b(0), b(4)), Some(4));
         assert_eq!(t.distance(b(2), b(2)), Some(0));
     }
@@ -279,6 +279,7 @@ mod tests {
         let _ = Topology::line(0);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let t = Topology::balanced_tree(5, 2);

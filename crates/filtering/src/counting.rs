@@ -97,13 +97,8 @@ impl MatchingEngine for CountingEngine {
         if pmin == 0 {
             self.zero_pmin.push(id);
         }
-        self.subscriptions.insert(
-            id,
-            SubEntry {
-                subscription,
-                pmin,
-            },
-        );
+        self.subscriptions
+            .insert(id, SubEntry { subscription, pmin });
     }
 
     fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
@@ -127,7 +122,10 @@ impl MatchingEngine for CountingEngine {
         let mut fulfilled: HashMap<SubscriptionId, Vec<NodeId>> = HashMap::new();
         let mut fulfilled_count = 0u64;
         self.index.fulfilled(event, |key: PredicateKey| {
-            fulfilled.entry(key.subscription).or_default().push(key.node);
+            fulfilled
+                .entry(key.subscription)
+                .or_default()
+                .push(key.node);
             fulfilled_count += 1;
         });
         self.stats.predicates_fulfilled += fulfilled_count;
@@ -225,7 +223,10 @@ mod tests {
         let mut e = CountingEngine::new();
         e.insert(sub(
             1,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 20i64),
+            ]),
         ));
         assert_eq!(
             e.match_event(&book_event("books", 10, 0)),
@@ -242,7 +243,10 @@ mod tests {
         e.insert(sub(
             1,
             &Expr::or(vec![
-                Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+                Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 20i64),
+                ]),
                 Expr::and(vec![Expr::eq("category", "music"), Expr::ge("bids", 5i64)]),
             ]),
         ));
@@ -278,7 +282,10 @@ mod tests {
         let mut e = CountingEngine::new();
         e.insert(sub(
             1,
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 20i64),
+            ]),
         ));
         assert_eq!(e.report().association_count, 2);
         // Replace with a pruned version (only the category predicate).
@@ -314,7 +321,10 @@ mod tests {
         e.insert(sub(
             1,
             &Expr::or(vec![
-                Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 10i64)]),
+                Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
                 Expr::and(vec![Expr::eq("category", "books"), Expr::ge("bids", 3i64)]),
             ]),
         ));

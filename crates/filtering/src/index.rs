@@ -53,7 +53,9 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN keys are rejected at registration")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN keys are rejected at registration")
     }
 }
 
@@ -249,9 +251,7 @@ impl AttributeIndex {
                 if !v.is_nan() {
                     // `value < t` (strict) fulfilled when t > value;
                     // `value <= t` fulfilled when t >= value.
-                    for (threshold, bucket) in
-                        buckets.upper_bounds.range(OrderedF64(v)..)
-                    {
+                    for (threshold, bucket) in buckets.upper_bounds.range(OrderedF64(v)..) {
                         if threshold.0 > v {
                             for k in &bucket.strict {
                                 on_fulfilled(*k);
@@ -263,9 +263,7 @@ impl AttributeIndex {
                     }
                     // `value > t` fulfilled when t < value;
                     // `value >= t` fulfilled when t <= value.
-                    for (threshold, bucket) in
-                        buckets.lower_bounds.range(..=OrderedF64(v))
-                    {
+                    for (threshold, bucket) in buckets.lower_bounds.range(..=OrderedF64(v)) {
                         if threshold.0 < v {
                             for k in &bucket.strict {
                                 on_fulfilled(*k);
@@ -333,8 +331,14 @@ mod tests {
     #[test]
     fn equality_index_matches_exact_values() {
         let mut idx = AttributeIndex::new();
-        idx.insert(&Predicate::new("category", Operator::Eq, "books"), key(1, 0));
-        idx.insert(&Predicate::new("category", Operator::Eq, "music"), key(2, 0));
+        idx.insert(
+            &Predicate::new("category", Operator::Eq, "books"),
+            key(1, 0),
+        );
+        idx.insert(
+            &Predicate::new("category", Operator::Eq, "music"),
+            key(2, 0),
+        );
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.attribute_count(), 1);
 
@@ -396,7 +400,10 @@ mod tests {
     #[test]
     fn scan_list_handles_string_and_ne_operators() {
         let mut idx = AttributeIndex::new();
-        idx.insert(&Predicate::new("category", Operator::Ne, "books"), key(1, 0));
+        idx.insert(
+            &Predicate::new("category", Operator::Ne, "books"),
+            key(1, 0),
+        );
         idx.insert(
             &Predicate::new("category", Operator::Prefix, "mus"),
             key(2, 0),

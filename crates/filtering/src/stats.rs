@@ -1,6 +1,5 @@
 //! Cumulative filtering statistics.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Counters accumulated by a matching engine while filtering events.
@@ -10,7 +9,8 @@ use std::time::Duration;
 /// counters explain *why* a configuration is faster or slower (how many tree
 /// evaluations the `pmin` counting shortcut skipped, how many candidate
 /// subscriptions were touched, and so on).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FilterStats {
     /// Number of events filtered.
     pub events_filtered: u64,
@@ -24,10 +24,19 @@ pub struct FilterStats {
     /// Number of fulfilled predicate instances reported by the indexes.
     pub predicates_fulfilled: u64,
     /// Total wall-clock time spent inside `match_event`.
-    #[serde(with = "duration_micros")]
+    ///
+    /// With a plain `serde` feature the real serde's built-in `Duration`
+    /// representation is used; the microsecond encoding (and the module
+    /// implementing it) only exists under `serde-json-tests`, where the
+    /// real serde stack is required anyway.
+    #[cfg_attr(feature = "serde-json-tests", serde(with = "duration_micros"))]
     pub filter_time: Duration,
 }
 
+/// Serializes `filter_time` as integer microseconds. Only meaningful when a
+/// real serde is in the dependency graph; the offline shim's no-op derive
+/// never resolves the `with` path.
+#[cfg(feature = "serde-json-tests")]
 mod duration_micros {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
     use std::time::Duration;
@@ -133,6 +142,7 @@ mod tests {
         assert_eq!(a.filter_time, Duration::from_micros(20));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip_preserves_duration() {
         let s = FilterStats {

@@ -3,11 +3,11 @@
 use crate::{Dimension, HeuristicScores, ScoreContext};
 use pubsub_core::{NodeId, SubscriptionId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 
 /// One candidate pruning: remove `node` from the current tree of
 /// `subscription`, with the estimated effect captured in `scores`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PruningCandidate {
     /// The subscription the pruning applies to.
     pub subscription: SubscriptionId,
@@ -85,8 +85,10 @@ pub(crate) fn best_candidate(
     candidates: &[PruningCandidate],
     dimension: Dimension,
 ) -> Option<PruningCandidate> {
-    candidates.iter().copied().reduce(|best, c| {
-        match c.scores.compare(&best.scores, dimension) {
+    candidates
+        .iter()
+        .copied()
+        .reduce(|best, c| match c.scores.compare(&best.scores, dimension) {
             std::cmp::Ordering::Greater => c,
             std::cmp::Ordering::Less => best,
             std::cmp::Ordering::Equal => {
@@ -96,8 +98,7 @@ pub(crate) fn best_candidate(
                     best
                 }
             }
-        }
-    })
+        })
 }
 
 #[cfg(test)]

@@ -17,12 +17,12 @@
 use crate::{AppliedPruning, Dimension, Pruner, PrunerConfig};
 use pubsub_core::Subscription;
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 
 /// A snapshot of the pressures the paper's introduction motivates as reasons
 /// for choosing one dimension over another. All values are normalized into
 /// `[0, 1]`, where 1 means "fully saturated".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SystemPressure {
     /// Routing-table memory pressure (e.g. used / available heap).
     pub memory: f64,
@@ -73,7 +73,8 @@ impl SystemPressure {
 }
 
 /// Configuration of the [`PruningController`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ControllerConfig {
     /// Degradation budget per candidate when the system is idle; the budget
     /// scales up linearly with the peak pressure.
@@ -100,7 +101,8 @@ impl Default for ControllerConfig {
 }
 
 /// The outcome of one adaptation round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ControlDecision {
     /// The dimension that was active during this round.
     pub dimension: Dimension,
@@ -293,7 +295,10 @@ mod tests {
             network: 0.8,
             cpu: 0.3,
         };
-        assert_eq!(network_bound.recommended_dimension(), Dimension::NetworkLoad);
+        assert_eq!(
+            network_bound.recommended_dimension(),
+            Dimension::NetworkLoad
+        );
         // Ties favour the paper's general-purpose recommendation.
         assert_eq!(
             SystemPressure::idle().recommended_dimension(),
@@ -379,8 +384,7 @@ mod tests {
             max_prunings_per_round: 3,
             ..ControllerConfig::default()
         };
-        let mut controller =
-            PruningController::new(config, estimator(), subscriptions());
+        let mut controller = PruningController::new(config, estimator(), subscriptions());
         let decision = controller.adapt(SystemPressure {
             memory: 0.0,
             network: 1.0,

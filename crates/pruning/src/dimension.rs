@@ -1,10 +1,10 @@
 //! Optimization dimensions and their tie-break orders.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the three heuristic quantities a pruning is scored by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HeuristicKind {
     /// `Δ≈sel` — estimated selectivity degradation (smaller is better).
     Selectivity,
@@ -34,7 +34,8 @@ impl fmt::Display for HeuristicKind {
 /// * network load: `Δ≈sel`, then `Δ≈eff`, then `Δ≈mem`;
 /// * memory usage: `Δ≈mem`, then `Δ≈sel`, then `Δ≈eff`;
 /// * throughput: `Δ≈eff`, then `Δ≈sel`, then `Δ≈mem`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Dimension {
     /// Minimize the number of additionally routed events.
     NetworkLoad,
@@ -95,6 +96,14 @@ impl fmt::Display for Dimension {
     }
 }
 
+impl Dimension {
+    /// The primary heuristic of this dimension (first entry of
+    /// [`heuristic_order`](Self::heuristic_order)).
+    pub fn primary(self) -> HeuristicKind {
+        self.heuristic_order()[0]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +161,7 @@ mod tests {
         assert_eq!(HeuristicKind::Memory.to_string(), "Δ≈mem");
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         for dim in Dimension::ALL {
@@ -159,13 +169,5 @@ mod tests {
             let back: Dimension = serde_json::from_str(&json).unwrap();
             assert_eq!(back, dim);
         }
-    }
-}
-
-impl Dimension {
-    /// The primary heuristic of this dimension (first entry of
-    /// [`heuristic_order`](Self::heuristic_order)).
-    pub fn primary(self) -> HeuristicKind {
-        self.heuristic_order()[0]
     }
 }

@@ -3,7 +3,6 @@
 use crate::{Dimension, HeuristicKind};
 use pubsub_core::{NodeId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
 /// The heuristic scores of one candidate pruning.
@@ -23,7 +22,8 @@ use std::cmp::Ordering;
 ///   `pmin(pruned) − pmin(original)` (Section 3.3). Larger is better; since
 ///   pruning only removes predicates it is never positive, so "best" means
 ///   "loses as little of the counting threshold as possible".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HeuristicScores {
     /// `Δ≈sel` — estimated selectivity degradation (≥ 0, smaller is better).
     pub delta_sel: f64,
@@ -240,7 +240,10 @@ mod tests {
                 Expr::lt("price", 50i64),
                 Expr::ge("bids", 10i64),
             ]),
-            Expr::and(vec![Expr::eq("category", "music"), Expr::gt("price", 90i64)]),
+            Expr::and(vec![
+                Expr::eq("category", "music"),
+                Expr::gt("price", 90i64),
+            ]),
         ]));
         let ctx = ScoreContext::new(&t, &est);
         let in_first_branch = node_of(&t, "bids");

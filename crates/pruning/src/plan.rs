@@ -2,11 +2,11 @@
 
 use crate::{Dimension, HeuristicScores};
 use pubsub_core::{NodeId, SubscriptionId, SubscriptionTree};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One applied pruning, as recorded by the [`Pruner`](crate::Pruner).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AppliedPruning {
     /// Zero-based position of this pruning in the overall sequence.
     pub step: usize,
@@ -29,7 +29,8 @@ pub struct AppliedPruning {
 /// after `k` prunings. The benchmark harness uses this to take measurements
 /// at arbitrary fractions of the total pruning count without re-running the
 /// heuristics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PruningPlan {
     dimension: Dimension,
     prunings: Vec<AppliedPruning>,
@@ -239,6 +240,7 @@ mod tests {
         assert_eq!(plan.cumulative_degradation(0), 0.0);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let (plan, _) = sample_plan_and_trees();

@@ -8,11 +8,11 @@ use crate::{
 };
 use pubsub_core::{Subscription, SubscriptionId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration of a [`Pruner`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrunerConfig {
     /// The dimension the pruner optimizes for.
     pub dimension: Dimension,
@@ -55,7 +55,8 @@ struct SubState {
 }
 
 /// A point-in-time summary of the pruner's state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrunerSnapshot {
     /// Number of registered subscriptions.
     pub subscriptions: usize,
@@ -551,7 +552,10 @@ mod tests {
             }
             last = applied.scores.delta_sel;
         }
-        assert!(non_monotonic <= 1, "degradations should be mostly ascending");
+        assert!(
+            non_monotonic <= 1,
+            "degradations should be mostly ascending"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! Event messages: sets of attribute–value pairs.
 
 use crate::{EventId, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -13,7 +12,8 @@ use std::fmt;
 ///
 /// Attribute names are stored in a sorted map so that message contents are
 /// deterministic (useful for hashing, serialization, and reproducible tests).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventMessage {
     id: EventId,
     attributes: BTreeMap<String, Value>,
@@ -234,6 +234,7 @@ mod tests {
         assert!(s.contains("\"dune\""));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let ev = sample();

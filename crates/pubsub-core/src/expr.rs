@@ -6,7 +6,6 @@
 //! directions are provided.
 
 use crate::{EventMessage, Operator, Predicate, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Boolean filter expression over predicates.
@@ -14,7 +13,8 @@ use std::fmt;
 /// Internal nodes are conjunctions, disjunctions, and negations; leaves are
 /// [`Predicate`]s. `Expr` is a convenience representation: subscriptions are
 /// registered and matched as [`SubscriptionTree`](crate::SubscriptionTree)s.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// A single predicate leaf.
     Pred(Predicate),
@@ -93,6 +93,9 @@ impl Expr {
     }
 
     /// Negation constructor.
+    // An associated constructor taking the child by value, not a `!x`
+    // operator on an existing expression — the `Not` trait does not apply.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(child: Expr) -> Self {
         Expr::Not(Box::new(child))
     }
@@ -322,6 +325,7 @@ mod tests {
         assert!(s.contains("category = \"books\""));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let e = sample_expr();

@@ -4,16 +4,14 @@
 //! (instead of bare `u64`/`u32`) prevents mixing up, say, a broker id with a
 //! subscription id when wiring the distributed simulation together.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-        )]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(pub $inner);
 
         impl $name {
@@ -88,8 +86,9 @@ id_type!(
 /// Node ids are only meaningful relative to the tree that produced them; they
 /// are invalidated by [`SubscriptionTree::prune`](crate::SubscriptionTree::prune),
 /// which returns a freshly compacted tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -166,6 +165,7 @@ mod tests {
         assert!(!set.contains(&SubscriptionId::from_raw(100)));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn ids_serialize_transparently() {
         let id = SubscriptionId::from_raw(5);

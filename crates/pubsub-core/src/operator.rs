@@ -1,7 +1,6 @@
 //! Comparison operators usable inside predicates.
 
 use crate::Value;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -11,7 +10,8 @@ use std::fmt;
 /// The operator set covers the operators used by the online-auction workload
 /// of the paper and by typical content-based publish/subscribe systems:
 /// equality and ordering on all comparable types plus simple string matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Operator {
     /// `attribute = value`
     Eq,
@@ -50,7 +50,10 @@ impl Operator {
 
     /// Returns `true` for operators that only make sense on string values.
     pub fn is_string_operator(self) -> bool {
-        matches!(self, Operator::Prefix | Operator::Suffix | Operator::Contains)
+        matches!(
+            self,
+            Operator::Prefix | Operator::Suffix | Operator::Contains
+        )
     }
 
     /// Returns `true` for operators that define an ordering constraint
@@ -200,6 +203,7 @@ mod tests {
         assert_eq!(Operator::Contains.to_string(), "contains");
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         for op in Operator::ALL {

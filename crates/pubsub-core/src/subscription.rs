@@ -1,7 +1,6 @@
 //! Registered subscriptions: a subscription tree plus identity.
 
 use crate::{EventMessage, Expr, SubscriberId, SubscriptionId, SubscriptionTree, TreeStats};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A registered subscription.
@@ -12,7 +11,8 @@ use std::fmt;
 /// [`Subscription::with_tree`] while keeping the identity stable, which is
 /// what lets brokers route matches of a *pruned* routing entry back to the
 /// original subscriber.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Subscription {
     id: SubscriptionId,
     subscriber: SubscriberId,
@@ -88,7 +88,10 @@ mod tests {
         Subscription::from_expr(
             SubscriptionId::from_raw(1),
             SubscriberId::from_raw(9),
-            &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 20i64),
+            ]),
         )
     }
 
@@ -142,6 +145,7 @@ mod tests {
         assert!(text.contains("client-9"));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let s = sub();

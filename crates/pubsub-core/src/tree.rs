@@ -8,11 +8,11 @@
 //! removal generalizes the subscription.
 
 use crate::{CoreError, EventMessage, Expr, NodeId, Predicate};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of a tree node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// Conjunction of the node's children.
     And,
@@ -32,7 +32,8 @@ impl NodeKind {
 }
 
 /// A node of a [`SubscriptionTree`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     kind: NodeKind,
     parent: Option<NodeId>,
@@ -95,7 +96,8 @@ impl From<PruneError> for CoreError {
 }
 
 /// Summary statistics of a subscription tree, used by heuristics and metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TreeStats {
     /// Total number of nodes (internal and leaves).
     pub node_count: usize,
@@ -118,7 +120,8 @@ pub struct TreeStats {
 /// * AND/OR nodes have at least two children (single-child nodes are
 ///   collapsed), NOT nodes have exactly one child;
 /// * leaves are predicates and have no children.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubscriptionTree {
     nodes: Vec<Node>,
     root: NodeId,
@@ -279,10 +282,13 @@ impl SubscriptionTree {
 
     /// Iterates over all predicate leaves as `(node id, predicate)` pairs.
     pub fn predicates(&self) -> impl Iterator<Item = (NodeId, &Predicate)> {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| match &n.kind {
-            NodeKind::Predicate(p) => Some((NodeId::from_index(i), p)),
-            _ => None,
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.kind {
+                NodeKind::Predicate(p) => Some((NodeId::from_index(i), p)),
+                _ => None,
+            })
     }
 
     /// Depth of the tree (a single predicate has depth 1).
@@ -517,10 +523,7 @@ mod tests {
                 Expr::le("price", 20i64),
                 Expr::ge("bids", 2i64),
             ]),
-            Expr::and(vec![
-                Expr::eq("seller", "acme"),
-                Expr::ge("rating", 4i64),
-            ]),
+            Expr::and(vec![Expr::eq("seller", "acme"), Expr::ge("rating", 4i64)]),
         ])
     }
 
@@ -610,6 +613,161 @@ mod tests {
     }
 
     #[test]
+    fn pmin_of_single_predicate_trees() {
+        // A lone predicate needs exactly itself fulfilled, however the tree
+        // was built.
+        let from_pred = SubscriptionTree::from_predicate(Predicate::new("a", Operator::Lt, 9i64));
+        assert_eq!(from_pred.pmin(), 1);
+        assert!(from_pred.is_single_predicate());
+        // Single-predicate trees admit no pruning: the root cannot be
+        // removed, so pmin can never drop below 1 here.
+        assert!(from_pred.generalizing_removals().is_empty());
+        assert!(from_pred.prune(from_pred.root()).is_err());
+
+        // Wrapper AND/OR nodes around one predicate collapse on
+        // construction and must not inflate pmin.
+        let wrapped = Expr::And(vec![Expr::Or(vec![Expr::eq("a", 1i64)])]);
+        assert_eq!(SubscriptionTree::from_expr(&wrapped).pmin(), 1);
+    }
+
+    #[test]
+    fn pmin_under_negation_parity() {
+        // A negated leaf is fulfilled by the *absence* of predicate matches,
+        // so any subtree under NOT contributes 0 to pmin.
+        let single_not = Expr::not(Expr::eq("a", 1i64));
+        assert_eq!(SubscriptionTree::from_expr(&single_not).pmin(), 0);
+
+        // Double negation: pmin stays the conservative 0 even though
+        // NOT(NOT(p)) is semantically p. The counting matcher only needs a
+        // lower bound, so 0 is sound (never above the true requirement).
+        let double_not = Expr::not(Expr::not(Expr::eq("a", 1i64)));
+        let t = SubscriptionTree::from_expr(&double_not);
+        assert_eq!(t.pmin(), 0);
+        // The innermost predicate sits under two NOTs: even parity.
+        let leaf = t
+            .node_ids()
+            .find(|id| t.node(*id).unwrap().kind().is_leaf())
+            .unwrap();
+        assert!(!t.negation_parity(leaf));
+
+        // NOT inside AND: the negated branch contributes 0, the positive
+        // branches still count.
+        let mixed = Expr::and(vec![
+            Expr::eq("a", 1i64),
+            Expr::eq("b", 2i64),
+            Expr::not(Expr::and(vec![Expr::eq("c", 3i64), Expr::eq("d", 4i64)])),
+        ]);
+        assert_eq!(SubscriptionTree::from_expr(&mixed).pmin(), 2);
+
+        // NOT inside OR: one 0-cost alternative pulls the whole OR to 0.
+        let escape = Expr::or(vec![
+            Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]),
+            Expr::not(Expr::eq("c", 3i64)),
+        ]);
+        assert_eq!(SubscriptionTree::from_expr(&escape).pmin(), 0);
+    }
+
+    #[test]
+    fn pmin_of_nested_or_of_and() {
+        // AND( OR(AND(a,b), c), OR(d, AND(e,f,g)) )
+        //   -> min(2, 1) + min(1, 3) = 2
+        let e = Expr::and(vec![
+            Expr::or(vec![
+                Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]),
+                Expr::eq("c", 3i64),
+            ]),
+            Expr::or(vec![
+                Expr::eq("d", 4i64),
+                Expr::and(vec![
+                    Expr::eq("e", 5i64),
+                    Expr::eq("f", 6i64),
+                    Expr::eq("g", 7i64),
+                ]),
+            ]),
+        ]);
+        assert_eq!(SubscriptionTree::from_expr(&e).pmin(), 2);
+
+        // OR of ANDs alone takes the cheapest conjunction.
+        let or_of_and = Expr::or(vec![
+            Expr::and(vec![
+                Expr::eq("a", 1i64),
+                Expr::eq("b", 2i64),
+                Expr::eq("c", 3i64),
+            ]),
+            Expr::and(vec![Expr::eq("d", 4i64), Expr::eq("e", 5i64)]),
+        ]);
+        assert_eq!(SubscriptionTree::from_expr(&or_of_and).pmin(), 2);
+    }
+
+    #[test]
+    fn pmin_is_a_sound_counting_bound() {
+        // The invariant the counting matcher relies on: whenever a truth
+        // assignment fulfils the tree, at least `pmin` leaves are true.
+        // Checked exhaustively over all 2^n assignments of small trees.
+        let exprs = [
+            sample_expr(),
+            Expr::or(vec![
+                Expr::and(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]),
+                Expr::not(Expr::eq("c", 3i64)),
+            ]),
+            Expr::and(vec![
+                Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]),
+                Expr::not(Expr::and(vec![Expr::eq("c", 3i64), Expr::eq("d", 4i64)])),
+            ]),
+            Expr::not(Expr::not(Expr::eq("a", 1i64))),
+        ];
+        for e in &exprs {
+            let t = SubscriptionTree::from_expr(e);
+            let leaves: Vec<NodeId> = t
+                .node_ids()
+                .filter(|id| t.node(*id).unwrap().kind().is_leaf())
+                .collect();
+            let pmin = t.pmin();
+            for assignment in 0u32..(1 << leaves.len()) {
+                let truth_of = |id: NodeId| {
+                    let idx = leaves.iter().position(|l| *l == id).unwrap();
+                    assignment & (1 << idx) != 0
+                };
+                let fulfilled = t.evaluate_leaves(&mut |id, _| truth_of(id));
+                let true_leaves = assignment.count_ones() as usize;
+                if fulfilled {
+                    assert!(
+                        true_leaves >= pmin,
+                        "tree fulfilled with {true_leaves} < pmin {pmin}: {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmin_never_increases_under_valid_pruning() {
+        let exprs = [
+            sample_expr(),
+            Expr::and(vec![
+                Expr::eq("a", 1i64),
+                Expr::not(Expr::or(vec![Expr::eq("b", 2i64), Expr::eq("c", 3i64)])),
+            ]),
+            Expr::not(Expr::or(vec![
+                Expr::eq("a", 1i64),
+                Expr::and(vec![Expr::eq("b", 2i64), Expr::eq("c", 3i64)]),
+            ])),
+        ];
+        for e in &exprs {
+            let t = SubscriptionTree::from_expr(e);
+            for node in t.generalizing_removals() {
+                let pruned = t.prune(node).unwrap();
+                assert!(
+                    pruned.pmin() <= t.pmin(),
+                    "pruning raised pmin from {} to {} on {t}",
+                    t.pmin(),
+                    pruned.pmin()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn size_bytes_shrinks_with_pruning() {
         let t = sample_tree();
         let total = t.size_bytes();
@@ -660,10 +818,7 @@ mod tests {
         assert!(t.generalizing_removals().is_empty());
         for id in t.node_ids() {
             if id != t.root() {
-                assert_eq!(
-                    t.validate_prune(id),
-                    Err(PruneError::WouldSpecialize(id))
-                );
+                assert_eq!(t.validate_prune(id), Err(PruneError::WouldSpecialize(id)));
             }
         }
     }
@@ -780,6 +935,7 @@ mod tests {
         assert!(s.contains("OR"));
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let t = sample_tree();

@@ -1,6 +1,5 @@
 //! Typed attribute values carried by event messages and predicates.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -14,8 +13,9 @@ use std::fmt;
 /// between [`Value::Int`] and [`Value::Float`], which compares numerically.
 /// This mirrors the loosely-typed attribute model used by content-based
 /// publish/subscribe systems such as Siena and Rebeca.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(untagged))]
 pub enum Value {
     /// A boolean flag, e.g. `buy_now_available = true`.
     Bool(bool),
@@ -247,6 +247,7 @@ mod tests {
         assert_eq!(Value::from("a").to_string(), "\"a\"");
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_untagged_roundtrip() {
         let vals = vec![

@@ -1,7 +1,6 @@
 //! Subscription covering for conjunctive subscriptions.
 
 use pubsub_core::{Predicate, Subscription, SubscriptionId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The conjunctive view of a subscription: its predicates grouped by
@@ -35,7 +34,8 @@ pub fn covers(general: &Subscription, specific: &Subscription) -> bool {
 }
 
 /// Summary of a covering analysis over a set of subscriptions.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CoveringReport {
     /// Total subscriptions analysed.
     pub total: usize,
@@ -177,12 +177,21 @@ mod tests {
 
     #[test]
     fn wider_price_range_covers_narrower() {
-        let general = sub(1, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 100i64)]));
-        let specific = sub(2, &Expr::and(vec![
-            Expr::eq("category", "books"),
-            Expr::le("price", 50i64),
-            Expr::ge("rating", 4i64),
-        ]));
+        let general = sub(
+            1,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 100i64),
+            ]),
+        );
+        let specific = sub(
+            2,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 50i64),
+                Expr::ge("rating", 4i64),
+            ]),
+        );
         assert!(covers(&general, &specific));
         assert!(!covers(&specific, &general));
     }
@@ -199,11 +208,20 @@ mod tests {
     fn covering_never_false_positive_on_samples() {
         // If `covers` says G covers S, then every sampled event matching S
         // must match G.
-        let general = sub(1, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 60i64)]));
-        let specific = sub(2, &Expr::and(vec![
-            Expr::eq("category", "books"),
-            Expr::lt("price", 30i64),
-        ]));
+        let general = sub(
+            1,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 60i64),
+            ]),
+        );
+        let specific = sub(
+            2,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::lt("price", 30i64),
+            ]),
+        );
         assert!(covers(&general, &specific));
         for price in 0..100i64 {
             for category in ["books", "music"] {
@@ -212,7 +230,10 @@ mod tests {
                     .attr("price", price)
                     .build();
                 if specific.matches(&ev) {
-                    assert!(general.matches(&ev), "covering violated at {category}/{price}");
+                    assert!(
+                        general.matches(&ev),
+                        "covering violated at {category}/{price}"
+                    );
                 }
             }
         }
@@ -232,10 +253,31 @@ mod tests {
     #[test]
     fn index_reports_reduction() {
         let mut index = CoveringIndex::new();
-        index.insert(sub(1, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 100i64)])));
-        index.insert(sub(2, &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 40i64)])));
-        index.insert(sub(3, &Expr::and(vec![Expr::eq("category", "music"), Expr::le("price", 40i64)])));
-        index.insert(sub(4, &Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 1i64)])));
+        index.insert(sub(
+            1,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 100i64),
+            ]),
+        ));
+        index.insert(sub(
+            2,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 40i64),
+            ]),
+        ));
+        index.insert(sub(
+            3,
+            &Expr::and(vec![
+                Expr::eq("category", "music"),
+                Expr::le("price", 40i64),
+            ]),
+        ));
+        index.insert(sub(
+            4,
+            &Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 1i64)]),
+        ));
         assert_eq!(index.len(), 4);
         assert!(!index.is_empty());
         let report = index.report();
@@ -260,10 +302,13 @@ mod tests {
     #[test]
     fn prefix_covering_between_string_predicates() {
         let general = sub(1, &Expr::prefix("title", "har"));
-        let specific = sub(2, &Expr::and(vec![
-            Expr::eq("title", "harry potter"),
-            Expr::le("price", 20i64),
-        ]));
+        let specific = sub(
+            2,
+            &Expr::and(vec![
+                Expr::eq("title", "harry potter"),
+                Expr::le("price", 20i64),
+            ]),
+        );
         assert!(covers(&general, &specific));
         assert!(!covers(&specific, &general));
     }

@@ -1,11 +1,11 @@
 //! Greedy subscription merging for conjunctive subscriptions.
 
-use pubsub_core::{Expr, Operator, Predicate, Subscription, SubscriberId, SubscriptionId, Value};
-use serde::{Deserialize, Serialize};
+use pubsub_core::{Expr, Operator, Predicate, SubscriberId, Subscription, SubscriptionId, Value};
 use std::collections::BTreeMap;
 
 /// Configuration of the greedy merger.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MergeConfig {
     /// Minimum number of subscriptions a group must contain before it is
     /// merged (merging tiny groups mostly adds imprecision).
@@ -37,7 +37,8 @@ pub struct MergeOutcome {
 }
 
 /// Summary of a merging pass.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MergeReport {
     /// Total subscriptions considered.
     pub total: usize,
@@ -97,7 +98,11 @@ fn conjunctive_predicates(subscription: &Subscription) -> Option<Vec<Predicate>>
 /// Builds the merged predicate for one attribute/operator slot from the
 /// group's per-subscription constants. Returns `(predicate, exact)` where
 /// `exact` is `false` when the merged predicate over-approximates.
-fn merge_slot(attribute: &str, operator: Operator, constants: &[&Value]) -> Option<(Predicate, bool)> {
+fn merge_slot(
+    attribute: &str,
+    operator: Operator,
+    constants: &[&Value],
+) -> Option<(Predicate, bool)> {
     match operator {
         Operator::Eq => {
             // All equal -> keep; otherwise the slot cannot be represented by a
@@ -325,7 +330,13 @@ mod tests {
         let subs = vec![
             watcher(1, "dune", 10),
             sub(2, &Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)])),
-            sub(3, &Expr::and(vec![Expr::eq("author", "herbert"), Expr::ge("rating", 4i64)])),
+            sub(
+                3,
+                &Expr::and(vec![
+                    Expr::eq("author", "herbert"),
+                    Expr::ge("rating", 4i64),
+                ]),
+            ),
         ];
         let (outcomes, report) = merge_subscriptions(&subs, MergeConfig::default());
         assert!(outcomes.is_empty());
@@ -339,8 +350,20 @@ mod tests {
     #[test]
     fn ge_bounds_take_the_minimum() {
         let subs = vec![
-            sub(1, &Expr::and(vec![Expr::eq("category", "books"), Expr::ge("rating", 4i64)])),
-            sub(2, &Expr::and(vec![Expr::eq("category", "books"), Expr::ge("rating", 2i64)])),
+            sub(
+                1,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::ge("rating", 4i64),
+                ]),
+            ),
+            sub(
+                2,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::ge("rating", 2i64),
+                ]),
+            ),
         ];
         let (outcomes, _) = merge_subscriptions(&subs, MergeConfig::default());
         assert_eq!(outcomes.len(), 1);

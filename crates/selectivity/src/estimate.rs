@@ -1,7 +1,5 @@
 //! The `(min, avg, max)` selectivity estimate and its Boolean combinators.
 
-use serde::{Deserialize, Serialize};
-
 /// A selectivity estimate `sel≈(s)` of a subscription (or subexpression).
 ///
 /// Selectivity is the probability that a random event *matches* the
@@ -16,7 +14,8 @@ use serde::{Deserialize, Serialize};
 /// Bounds are propagated through AND/OR with the Fréchet inequalities, which
 /// hold regardless of correlations between predicates; `avg` uses the product
 /// rules that hold under independence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SelectivityEstimate {
     /// Minimal possible selectivity.
     pub min: f64,
@@ -73,10 +72,7 @@ impl SelectivityEstimate {
         let n = children.len() as f64;
         let min = (children.iter().map(|c| c.min).sum::<f64>() - (n - 1.0)).max(0.0);
         let avg = children.iter().map(|c| c.avg).product::<f64>();
-        let max = children
-            .iter()
-            .map(|c| c.max)
-            .fold(f64::INFINITY, f64::min);
+        let max = children.iter().map(|c| c.max).fold(f64::INFINITY, f64::min);
         Self::new(min, avg, max)
     }
 
@@ -100,6 +96,9 @@ impl SelectivityEstimate {
     }
 
     /// The estimate of the negation of an expression with this estimate.
+    // Named for the Boolean connective it propagates, alongside `and`/`or`;
+    // the `!` operator would read wrong on a probability triple.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Self::new(1.0 - self.max, 1.0 - self.avg, 1.0 - self.min)
     }
@@ -234,6 +233,7 @@ mod tests {
         assert!(and.min <= 0.0 + and.max);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let e = SelectivityEstimate::new(0.1, 0.2, 0.3);

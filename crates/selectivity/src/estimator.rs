@@ -102,12 +102,8 @@ impl SelectivityEstimator {
                             Operator::Prefix => {
                                 attr.strings.fraction_matching(|v| v.starts_with(c))
                             }
-                            Operator::Suffix => {
-                                attr.strings.fraction_matching(|v| v.ends_with(c))
-                            }
-                            Operator::Contains => {
-                                attr.strings.fraction_matching(|v| v.contains(c))
-                            }
+                            Operator::Suffix => attr.strings.fraction_matching(|v| v.ends_with(c)),
+                            Operator::Contains => attr.strings.fraction_matching(|v| v.contains(c)),
                         };
                         p * string_share
                     }
@@ -229,8 +225,8 @@ mod tests {
             Predicate::new("rating", Operator::Ge, 3i64),
         ];
         for p in cases {
-            let measured = events.iter().filter(|e| p.evaluate(e)).count() as f64
-                / events.len() as f64;
+            let measured =
+                events.iter().filter(|e| p.evaluate(e)).count() as f64 / events.len() as f64;
             let estimated = est.estimate_predicate(&p);
             assert!(
                 approx(estimated, measured, 0.05),
@@ -258,8 +254,14 @@ mod tests {
         let est = estimator();
         let events = sample_events();
         let exprs = vec![
-            Expr::and(vec![Expr::eq("category", "books"), Expr::lt("price", 50i64)]),
-            Expr::or(vec![Expr::eq("category", "books"), Expr::ge("price", 80i64)]),
+            Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::lt("price", 50i64),
+            ]),
+            Expr::or(vec![
+                Expr::eq("category", "books"),
+                Expr::ge("price", 80i64),
+            ]),
             Expr::and(vec![
                 Expr::ge("rating", 1i64),
                 Expr::or(vec![Expr::lt("price", 20i64), Expr::ge("price", 90i64)]),
@@ -311,7 +313,10 @@ mod tests {
                 Expr::lt("price", 30i64),
                 Expr::ge("rating", 2i64),
             ]),
-            Expr::and(vec![Expr::eq("category", "music"), Expr::ge("price", 90i64)]),
+            Expr::and(vec![
+                Expr::eq("category", "music"),
+                Expr::ge("price", 90i64),
+            ]),
         ]);
         let tree = SubscriptionTree::from_expr(&expr);
         let before = est.estimate_tree(&tree);
@@ -329,7 +334,10 @@ mod tests {
     #[test]
     fn subtree_estimation_targets_the_right_node() {
         let est = estimator();
-        let expr = Expr::and(vec![Expr::eq("category", "books"), Expr::lt("price", 50i64)]);
+        let expr = Expr::and(vec![
+            Expr::eq("category", "books"),
+            Expr::lt("price", 50i64),
+        ]);
         let tree = SubscriptionTree::from_expr(&expr);
         let price_node = tree
             .predicates()

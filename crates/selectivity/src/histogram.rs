@@ -2,7 +2,6 @@
 //! frequency tables.
 
 use pubsub_core::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Default number of buckets used by [`NumericHistogram`].
@@ -14,7 +13,8 @@ pub const DEFAULT_BUCKETS: usize = 64;
 /// the attribute: which fraction lies below a threshold, above a threshold,
 /// or exactly equals a constant. Fractions are relative to the number of
 /// numeric observations recorded in the histogram.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NumericHistogram {
     lo: f64,
     hi: f64,
@@ -175,7 +175,8 @@ impl NumericHistogram {
 }
 
 /// Frequency statistics over categorical (string or boolean) attribute values.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CategoricalStats {
     counts: HashMap<String, u64>,
     total: u64,
@@ -327,8 +328,7 @@ mod tests {
 
     #[test]
     fn categorical_fractions() {
-        let stats =
-            CategoricalStats::from_values(&["books", "books", "music", "games", "books"]);
+        let stats = CategoricalStats::from_values(&["books", "books", "music", "games", "books"]);
         assert_eq!(stats.total(), 5);
         assert_eq!(stats.distinct(), 3);
         assert!((stats.fraction_eq("books") - 0.6).abs() < 1e-9);

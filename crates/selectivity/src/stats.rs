@@ -2,11 +2,11 @@
 
 use crate::histogram::{numeric_observation, CategoricalStats, NumericHistogram};
 use pubsub_core::{EventMessage, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Statistics about one attribute, gathered from an event sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttributeStatistics {
     /// Number of sampled events carrying this attribute.
     pub present: u64,
@@ -22,7 +22,10 @@ pub struct AttributeStatistics {
 
 impl AttributeStatistics {
     fn from_observations(values: &[&Value]) -> Self {
-        let numeric: Vec<f64> = values.iter().filter_map(|v| numeric_observation(v)).collect();
+        let numeric: Vec<f64> = values
+            .iter()
+            .filter_map(|v| numeric_observation(v))
+            .collect();
         let strings: Vec<&str> = values.iter().filter_map(|v| v.as_str()).collect();
         let bool_true = values
             .iter()
@@ -49,7 +52,8 @@ impl AttributeStatistics {
 /// be maintained incrementally from the observed event stream; here they are
 /// built from a sample (either historical events or a warm-up prefix of the
 /// published stream).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventStatistics {
     attributes: HashMap<String, AttributeStatistics>,
     event_count: u64,
@@ -67,7 +71,10 @@ impl EventStatistics {
         let attributes = observations
             .into_iter()
             .map(|(attr, values)| {
-                (attr.to_owned(), AttributeStatistics::from_observations(&values))
+                (
+                    attr.to_owned(),
+                    AttributeStatistics::from_observations(&values),
+                )
             })
             .collect();
         Self {
@@ -178,6 +185,7 @@ mod tests {
         assert_eq!(x.strings.total(), 1);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let stats = EventStatistics::from_events(&sample_events());

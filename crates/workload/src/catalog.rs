@@ -54,7 +54,9 @@ impl Catalog {
     /// popular).
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         // rand_distr's Zipf samples ranks in [1, size].
-        (self.zipf.sample(rng) as usize).saturating_sub(1).min(self.size - 1)
+        (self.zipf.sample(rng) as usize)
+            .saturating_sub(1)
+            .min(self.size - 1)
     }
 
     /// Samples an item name with Zipf-distributed popularity.

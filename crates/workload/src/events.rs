@@ -159,7 +159,11 @@ mod tests {
             assert!(bids >= 0);
             let rating = ev.get(attributes::SELLER_RATING).unwrap().as_f64().unwrap();
             assert!((0.0..=5.0).contains(&rating));
-            let end = ev.get(attributes::END_TIME_HOURS).unwrap().as_f64().unwrap();
+            let end = ev
+                .get(attributes::END_TIME_HOURS)
+                .unwrap()
+                .as_f64()
+                .unwrap();
             assert!((0.0..=168.0).contains(&end));
             let condition = ev.get(attributes::CONDITION).unwrap().as_str().unwrap();
             assert!(CONDITIONS.contains(&condition));
@@ -206,8 +210,18 @@ mod tests {
         use std::collections::HashMap;
         let mut title_to_author: HashMap<String, String> = HashMap::new();
         for ev in &events {
-            let title = ev.get(attributes::TITLE).unwrap().as_str().unwrap().to_owned();
-            let author = ev.get(attributes::AUTHOR).unwrap().as_str().unwrap().to_owned();
+            let title = ev
+                .get(attributes::TITLE)
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned();
+            let author = ev
+                .get(attributes::AUTHOR)
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_owned();
             if let Some(prev) = title_to_author.insert(title.clone(), author.clone()) {
                 assert_eq!(prev, author, "title {title} switched author");
             }

@@ -3,10 +3,10 @@
 
 use crate::{AuctionSchema, ClassMix, EventGenerator, SubscriptionGenerator};
 use pubsub_core::{EventMessage, Subscription};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`WorkloadGenerator`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadConfig {
     /// Seed for all random draws (events and subscriptions).
     pub seed: u64,
@@ -158,8 +158,7 @@ mod tests {
                 matched_subs += 1;
             }
         }
-        let avg_selectivity =
-            total_matches as f64 / (events.len() as f64 * subs.len() as f64);
+        let avg_selectivity = total_matches as f64 / (events.len() as f64 * subs.len() as f64);
         assert!(
             avg_selectivity > 0.0001,
             "subscriptions should match something ({avg_selectivity})"
@@ -183,6 +182,7 @@ mod tests {
         assert_eq!(WorkloadConfig::default(), small);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let c = WorkloadConfig::paper();

@@ -1,7 +1,6 @@
 //! End-to-end experiment scenarios (workload scale plus topology shape).
 
 use crate::WorkloadConfig;
-use serde::{Deserialize, Serialize};
 
 /// A complete experiment scenario: how many subscriptions and events to
 /// generate, how many brokers to run, and how many events to sample for the
@@ -11,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// (200,000 subscriptions, 100,000 events, five brokers in a line); the
 /// `small_*` presets keep the same structure at a size suitable for laptops
 /// and CI.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScenarioConfig {
     /// The workload generator configuration.
     pub workload: WorkloadConfig,
@@ -119,6 +119,7 @@ mod tests {
         assert_eq!(zero.subscription_count, 1);
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let c = ScenarioConfig::paper_distributed();

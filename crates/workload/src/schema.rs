@@ -1,7 +1,5 @@
 //! The auction event schema: attribute names and catalog sizes.
 
-use serde::{Deserialize, Serialize};
-
 /// Attribute names used by auction events and subscriptions.
 ///
 /// Keeping them in one module avoids typo'd attribute strings scattered over
@@ -33,7 +31,8 @@ pub mod attributes {
 pub const CONDITIONS: [&str; 4] = ["new", "like-new", "used", "worn"];
 
 /// The sizes and skews of the auction catalog the generator draws from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AuctionSchema {
     /// Number of distinct book titles.
     pub title_count: usize,
@@ -136,6 +135,7 @@ mod tests {
         assert_eq!(set.len(), names.len());
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_roundtrip() {
         let s = AuctionSchema::paper();

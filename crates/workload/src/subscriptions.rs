@@ -5,11 +5,11 @@ use crate::schema::{attributes, AuctionSchema, CONDITIONS};
 use pubsub_core::{Expr, SubscriberId, Subscription, SubscriptionId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The three subscription classes typical for online book auctions
 /// (Section 4 of the paper, following its reference \[4\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SubscriptionClass {
     /// *Title watcher*: waits for a specific title below a price limit —
     /// a small conjunctive subscription
@@ -37,7 +37,8 @@ impl SubscriptionClass {
 }
 
 /// The proportions with which the three classes are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClassMix {
     /// Fraction of [`SubscriptionClass::TitleWatcher`] subscriptions.
     pub title_watcher: f64,
@@ -195,7 +196,10 @@ impl SubscriptionGenerator {
             clauses.push(Expr::ge(attributes::SELLER_RATING, rating));
         }
         if self.rng.gen_bool(0.3) {
-            clauses.push(Expr::le(attributes::SHIPPING_COST, self.rng.gen_range(3.0..9.0f64)));
+            clauses.push(Expr::le(
+                attributes::SHIPPING_COST,
+                self.rng.gen_range(3.0..9.0f64),
+            ));
         }
         Expr::and(clauses)
     }
@@ -206,7 +210,10 @@ impl SubscriptionGenerator {
         } else {
             Expr::or(vec![
                 Expr::eq(attributes::AUTHOR, self.authors.sample(&mut self.rng)),
-                Expr::eq(attributes::AUTHOR, self.authors.sample_uniform(&mut self.rng)),
+                Expr::eq(
+                    attributes::AUTHOR,
+                    self.authors.sample_uniform(&mut self.rng),
+                ),
             ])
         };
         let bargain_clause = Expr::or(vec![
@@ -297,7 +304,10 @@ mod tests {
                     .any(|id| matches!(s.tree().node(id).unwrap().kind(), NodeKind::Not))
             })
             .count();
-        assert!(with_not > 10, "some bargain hunters should carry a negation");
+        assert!(
+            with_not > 10,
+            "some bargain hunters should carry a negation"
+        );
         assert!(with_not < 90, "not all of them should");
         for s in &subs {
             assert!(s.tree().depth() >= 3, "bargain hunters are nested");
@@ -340,6 +350,7 @@ mod tests {
         );
     }
 
+    #[cfg(feature = "serde-json-tests")]
     #[test]
     fn serde_of_class_and_mix() {
         let json = serde_json::to_string(&SubscriptionClass::BargainHunter).unwrap();

@@ -71,7 +71,6 @@ fn measure(engine: &mut CountingEngine, events: &[EventMessage]) -> (f64, f64) {
     }
     let stats = *engine.stats();
     let per_event = stats.avg_filter_time().as_secs_f64();
-    let matches =
-        stats.matches as f64 / (events.len() as f64 * engine.len().max(1) as f64);
+    let matches = stats.matches as f64 / (events.len() as f64 * engine.len().max(1) as f64);
     (per_event, matches)
 }

@@ -23,8 +23,14 @@ fn main() {
             SubscriptionId::from_raw(2),
             SubscriberId::from_raw(2),
             &Expr::or(vec![
-                Expr::and(vec![Expr::eq("author", "herbert"), Expr::le("price", 15i64)]),
-                Expr::and(vec![Expr::le("bids", 2i64), Expr::le("end_time_hours", 6i64)]),
+                Expr::and(vec![
+                    Expr::eq("author", "herbert"),
+                    Expr::le("price", 15i64),
+                ]),
+                Expr::and(vec![
+                    Expr::le("bids", 2i64),
+                    Expr::le("end_time_hours", 6i64),
+                ]),
             ]),
         ),
     ];
@@ -84,12 +90,7 @@ fn main() {
     // 5. The pruned routing entries match a superset of the original events.
     for original in &subscriptions {
         let pruned = pruner.current_tree(original.id()).unwrap();
-        println!(
-            "{}: {} -> {}",
-            original.id(),
-            original.tree(),
-            pruned
-        );
+        println!("{}: {} -> {}", original.id(), original.tree(), pruned);
         if original.matches(&event) {
             assert!(pruned.evaluate(&event), "pruning must not lose matches");
         }

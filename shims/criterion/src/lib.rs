@@ -1,0 +1,274 @@
+//! A minimal stand-in for the parts of the `criterion` API this workspace's
+//! benches use. Benchmarks compile with `cargo bench --no-run` and, when
+//! executed, run a short timed loop per benchmark and print mean wall-clock
+//! time per iteration. No statistics, plots, or baselines — just numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one iteration per batch in real criterion.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Per-benchmark timing configuration.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.config, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.config, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: Config, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("bench {id:<50} (no iterations)");
+    } else {
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        println!(
+            "bench {id:<50} {:>12.0} ns/iter ({} iters)",
+            per_iter, bencher.iterations
+        );
+    }
+}
+
+/// The timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Config,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop bounded by the warm-up, measurement-time,
+    /// and sample-size budgets.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        // Measurement.
+        let budget_end = Instant::now() + self.config.measurement_time;
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if iterations >= self.config.sample_size as u64 && Instant::now() >= budget_end {
+                break;
+            }
+            if iterations >= 100 * self.config.sample_size as u64 {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iterations;
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let rounds = self.config.sample_size.max(1) as u64;
+        for _ in 0..rounds {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro. Requires
+/// `harness = false` on the bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_accumulates_time_and_iterations() {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_round() {
+        let mut c = Criterion::default();
+        c.sample_size(4)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! A minimal stand-in for the parts of `crossbeam` this workspace uses:
+//! the MPMC [`channel`] (both senders *and* receivers are cloneable, unlike
+//! `std::sync::mpsc`) and [`scope`]-based threads whose panics are reported
+//! as an `Err` instead of unwinding through the caller.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+pub mod channel {
+    //! An unbounded multi-producer multi-consumer channel.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// All channel state lives under one mutex so that disconnect checks
+    /// and queue operations are atomic with respect to each other (a send
+    /// racing the last receiver's drop must fail rather than enqueue a
+    /// message nobody can ever receive).
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of the channel; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of the channel; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Last sender gone: wake blocked receivers so they can
+                // observe the disconnect.
+                drop(state);
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is empty.
+        /// Fails once the channel is empty and every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Dequeues the next message if one is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.lock().queue.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.lock().receivers -= 1;
+        }
+    }
+}
+
+/// A scope handle on which worker threads can be spawned.
+///
+/// Unlike real crossbeam, spawned closures must be `'static`: callers move
+/// owned handles (channel endpoints, `Arc`s) into their workers, which is
+/// exactly how this workspace uses scopes.
+#[derive(Debug, Default)]
+pub struct Scope {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scope {
+    /// Spawns a worker thread. The closure receives a nested scope handle
+    /// for API compatibility with crossbeam's `|scope|` signature.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let handle = std::thread::spawn(move || {
+            let nested = Scope::default();
+            let _ = f(&nested);
+            nested.join_all().expect("nested scoped thread panicked");
+        });
+        self.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    fn join_all(self) -> Result<(), Box<dyn Any + Send + 'static>> {
+        let mut first_panic = None;
+        for handle in self.handles.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        match first_panic {
+            Some(payload) => Err(payload),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`], joins every thread spawned on it, and returns
+/// `Err` with the panic payload if any worker panicked.
+pub fn scope<F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope) -> R,
+{
+    let scope = Scope::default();
+    let result = f(&scope);
+    scope.join_all()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mpmc_fan_out_and_fan_in() {
+        let (tx, rx) = unbounded::<u64>();
+        let total = Arc::new(AtomicU64::new(0));
+        super::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let total = Arc::clone(&total);
+                scope.spawn(move |_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 1..=100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn recv_reports_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_propagates_worker_panics() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A minimal, dependency-free stand-in for the parts of the `rand_distr`
+//! API used by this workspace: the [`Distribution`] trait and the
+//! [`Zipf`], [`LogNormal`], and [`Poisson`] distributions over `f64`.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Types that can produce samples of `T` from a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned when distribution parameters are invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// Sampling is by inversion of a precomputed cumulative table, which is
+/// exact and fast for the catalog sizes this workspace uses (≤ a few
+/// hundred thousand items).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf<F> {
+    cdf: Vec<f64>,
+    _marker: PhantomData<F>,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError("Zipf n must be positive"));
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ParamError("Zipf exponent must be positive and finite"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.next_f64();
+        // First rank whose cumulative probability reaches u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    mu: f64,
+    sigma: f64,
+    _marker: PhantomData<F>,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal distribution with log-space mean `mu` and
+    /// log-space standard deviation `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+            return Err(ParamError(
+                "LogNormal parameters must be finite, sigma >= 0",
+            ));
+        }
+        Ok(LogNormal {
+            mu,
+            sigma,
+            _marker: PhantomData,
+        })
+    }
+}
+
+/// One standard-normal variate via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by nudging the first uniform away from zero.
+    let u1 = (rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The Poisson distribution with rate `lambda`; samples are returned as
+/// `f64` counts, mirroring `rand_distr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson<F> {
+    lambda: f64,
+    _marker: PhantomData<F>,
+}
+
+impl Poisson<f64> {
+    /// Creates a Poisson distribution with the given positive rate.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError("Poisson lambda must be positive and finite"));
+        }
+        Ok(Poisson {
+            lambda,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.next_f64();
+                if p <= limit {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation for large rates.
+            let sample = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            sample.round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipf_ranks_cover_the_domain_and_skew_low() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..50_000 {
+            let rank = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&rank));
+            counts[rank as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[49] * 5);
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_tracks_mu() {
+        let d = LogNormal::new(18.0f64.ln(), 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        assert!((12.0..27.0).contains(&median), "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let d = Poisson::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((3.7..4.3).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let d = Poisson::new(200.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 = (0..5_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 5_000.0;
+        assert!((190.0..210.0).contains(&mean), "mean {mean}");
+    }
+}

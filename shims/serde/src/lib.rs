@@ -1,0 +1,55 @@
+//! An inert, offline stand-in for `serde`'s trait surface.
+//!
+//! The workspace feature-gates all of its serde derives behind each crate's
+//! `serde` feature. This shim lets those feature-gated builds type-check on
+//! machines without a crates.io mirror: [`Serialize`] and [`Deserialize`]
+//! are marker traits implemented blanket-wise for every type, and the
+//! derive macros (re-exported from the local `serde_derive` shim) expand to
+//! nothing. No data is ever serialized; code that needs real serialization
+//! must swap the workspace `serde` entry for the real crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the names this workspace touches.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        #[serde(rename = "x")]
+        _field: u32,
+    }
+
+    #[test]
+    fn blanket_impls_cover_everything() {
+        assert_serialize::<Derived>();
+        assert_deserialize::<Derived>();
+        assert_serialize::<Vec<String>>();
+        assert_deserialize::<std::collections::HashMap<String, f64>>();
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! shim. The sibling `serde` shim implements both traits blanket-wise for
+//! every type, so the derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes parse exactly as they would with the real crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim's blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim's blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

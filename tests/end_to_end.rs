@@ -5,12 +5,19 @@ use dimension_pruning::matching::MatchingEngine;
 use dimension_pruning::net::{Simulation, SimulationConfig, Topology};
 use dimension_pruning::prelude::*;
 
-fn workload(subs: usize, events: usize) -> (Vec<Subscription>, Vec<EventMessage>, SelectivityEstimator) {
+fn workload(
+    subs: usize,
+    events: usize,
+) -> (Vec<Subscription>, Vec<EventMessage>, SelectivityEstimator) {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(17));
     let subscriptions = generator.subscriptions(subs);
     let events = generator.events(events);
     let sample = generator.events(500);
-    (subscriptions, events, SelectivityEstimator::from_events(&sample))
+    (
+        subscriptions,
+        events,
+        SelectivityEstimator::from_events(&sample),
+    )
 }
 
 #[test]
@@ -36,7 +43,11 @@ fn counting_and_naive_engines_agree_on_the_auction_workload() {
 #[test]
 fn pruning_preserves_every_original_match_for_all_dimensions() {
     let (subscriptions, events, estimator) = workload(250, 120);
-    for dimension in [Dimension::NetworkLoad, Dimension::Memory, Dimension::Throughput] {
+    for dimension in [
+        Dimension::NetworkLoad,
+        Dimension::Memory,
+        Dimension::Throughput,
+    ] {
         let mut pruner = Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
         pruner.register_all(subscriptions.iter().cloned());
         pruner.prune_all();
@@ -119,7 +130,11 @@ fn distributed_routing_delivers_exactly_the_centralized_matches() {
 #[test]
 fn distributed_deliveries_survive_full_pruning_on_every_topology() {
     let (subscriptions, events, estimator) = workload(150, 60);
-    for topology in [Topology::line(5), Topology::star(4), Topology::balanced_tree(7, 2)] {
+    for topology in [
+        Topology::line(5),
+        Topology::star(4),
+        Topology::balanced_tree(7, 2),
+    ] {
         let mut sim = Simulation::new(SimulationConfig::new(topology.clone()));
         sim.register_all(subscriptions.iter().cloned());
         let baseline: Vec<usize> = events
@@ -158,7 +173,11 @@ fn memory_dimension_wins_on_memory_and_network_dimension_wins_on_traffic() {
     let fraction = 0.4;
 
     let mut per_dimension = std::collections::BTreeMap::new();
-    for dimension in [Dimension::NetworkLoad, Dimension::Memory, Dimension::Throughput] {
+    for dimension in [
+        Dimension::NetworkLoad,
+        Dimension::Memory,
+        Dimension::Throughput,
+    ] {
         let mut pruner = Pruner::new(PrunerConfig::for_dimension(dimension), estimator.clone());
         pruner.register_all(subscriptions.iter().cloned());
         let budget = (pruner.total_possible_prunings() as f64 * fraction) as usize;
@@ -173,7 +192,10 @@ fn memory_dimension_wins_on_memory_and_network_dimension_wins_on_traffic() {
         for event in &events {
             matches += engine.match_event(event).len() as u64;
         }
-        per_dimension.insert(dimension.label(), (snapshot.association_reduction(), matches));
+        per_dimension.insert(
+            dimension.label(),
+            (snapshot.association_reduction(), matches),
+        );
     }
 
     let (mem_reduction, _) = per_dimension["mem"];

@@ -65,17 +65,19 @@ fn event_strategy() -> impl Strategy<Value = EventMessage> {
         prop::bool::ANY,
         prop::bool::ANY,
     )
-        .prop_map(|(price, bids, rating, category, condition, include_rating)| {
-            let mut builder = EventMessage::builder()
-                .attr("price", price)
-                .attr("bids", bids)
-                .attr("category", CATEGORIES[category])
-                .attr("condition", condition);
-            if include_rating {
-                builder = builder.attr("rating", rating);
-            }
-            builder.build()
-        })
+        .prop_map(
+            |(price, bids, rating, category, condition, include_rating)| {
+                let mut builder = EventMessage::builder()
+                    .attr("price", price)
+                    .attr("bids", bids)
+                    .attr("category", CATEGORIES[category])
+                    .attr("condition", condition);
+                if include_rating {
+                    builder = builder.attr("rating", rating);
+                }
+                builder.build()
+            },
+        )
 }
 
 fn subscription(id: u64, expr: &Expr) -> Subscription {
