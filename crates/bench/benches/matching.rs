@@ -1,60 +1,89 @@
-//! Matcher micro-benchmarks: the counting engine (with and without pruning)
-//! versus the naive baseline on the auction workload.
+//! Matcher micro-benchmarks: a panel of the counting engine versus the naive
+//! baseline across subscription counts and event widths, plus pruning and
+//! construction benchmarks, on the auction workload.
+//!
+//! The `matching_panel` bin produces the same panel as machine-readable JSON
+//! (`BENCH_matching.json`); this criterion target is the interactive variant
+//! with per-iteration timing and throughput reporting.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::narrow_events;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
 use pruning::{Dimension, Pruner, PrunerConfig};
+use pubsub_core::{EventMessage, Subscription, SubscriptionId};
 use selectivity::SelectivityEstimator;
 use workload::{WorkloadConfig, WorkloadGenerator};
 
-const SUBSCRIPTIONS: usize = 2_000;
+const SUBSCRIPTION_PANEL: [usize; 2] = [2_000, 10_000];
+const WIDTH_PANEL: [usize; 2] = [10, 4];
 const EVENTS: usize = 200;
 
-fn workload() -> (
-    Vec<pubsub_core::Subscription>,
-    Vec<pubsub_core::EventMessage>,
-) {
+fn workload(subscriptions: usize, events: usize) -> (Vec<Subscription>, Vec<EventMessage>) {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
     (
-        generator.subscriptions(SUBSCRIPTIONS),
-        generator.events(EVENTS),
+        generator.subscriptions(subscriptions),
+        generator.events(events),
     )
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let (subscriptions, events) = workload();
+fn bench_matching_panel(c: &mut Criterion) {
+    let (all_subs, full_events) = workload(*SUBSCRIPTION_PANEL.iter().max().unwrap(), EVENTS);
     let mut group = c.benchmark_group("matching");
     group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(EVENTS as u64));
 
-    group.bench_function("counting_engine", |b| {
-        let mut engine = CountingEngine::with_capacity(subscriptions.len());
-        for s in &subscriptions {
-            engine.insert(s.clone());
-        }
-        b.iter(|| {
-            let mut matches = 0usize;
-            for event in &events {
-                matches += engine.match_event(event).len();
-            }
-            matches
-        });
-    });
+    for &width in &WIDTH_PANEL {
+        let events = if width >= 10 {
+            full_events.clone()
+        } else {
+            narrow_events(&full_events, width)
+        };
+        for &sub_count in &SUBSCRIPTION_PANEL {
+            let subs = &all_subs[..sub_count];
 
-    group.bench_function("naive_engine", |b| {
-        let mut engine = NaiveEngine::new();
-        for s in &subscriptions {
-            engine.insert(s.clone());
-        }
-        b.iter(|| {
-            let mut matches = 0usize;
-            for event in &events {
-                matches += engine.match_event(event).len();
+            let mut counting = CountingEngine::with_capacity(subs.len());
+            for s in subs {
+                counting.insert(s.clone());
             }
-            matches
-        });
-    });
+            let mut scratch: Vec<SubscriptionId> = Vec::new();
+            group.bench_function(format!("counting/subs{sub_count}/width{width}"), |b| {
+                b.iter(|| {
+                    let mut matches = 0usize;
+                    for event in &events {
+                        counting.match_event_into(event, &mut scratch);
+                        matches += scratch.len();
+                    }
+                    matches
+                });
+            });
+
+            let mut naive = NaiveEngine::new();
+            for s in subs {
+                naive.insert(s.clone());
+            }
+            group.bench_function(format!("naive/subs{sub_count}/width{width}"), |b| {
+                b.iter(|| {
+                    let mut matches = 0usize;
+                    for event in &events {
+                        matches += naive.match_event(event).len();
+                    }
+                    matches
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pruned_and_construction(c: &mut Criterion) {
+    let (subscriptions, events) = workload(2_000, EVENTS);
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(EVENTS as u64));
 
     group.bench_function("counting_engine_fully_pruned", |b| {
         // The same subscriptions after exhaustive network-based pruning:
@@ -72,10 +101,12 @@ fn bench_matching(c: &mut Criterion) {
         for s in pruner.pruned_subscriptions() {
             engine.insert(s);
         }
+        let mut scratch: Vec<SubscriptionId> = Vec::new();
         b.iter(|| {
             let mut matches = 0usize;
             for event in &events {
-                matches += engine.match_event(event).len();
+                engine.match_event_into(event, &mut scratch);
+                matches += scratch.len();
             }
             matches
         });
@@ -98,5 +129,5 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matching);
+criterion_group!(benches, bench_matching_panel, bench_pruned_and_construction);
 criterion_main!(benches);

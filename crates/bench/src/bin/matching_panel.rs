@@ -1,0 +1,220 @@
+//! Matching-throughput panel: counting vs. naive engine across subscription
+//! counts and event widths, reported as machine-readable JSON.
+//!
+//! This is the benchmark that tracks the hot-path performance trajectory of
+//! the matcher over time. Unlike the criterion micro-benchmarks it emits a
+//! single well-formed JSON document (`BENCH_matching.json` by default) so CI
+//! and later sessions can diff the numbers.
+//!
+//! Usage:
+//!
+//! ```text
+//! matching_panel [--quick] [--out PATH] [--seed N]
+//! ```
+//!
+//! `--quick` shrinks the panel to smoke-test sizes (used by CI); the default
+//! panel matches 2,000 events against 1,000 and 10,000 subscriptions at full
+//! (10-attribute) and narrow (4-attribute) event widths.
+
+use bench::narrow_events;
+use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
+use pubsub_core::{EventMessage, Subscription};
+use std::time::Instant;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+/// One measured cell of the panel.
+struct PanelResult {
+    engine: &'static str,
+    subscriptions: usize,
+    event_width: usize,
+    events: usize,
+    /// Repetitions of the full event pass that were timed.
+    passes: usize,
+    /// Subscription matches produced by one pass over the event set.
+    matches_per_pass: usize,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+struct PanelConfig {
+    quick: bool,
+    out: String,
+    seed: u64,
+}
+
+fn parse_args() -> Result<PanelConfig, String> {
+    let mut config = PanelConfig {
+        quick: false,
+        out: "BENCH_matching.json".to_owned(),
+        seed: 42,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--out" => {
+                config.out = args.next().ok_or("--out requires a path")?;
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .ok_or("--seed requires a number")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("usage: matching_panel [--quick] [--out PATH] [--seed N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn time_engine(
+    engine: &mut dyn MatchingEngine,
+    events: &[EventMessage],
+    passes: usize,
+) -> (usize, f64) {
+    // The timed loop reuses one output buffer via `match_event_into`, so the
+    // counting engine's steady state is measured allocation-free — the same
+    // way the criterion panel and the broker hot path drive it. One untimed
+    // warm-up pass lets the engine allocate its scratch before measurement.
+    let mut buffer = Vec::new();
+    for event in events {
+        engine.match_event_into(event, &mut buffer);
+    }
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for event in events {
+            engine.match_event_into(event, &mut buffer);
+            matches += buffer.len();
+        }
+    }
+    let elapsed = start.elapsed();
+    let matches_per_pass = matches / passes.max(1);
+    let ns_per_event = elapsed.as_nanos() as f64 / (passes * events.len()) as f64;
+    (matches_per_pass, ns_per_event)
+}
+
+fn measure(
+    engine_name: &'static str,
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    width: usize,
+    passes: usize,
+) -> PanelResult {
+    let (matches_per_pass, ns_per_event) = match engine_name {
+        "counting" => {
+            let mut engine = CountingEngine::with_capacity(subscriptions.len());
+            for s in subscriptions {
+                engine.insert(s.clone());
+            }
+            time_engine(&mut engine, events, passes)
+        }
+        "naive" => {
+            let mut engine = NaiveEngine::new();
+            for s in subscriptions {
+                engine.insert(s.clone());
+            }
+            time_engine(&mut engine, events, passes)
+        }
+        other => unreachable!("unknown engine {other}"),
+    };
+    PanelResult {
+        engine: engine_name,
+        subscriptions: subscriptions.len(),
+        event_width: width,
+        events: events.len(),
+        passes,
+        matches_per_pass,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+    }
+}
+
+fn render_json(config: &PanelConfig, results: &[PanelResult]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"matching\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!("  \"quick\": {},\n", config.quick));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"subscriptions\": {}, ",
+                "\"event_width\": {}, \"events\": {}, \"passes\": {}, ",
+                "\"matches_per_pass\": {}, \"ns_per_event\": {:.1}, ",
+                "\"events_per_sec\": {:.1}}}{}\n"
+            ),
+            r.engine,
+            r.subscriptions,
+            r.event_width,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: matching_panel [--quick] [--out PATH] [--seed N]");
+            std::process::exit(2);
+        }
+    };
+    if config.out.contains('"') || config.out.contains('\\') {
+        eprintln!("error: --out path must not contain quotes or backslashes");
+        std::process::exit(2);
+    }
+
+    let (sub_counts, event_count, passes): (&[usize], usize, usize) = if config.quick {
+        (&[50, 200], 50, 2)
+    } else {
+        (&[1_000, 10_000], 2_000, 3)
+    };
+    let widths = [10usize, 4];
+
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(config.seed));
+    let max_subs = *sub_counts.iter().max().expect("panel has sizes");
+    let all_subs = generator.subscriptions(max_subs);
+    let full_events = generator.events(event_count);
+
+    let mut results = Vec::new();
+    for &width in &widths {
+        let events = if width >= 10 {
+            full_events.clone()
+        } else {
+            narrow_events(&full_events, width)
+        };
+        for &count in sub_counts {
+            let subs = &all_subs[..count];
+            for engine in ["counting", "naive"] {
+                let r = measure(engine, subs, &events, width, passes);
+                eprintln!(
+                    "{:>8} subs={:<6} width={:<2} {:>12.0} ns/event {:>12.0} events/s",
+                    r.engine, r.subscriptions, r.event_width, r.ns_per_event, r.events_per_sec
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    let json = render_json(&config, &results);
+    if let Err(e) = std::fs::write(&config.out, &json) {
+        eprintln!("error: cannot write {}: {e}", config.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", config.out);
+}

@@ -18,6 +18,30 @@ pub use centralized::{run_centralized, CentralizedPoint};
 pub use distributed::{run_distributed, DistributedPoint};
 
 use pruning::Dimension;
+use pubsub_core::EventMessage;
+
+/// Returns a copy of `events` narrowed to their first `width` attributes in
+/// attribute-name order (events with at most `width` attributes are copied
+/// unchanged). The matching panels use this to vary event width over one
+/// generated workload, in both the criterion bench and the `matching_panel`
+/// bin, so the two always measure identical inputs.
+pub fn narrow_events(events: &[EventMessage], width: usize) -> Vec<EventMessage> {
+    events
+        .iter()
+        .map(|ev| {
+            let mut narrowed = ev.clone();
+            let drop: Vec<String> = ev
+                .iter()
+                .skip(width)
+                .map(|(name, _)| name.to_owned())
+                .collect();
+            for name in drop {
+                narrowed.remove(&name);
+            }
+            narrowed
+        })
+        .collect()
+}
 
 /// The pruning fractions (x-axis samples) used by default: 0.0, 0.1, …, 1.0.
 pub fn default_fractions() -> Vec<f64> {

@@ -28,6 +28,9 @@ pub struct RoutingTable {
     per_neighbor: BTreeMap<BrokerId, CountingEngine>,
     /// Where each remote entry currently lives (subscription id → neighbor).
     remote_destination: BTreeMap<SubscriptionId, BrokerId>,
+    /// Reusable match buffer so per-event routing allocates nothing in
+    /// steady state (events are matched through `match_event_into`).
+    match_scratch: Vec<SubscriptionId>,
 }
 
 impl RoutingTable {
@@ -105,9 +108,11 @@ impl RoutingTable {
     /// Matches an event against the local entries, returning
     /// `(subscriber, subscription)` pairs to notify.
     pub fn match_local(&mut self, event: &EventMessage) -> Vec<(SubscriberId, SubscriptionId)> {
-        let ids = self.local.match_event(event);
-        ids.into_iter()
-            .map(|id| {
+        let mut ids = std::mem::take(&mut self.match_scratch);
+        self.local.match_event_into(event, &mut ids);
+        let hits = ids
+            .iter()
+            .map(|&id| {
                 let subscriber = self
                     .local
                     .get(id)
@@ -115,7 +120,9 @@ impl RoutingTable {
                     .subscriber();
                 (subscriber, id)
             })
-            .collect()
+            .collect();
+        self.match_scratch = ids;
+        hits
     }
 
     /// Determines which neighbors need a copy of the event: every neighbor
@@ -127,14 +134,17 @@ impl RoutingTable {
         exclude: Option<BrokerId>,
     ) -> Vec<BrokerId> {
         let mut forward = Vec::new();
+        let mut ids = std::mem::take(&mut self.match_scratch);
         for (neighbor, engine) in &mut self.per_neighbor {
             if Some(*neighbor) == exclude {
                 continue;
             }
-            if !engine.match_event(event).is_empty() {
+            engine.match_event_into(event, &mut ids);
+            if !ids.is_empty() {
                 forward.push(*neighbor);
             }
         }
+        self.match_scratch = ids;
         forward
     }
 

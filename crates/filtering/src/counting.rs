@@ -1,18 +1,71 @@
 //! The counting matcher with per-attribute predicate indexes and the `pmin`
 //! shortcut.
 
-use crate::index::{AttributeIndex, PredicateKey};
+use crate::index::{AttributeIndex, PredicateKey, SubSlot};
 use crate::{EngineReport, FilterStats, MatchingEngine};
-use pubsub_core::{EventMessage, NodeId, Subscription, SubscriptionId};
+use pubsub_core::{EventMessage, LeafMask, Subscription, SubscriptionId};
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// Per-subscription bookkeeping kept by the engine.
+/// Sentinel meaning "this slot is not in the zero-pmin list".
+const NOT_IN_ZERO: u32 = u32::MAX;
+
+/// Per-subscription bookkeeping kept by the engine, one per occupied slot.
 #[derive(Debug)]
-struct SubEntry {
+struct SlotEntry {
     subscription: Subscription,
     /// `pmin` of the current tree, cached at insertion time.
-    pmin: usize,
+    pmin: u32,
+    /// Reusable truth mask over the tree's nodes, allocated at insertion
+    /// time and generation-cleared between events.
+    mask: LeafMask,
+}
+
+/// Reusable per-event scratch. All buffers are indexed by [`SubSlot`] and
+/// grow only when subscriptions are added — after warmup, matching an event
+/// performs no heap allocation here.
+#[derive(Debug, Default)]
+struct MatchScratch {
+    /// Fulfilled-predicate count per slot, valid only where `gen` carries
+    /// the current generation.
+    counts: Vec<u32>,
+    /// Generation stamp per slot; stamping replaces clearing the counters.
+    gen: Vec<u32>,
+    /// The generation of the event currently being matched.
+    current_gen: u32,
+    /// Slots with at least one fulfilled predicate this event, in first-touch
+    /// order.
+    touched: Vec<u32>,
+    /// Number of times any scratch buffer had to grow (reallocate). Stable
+    /// across calls in steady state; tests assert on it.
+    grows: u64,
+}
+
+impl MatchScratch {
+    /// Starts a new event: bumps the generation and sizes the per-slot
+    /// buffers to cover `slots` entries.
+    fn advance(&mut self, slots: usize) {
+        if self.counts.len() < slots {
+            // Growth is accounted for centrally in `match_event_into` via the
+            // before/after capacity comparison, not here, so one reallocation
+            // is never counted twice.
+            self.counts.resize(slots, 0);
+            self.gen.resize(slots, 0);
+        }
+        self.current_gen = self.current_gen.wrapping_add(1);
+        if self.current_gen == 0 {
+            // Generation wrap (once per 2³² events): physically reset the
+            // stamps so ancient generations cannot alias the new one.
+            self.gen.fill(0);
+            self.current_gen = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Total number of scratch elements currently allocated.
+    fn capacity(&self) -> usize {
+        self.counts.capacity() + self.gen.capacity() + self.touched.capacity()
+    }
 }
 
 /// The production matching engine.
@@ -21,24 +74,42 @@ struct SubEntry {
 /// event proceeds in two phases:
 ///
 /// 1. **Predicate phase** — the index reports every fulfilled predicate as a
-///    `(subscription, leaf node)` pair; fulfilled leaves are grouped per
-///    subscription.
+///    `(subscription slot, leaf node)` pair; the engine bumps a flat per-slot
+///    counter and marks the leaf in the subscription's reusable [`LeafMask`].
 /// 2. **Subscription phase** — only subscriptions whose number of fulfilled
 ///    leaves reaches the tree's `pmin` are evaluated; the tree is evaluated
-///    with the leaf truth assignment discovered in phase 1, so no predicate
+///    directly against the leaf mask discovered in phase 1, so no predicate
 ///    is evaluated twice.
+///
+/// Subscriptions are stored in a slab: each [`SubscriptionId`] maps to a dense
+/// [`SubSlot`] so that all per-event state lives in flat arrays. Counters and
+/// masks are generation-stamped — "clearing" them between events is a single
+/// integer increment — which together with the reusable `touched` list makes
+/// the steady-state hot path allocation-free.
 ///
 /// The `pmin` shortcut is exactly what makes the paper's throughput heuristic
 /// meaningful: pruning that *raises* `pmin` makes the subscription cheaper to
 /// filter because it is evaluated for fewer events.
+///
+/// Matches are returned sorted by subscription id, so results are
+/// reproducible regardless of registration order or slot assignment.
 #[derive(Debug, Default)]
 pub struct CountingEngine {
-    subscriptions: HashMap<SubscriptionId, SubEntry>,
-    /// Subscriptions with `pmin == 0` (only possible with negations). They can
-    /// match events that fulfil none of their predicates and therefore have to
-    /// be evaluated for every event.
-    zero_pmin: Vec<SubscriptionId>,
+    /// Slab of registered subscriptions, indexed by slot.
+    slots: Vec<Option<SlotEntry>>,
+    /// Slots freed by removals, reused by later insertions.
+    free_slots: Vec<u32>,
+    /// Identity → slot mapping, touched only on registration/removal.
+    id_to_slot: HashMap<SubscriptionId, u32>,
+    /// Slots of subscriptions with `pmin == 0` (only possible with
+    /// negations). They can match events that fulfil none of their predicates
+    /// and therefore have to be evaluated for every event.
+    zero_pmin: Vec<u32>,
+    /// Position of each slot inside `zero_pmin` (or [`NOT_IN_ZERO`]), for
+    /// O(1) membership updates instead of an O(n) scan.
+    zero_pmin_pos: Vec<u32>,
     index: AttributeIndex,
+    scratch: MatchScratch,
     stats: FilterStats,
 }
 
@@ -51,16 +122,20 @@ impl CountingEngine {
     /// Creates an empty engine with capacity for roughly `n` subscriptions.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            subscriptions: HashMap::with_capacity(n),
+            slots: Vec::with_capacity(n),
+            free_slots: Vec::new(),
+            id_to_slot: HashMap::with_capacity(n),
             zero_pmin: Vec::new(),
+            zero_pmin_pos: Vec::new(),
             index: AttributeIndex::new(),
+            scratch: MatchScratch::default(),
             stats: FilterStats::new(),
         }
     }
 
-    /// Iterates over the registered subscriptions in arbitrary order.
+    /// Iterates over the registered subscriptions in slot order.
     pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
-        self.subscriptions.values().map(|e| &e.subscription)
+        self.slots.iter().flatten().map(|entry| &entry.subscription)
     }
 
     /// Direct access to the underlying predicate index (read-only), mainly
@@ -69,17 +144,64 @@ impl CountingEngine {
         &self.index
     }
 
-    fn register_predicates(&mut self, subscription: &Subscription) {
+    /// Number of reusable scratch elements currently allocated for the
+    /// per-event match state. Constant across `match_event` calls once the
+    /// engine has warmed up (no subscriptions added in between).
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
+    }
+
+    /// Number of times the per-event scratch had to grow since construction.
+    /// In steady state (matching without re-registration) this counter does
+    /// not move; the regression tests assert exactly that.
+    pub fn scratch_grows(&self) -> u64 {
+        self.scratch.grows
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            return slot;
+        }
+        let slot = u32::try_from(self.slots.len()).expect("subscription slab exceeds u32 range");
+        self.slots.push(None);
+        if self.zero_pmin_pos.len() < self.slots.len() {
+            self.zero_pmin_pos.resize(self.slots.len(), NOT_IN_ZERO);
+        }
+        slot
+    }
+
+    fn register_predicates(index: &mut AttributeIndex, slot: u32, subscription: &Subscription) {
         for (node, predicate) in subscription.tree().predicates() {
-            self.index
-                .insert(predicate, PredicateKey::new(subscription.id(), node));
+            index.insert(predicate, PredicateKey::new(SubSlot(slot), node));
         }
     }
 
-    fn unregister_predicates(&mut self, subscription: &Subscription) {
+    fn unregister_predicates(index: &mut AttributeIndex, slot: u32, subscription: &Subscription) {
         for (node, predicate) in subscription.tree().predicates() {
-            self.index
-                .remove(predicate, PredicateKey::new(subscription.id(), node));
+            index.remove(predicate, PredicateKey::new(SubSlot(slot), node));
+        }
+    }
+
+    fn zero_pmin_insert(&mut self, slot: u32) {
+        if self.zero_pmin_pos[slot as usize] != NOT_IN_ZERO {
+            return;
+        }
+        self.zero_pmin_pos[slot as usize] =
+            u32::try_from(self.zero_pmin.len()).expect("zero-pmin list exceeds u32 range");
+        self.zero_pmin.push(slot);
+    }
+
+    /// O(1) removal from the zero-pmin list via the position map and
+    /// `swap_remove` (replacing the former O(n) `retain`).
+    fn zero_pmin_remove(&mut self, slot: u32) {
+        let pos = self.zero_pmin_pos[slot as usize];
+        if pos == NOT_IN_ZERO {
+            return;
+        }
+        self.zero_pmin_pos[slot as usize] = NOT_IN_ZERO;
+        self.zero_pmin.swap_remove(pos as usize);
+        if let Some(&moved) = self.zero_pmin.get(pos as usize) {
+            self.zero_pmin_pos[moved as usize] = pos;
         }
     }
 }
@@ -87,92 +209,152 @@ impl CountingEngine {
 impl MatchingEngine for CountingEngine {
     fn insert(&mut self, subscription: Subscription) {
         let id = subscription.id();
-        if let Some(old) = self.subscriptions.remove(&id) {
-            let old_sub = old.subscription;
-            self.unregister_predicates(&old_sub);
-            self.zero_pmin.retain(|z| *z != id);
-        }
-        self.register_predicates(&subscription);
-        let pmin = subscription.tree().pmin();
+        let slot = match self.id_to_slot.get(&id) {
+            Some(&slot) => {
+                // Replacement: unregister the old tree first.
+                let old = self.slots[slot as usize]
+                    .take()
+                    .expect("mapped slot is occupied");
+                Self::unregister_predicates(&mut self.index, slot, &old.subscription);
+                self.zero_pmin_remove(slot);
+                slot
+            }
+            None => {
+                let slot = self.alloc_slot();
+                self.id_to_slot.insert(id, slot);
+                slot
+            }
+        };
+        Self::register_predicates(&mut self.index, slot, &subscription);
+        let pmin = u32::try_from(subscription.tree().pmin()).expect("pmin exceeds u32 range");
         if pmin == 0 {
-            self.zero_pmin.push(id);
+            self.zero_pmin_insert(slot);
         }
-        self.subscriptions
-            .insert(id, SubEntry { subscription, pmin });
+        let mask = LeafMask::new(subscription.tree().node_count());
+        self.slots[slot as usize] = Some(SlotEntry {
+            subscription,
+            pmin,
+            mask,
+        });
     }
 
     fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
-        let entry = self.subscriptions.remove(&id)?;
-        self.unregister_predicates(&entry.subscription);
-        if entry.pmin == 0 {
-            self.zero_pmin.retain(|z| *z != id);
-        }
+        let slot = self.id_to_slot.remove(&id)?;
+        let entry = self.slots[slot as usize]
+            .take()
+            .expect("mapped slot is occupied");
+        Self::unregister_predicates(&mut self.index, slot, &entry.subscription);
+        self.zero_pmin_remove(slot);
+        self.free_slots.push(slot);
         Some(entry.subscription)
     }
 
     fn get(&self, id: SubscriptionId) -> Option<&Subscription> {
-        self.subscriptions.get(&id).map(|e| &e.subscription)
+        let slot = *self.id_to_slot.get(&id)?;
+        self.slots[slot as usize]
+            .as_ref()
+            .map(|entry| &entry.subscription)
     }
 
     fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId> {
-        let start = Instant::now();
-
-        // Phase 1: resolve fulfilled predicates through the index and group
-        // the fulfilled leaf nodes per subscription.
-        let mut fulfilled: HashMap<SubscriptionId, Vec<NodeId>> = HashMap::new();
-        let mut fulfilled_count = 0u64;
-        self.index.fulfilled(event, |key: PredicateKey| {
-            fulfilled
-                .entry(key.subscription)
-                .or_default()
-                .push(key.node);
-            fulfilled_count += 1;
-        });
-        self.stats.predicates_fulfilled += fulfilled_count;
-
-        // Phase 2: evaluate only the candidate subscriptions — those with at
-        // least one fulfilled predicate whose fulfilled-leaf count reaches the
-        // tree's pmin. Subscriptions with pmin == 0 (possible only with
-        // negations) are evaluated for every event, because they can match an
-        // event that fulfils none of their predicates.
-        let mut matches = Vec::new();
-        for (id, leaves) in &fulfilled {
-            let Some(entry) = self.subscriptions.get(id) else {
-                continue;
-            };
-            if leaves.len() < entry.pmin {
-                self.stats.skipped_by_pmin += 1;
-                continue;
-            }
-            self.stats.trees_evaluated += 1;
-            let matched = entry
-                .subscription
-                .tree()
-                .evaluate_leaves(&mut |node, _| leaves.contains(&node));
-            if matched {
-                matches.push(*id);
-            }
-        }
-        for id in &self.zero_pmin {
-            if fulfilled.contains_key(id) {
-                // Already handled as a candidate above.
-                continue;
-            }
-            let entry = &self.subscriptions[id];
-            self.stats.trees_evaluated += 1;
-            if entry.subscription.tree().evaluate_leaves(&mut |_, _| false) {
-                matches.push(*id);
-            }
-        }
-
-        self.stats.events_filtered += 1;
-        self.stats.matches += matches.len() as u64;
-        self.stats.filter_time += start.elapsed();
+        // Small initial capacity: most events match few subscriptions, and
+        // the vector grows geometrically for the rest.
+        let mut matches = Vec::with_capacity(8);
+        self.match_event_into(event, &mut matches);
         matches
     }
 
+    fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
+        let start = Instant::now();
+        matches.clear();
+        let scratch_capacity_before = self.scratch.capacity();
+
+        let Self {
+            slots,
+            zero_pmin,
+            index,
+            scratch,
+            stats,
+            ..
+        } = self;
+
+        // Phase 1: resolve fulfilled predicates through the index, counting
+        // fulfilled leaves per slot in flat generation-stamped arrays and
+        // marking them in the subscription's reusable leaf mask.
+        scratch.advance(slots.len());
+        let current_gen = scratch.current_gen;
+        let mut fulfilled_count = 0u64;
+        index.fulfilled(event, |key: PredicateKey| {
+            let s = key.slot.index();
+            let Some(entry) = slots.get_mut(s).and_then(|e| e.as_mut()) else {
+                return;
+            };
+            if scratch.gen[s] != current_gen {
+                scratch.gen[s] = current_gen;
+                scratch.counts[s] = 0;
+                entry.mask.clear();
+                scratch.touched.push(key.slot.0);
+            }
+            if !entry.mask.contains(key.node) {
+                entry.mask.set(key.node);
+                scratch.counts[s] += 1;
+                fulfilled_count += 1;
+            }
+        });
+        stats.predicates_fulfilled += fulfilled_count;
+
+        // Phase 2: evaluate only the candidate subscriptions — those with at
+        // least one fulfilled predicate whose fulfilled-leaf count reaches
+        // the tree's pmin.
+        for &slot in &scratch.touched {
+            let entry = slots[slot as usize]
+                .as_ref()
+                .expect("touched slots are occupied");
+            if scratch.counts[slot as usize] < entry.pmin {
+                stats.skipped_by_pmin += 1;
+                continue;
+            }
+            stats.trees_evaluated += 1;
+            if entry.subscription.tree().evaluate_with_mask(&entry.mask) {
+                matches.push(entry.subscription.id());
+            }
+        }
+        // Subscriptions with pmin == 0 (possible only with negations) are
+        // evaluated for every event, because they can match an event that
+        // fulfils none of their predicates. Slots already touched above were
+        // evaluated with their real mask (pmin 0 always passes the count
+        // check); the rest see the all-false mask.
+        for &slot in zero_pmin.iter() {
+            if scratch.gen[slot as usize] == current_gen {
+                continue;
+            }
+            let entry = slots[slot as usize]
+                .as_ref()
+                .expect("zero-pmin slots are occupied");
+            stats.trees_evaluated += 1;
+            if entry
+                .subscription
+                .tree()
+                .evaluate_with_mask(LeafMask::empty())
+            {
+                matches.push(entry.subscription.id());
+            }
+        }
+
+        // Deterministic output: emit in subscription-id order, independent of
+        // slot assignment and index iteration order.
+        matches.sort_unstable();
+
+        if self.scratch.capacity() > scratch_capacity_before {
+            self.scratch.grows += 1;
+        }
+        self.stats.events_filtered += 1;
+        self.stats.matches += matches.len() as u64;
+        self.stats.filter_time += start.elapsed();
+    }
+
     fn len(&self) -> usize {
-        self.subscriptions.len()
+        self.id_to_slot.len()
     }
 
     fn stats(&self) -> &FilterStats {
@@ -185,13 +367,9 @@ impl MatchingEngine for CountingEngine {
 
     fn report(&self) -> EngineReport {
         EngineReport {
-            subscription_count: self.subscriptions.len(),
+            subscription_count: self.id_to_slot.len(),
             association_count: self.index.len(),
-            tree_bytes: self
-                .subscriptions
-                .values()
-                .map(|e| e.subscription.tree().size_bytes())
-                .sum(),
+            tree_bytes: self.subscriptions().map(|s| s.tree().size_bytes()).sum(),
         }
     }
 }
@@ -315,6 +493,79 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_reused_after_removal() {
+        let mut e = CountingEngine::new();
+        for i in 1..=4u64 {
+            e.insert(sub(i, &Expr::eq("category", "books")));
+        }
+        e.remove(SubscriptionId::from_raw(2)).unwrap();
+        e.remove(SubscriptionId::from_raw(3)).unwrap();
+        // Two freed slots get reused by the next two insertions.
+        let slab_len_before = e.slots.len();
+        e.insert(sub(5, &Expr::eq("category", "books")));
+        e.insert(sub(6, &Expr::eq("category", "music")));
+        assert_eq!(e.slots.len(), slab_len_before);
+        let mut hits = e.match_event(&book_event("books", 1, 0));
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![
+                SubscriptionId::from_raw(1),
+                SubscriptionId::from_raw(4),
+                SubscriptionId::from_raw(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_pmin_position_map_handles_churn() {
+        let mut e = CountingEngine::new();
+        // Three negation-only subscriptions plus one positive one.
+        e.insert(sub(1, &Expr::not(Expr::eq("a", 1i64))));
+        e.insert(sub(2, &Expr::not(Expr::eq("b", 1i64))));
+        e.insert(sub(3, &Expr::not(Expr::eq("c", 1i64))));
+        e.insert(sub(4, &Expr::eq("a", 1i64)));
+        assert_eq!(e.zero_pmin.len(), 3);
+        // Remove the middle one; the swap must keep positions consistent.
+        e.remove(SubscriptionId::from_raw(2)).unwrap();
+        assert_eq!(e.zero_pmin.len(), 2);
+        for (pos, &slot) in e.zero_pmin.iter().enumerate() {
+            assert_eq!(e.zero_pmin_pos[slot as usize] as usize, pos);
+        }
+        // Replacing a zero-pmin subscription with a positive tree drops it
+        // from the list.
+        e.insert(sub(3, &Expr::eq("c", 1i64)));
+        assert_eq!(e.zero_pmin.len(), 1);
+        let ev = EventMessage::builder().attr("x", 9i64).build();
+        // Only sub 1 (NOT a=1) still matches the unrelated event.
+        assert_eq!(e.match_event(&ev), vec![SubscriptionId::from_raw(1)]);
+    }
+
+    #[test]
+    fn matches_are_sorted_by_subscription_id() {
+        let mut e = CountingEngine::new();
+        // Insert in descending id order so slot order disagrees with id order.
+        for id in (1..=20u64).rev() {
+            e.insert(sub(id, &Expr::eq("category", "books")));
+        }
+        let hits = e.match_event(&book_event("books", 1, 0));
+        let expected: Vec<SubscriptionId> = (1..=20).map(SubscriptionId::from_raw).collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn match_event_into_reuses_the_buffer() {
+        let mut e = CountingEngine::new();
+        e.insert(sub(1, &Expr::eq("category", "books")));
+        let mut out = Vec::with_capacity(4);
+        e.match_event_into(&book_event("books", 1, 0), &mut out);
+        assert_eq!(out, vec![SubscriptionId::from_raw(1)]);
+        out.clear();
+        e.match_event_into(&book_event("music", 1, 0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn duplicate_predicates_within_one_subscription() {
         let mut e = CountingEngine::new();
         // The same predicate appears in both OR branches.
@@ -420,5 +671,40 @@ mod tests {
         assert!(e.stats().filter_time.as_nanos() > 0);
         e.reset_stats();
         assert_eq!(e.stats().events_filtered, 0);
+    }
+
+    #[test]
+    fn steady_state_matching_reuses_scratch() {
+        let mut e = CountingEngine::new();
+        for i in 0..200u64 {
+            e.insert(sub(
+                i,
+                &Expr::and(vec![
+                    Expr::eq("category", if i % 2 == 0 { "books" } else { "music" }),
+                    Expr::le("price", (i % 30) as i64),
+                ]),
+            ));
+        }
+        // Warm-up: one pass over a representative event set.
+        let events: Vec<EventMessage> = (0..40)
+            .map(|i| book_event(if i % 2 == 0 { "books" } else { "music" }, i, i % 7))
+            .collect();
+        for ev in &events {
+            e.match_event(ev);
+        }
+        let grows = e.scratch_grows();
+        let capacity = e.scratch_capacity();
+        // Steady state: repeated matching must not grow any scratch buffer.
+        for _ in 0..5 {
+            for ev in &events {
+                e.match_event(ev);
+            }
+        }
+        assert_eq!(
+            e.scratch_grows(),
+            grows,
+            "scratch reallocated in steady state"
+        );
+        assert_eq!(e.scratch_capacity(), capacity);
     }
 }

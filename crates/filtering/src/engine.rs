@@ -58,6 +58,19 @@ pub trait MatchingEngine {
     /// Matches an event, returning the ids of all fulfilled subscriptions.
     fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId>;
 
+    /// Matches an event into a caller-provided buffer, *replacing* its
+    /// contents.
+    ///
+    /// Callers on hot paths (brokers, batch drivers) keep one buffer alive
+    /// across events so that steady-state matching performs no allocation at
+    /// all. The default implementation delegates to
+    /// [`match_event`](Self::match_event); engines with allocation-free
+    /// internals override it.
+    fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
+        matches.clear();
+        matches.append(&mut self.match_event(event));
+    }
+
     /// Number of registered subscriptions.
     fn len(&self) -> usize;
 

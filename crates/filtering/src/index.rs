@@ -5,6 +5,12 @@
 //! attribute–value pair carried by the event, which registered predicates are
 //! fulfilled — without touching subscriptions whose predicates cannot match.
 //!
+//! The index is keyed by dense [`AttrId`]s: the top level is a plain `Vec`
+//! indexed by the interned attribute id, so probing an event attribute is an
+//! array access instead of a string hash. Predicate owners are identified by
+//! dense [`SubSlot`]s handed out by the engine's subscription slab, which is
+//! what lets the match loop count fulfilled predicates in flat arrays.
+//!
 //! Three sub-indexes are kept per attribute, in the spirit of the
 //! one-dimensional index structures of Fabret et al. (SIGMOD 2001):
 //!
@@ -16,23 +22,49 @@
 //!   ordering on strings), which is evaluated predicate-by-predicate but only
 //!   for events that actually carry the attribute.
 
-use pubsub_core::{EventMessage, NodeId, Operator, Predicate, SubscriptionId, Value};
+use pubsub_core::{AttrId, EventMessage, NodeId, Operator, Predicate, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
 
-/// Identifies one registered predicate leaf: the subscription it belongs to
-/// and the leaf's node id inside that subscription's current tree.
+/// Dense slot of a registered subscription inside the matching engine's slab.
+///
+/// Slots are engine-local: the engine maps each [`SubscriptionId`]
+/// (`pubsub_core::SubscriptionId`) to a small dense integer at registration
+/// time so that per-event state (fulfilled-predicate counters, generation
+/// stamps) lives in flat arrays indexed by slot instead of hash maps keyed by
+/// id. Slots are reused after removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubSlot(pub u32);
+
+impl SubSlot {
+    /// Returns this slot as an index into dense per-subscription tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SubSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot-{}", self.0)
+    }
+}
+
+/// Identifies one registered predicate leaf: the dense slot of the owning
+/// subscription and the leaf's node id inside that subscription's tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PredicateKey {
-    /// The owning subscription.
-    pub subscription: SubscriptionId,
+    /// The owning subscription's dense slot.
+    pub slot: SubSlot,
     /// The predicate leaf inside the subscription's tree.
     pub node: NodeId,
 }
 
 impl PredicateKey {
     /// Creates a new predicate key.
-    pub fn new(subscription: SubscriptionId, node: NodeId) -> Self {
-        Self { subscription, node }
+    pub fn new(slot: SubSlot, node: NodeId) -> Self {
+        Self { slot, node }
     }
 }
 
@@ -66,7 +98,8 @@ enum EqKey {
     /// Numeric constants are normalized to their bit pattern after an
     /// `Int -> Float` widening so that `= 3` and `= 3.0` share a bucket.
     Num(u64),
-    Str(String),
+    /// Strings share the value's `Arc` — registration never copies the text.
+    Str(Arc<str>),
 }
 
 impl EqKey {
@@ -76,7 +109,7 @@ impl EqKey {
             Value::Int(i) => Some(EqKey::Num((*i as f64).to_bits())),
             Value::Float(f) if !f.is_nan() => Some(EqKey::Num(f.to_bits())),
             Value::Float(_) => None,
-            Value::Str(s) => Some(EqKey::Str(s.clone())),
+            Value::Str(s) => Some(EqKey::Str(Arc::clone(s))),
         }
     }
 }
@@ -112,10 +145,14 @@ struct LowerBucket {
     inclusive: Vec<PredicateKey>,
 }
 
-/// The top-level predicate index: attribute name → per-attribute buckets.
+/// The top-level predicate index: dense `AttrId` → per-attribute buckets.
 #[derive(Debug, Default)]
 pub struct AttributeIndex {
-    attributes: HashMap<String, AttributeBuckets>,
+    /// Indexed by `AttrId::index()`. `None` for interned attributes that
+    /// carry no predicates (e.g. attributes only events use).
+    attributes: Vec<Option<Box<AttributeBuckets>>>,
+    /// Number of `Some` entries in `attributes`.
+    attributes_in_use: usize,
     registered: usize,
 }
 
@@ -135,17 +172,31 @@ impl AttributeIndex {
         self.registered == 0
     }
 
-    /// Number of distinct attributes that carry at least one predicate.
+    /// Number of distinct attributes that have carried at least one predicate.
     pub fn attribute_count(&self) -> usize {
-        self.attributes.len()
+        self.attributes_in_use
+    }
+
+    fn buckets_mut(&mut self, id: AttrId) -> &mut AttributeBuckets {
+        let idx = id.index();
+        if idx >= self.attributes.len() {
+            self.attributes.resize_with(idx + 1, || None);
+        }
+        let entry = &mut self.attributes[idx];
+        if entry.is_none() {
+            *entry = Some(Box::default());
+            self.attributes_in_use += 1;
+        }
+        entry.as_mut().expect("just populated")
+    }
+
+    fn buckets(&self, id: AttrId) -> Option<&AttributeBuckets> {
+        self.attributes.get(id.index())?.as_deref()
     }
 
     /// Registers a predicate under the given key.
     pub fn insert(&mut self, predicate: &Predicate, key: PredicateKey) {
-        let buckets = self
-            .attributes
-            .entry(predicate.attribute().to_owned())
-            .or_default();
+        let buckets = self.buckets_mut(predicate.attr_id());
         match predicate.operator() {
             Operator::Eq => {
                 if let Some(eq_key) = EqKey::from_value(predicate.constant()) {
@@ -186,7 +237,8 @@ impl AttributeIndex {
     /// The predicate must be identical to the one passed to
     /// [`insert`](Self::insert); returns `true` if an entry was removed.
     pub fn remove(&mut self, predicate: &Predicate, key: PredicateKey) -> bool {
-        let Some(buckets) = self.attributes.get_mut(predicate.attribute()) else {
+        let idx = predicate.attr_id().index();
+        let Some(Some(buckets)) = self.attributes.get_mut(idx) else {
             return false;
         };
         let removed = match predicate.operator() {
@@ -233,9 +285,13 @@ impl AttributeIndex {
 
     /// Reports every registered predicate fulfilled by the event, by calling
     /// `on_fulfilled` once per fulfilled predicate key.
+    ///
+    /// This is the phase-1 hot path: the event's attribute ids were resolved
+    /// at build time, the top-level probe is a `Vec` index, and no allocation
+    /// takes place.
     pub fn fulfilled(&self, event: &EventMessage, mut on_fulfilled: impl FnMut(PredicateKey)) {
-        for (attribute, value) in event.iter() {
-            let Some(buckets) = self.attributes.get(attribute) else {
+        for (attribute, value) in event.iter_resolved() {
+            let Some(buckets) = self.buckets(attribute) else {
                 continue;
             };
             // Equality index.
@@ -317,8 +373,8 @@ mod tests {
     use super::*;
     use pubsub_core::EventMessage;
 
-    fn key(sub: u64, node: u32) -> PredicateKey {
-        PredicateKey::new(SubscriptionId::from_raw(sub), NodeId(node))
+    fn key(slot: u32, node: u32) -> PredicateKey {
+        PredicateKey::new(SubSlot(slot), NodeId(node))
     }
 
     fn event(price: i64, category: &str) -> EventMessage {
@@ -454,7 +510,10 @@ mod tests {
     #[test]
     fn removal_of_unknown_attribute_is_noop() {
         let mut idx = AttributeIndex::new();
-        assert!(!idx.remove(&Predicate::new("zzz", Operator::Eq, 1i64), key(1, 0)));
+        assert!(!idx.remove(
+            &Predicate::new("zzz_index_test_unused", Operator::Eq, 1i64),
+            key(1, 0)
+        ));
     }
 
     #[test]
@@ -483,7 +542,7 @@ mod tests {
             Operator::Gt,
             Operator::Ge,
         ];
-        let mut next = 0u64;
+        let mut next = 0u32;
         for op in ops {
             for threshold in [0i64, 5, 10, 15] {
                 let p = Predicate::new("price", op, threshold);

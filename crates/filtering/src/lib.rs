@@ -51,6 +51,6 @@ mod stats;
 
 pub use counting::CountingEngine;
 pub use engine::{EngineReport, MatchingEngine};
-pub use index::{AttributeIndex, PredicateKey};
+pub use index::{AttributeIndex, PredicateKey, SubSlot};
 pub use naive::NaiveEngine;
 pub use stats::FilterStats;

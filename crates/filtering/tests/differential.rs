@@ -1,0 +1,137 @@
+//! Differential and allocation-regression tests for the counting engine.
+//!
+//! * The counting engine must agree with the naive baseline on random
+//!   workloads drawn from the `workload` generators (the same generators the
+//!   benchmarks and experiments use), across seeds and under churn.
+//! * After warmup, repeated `match_event` calls must not allocate any new
+//!   scratch: the generation-stamped counters, leaf masks, and touched lists
+//!   are reused across events.
+
+use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
+use proptest::prelude::*;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+proptest! {
+    /// Counting and naive engines produce identical match sets on random
+    /// auction workloads (any divergence would be a soundness bug in the
+    /// index, the pmin shortcut, or the mask evaluation).
+    #[test]
+    fn counting_agrees_with_naive_on_random_workloads(seed in 0u64..32) {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+        let subscriptions = generator.subscriptions(150);
+        let events = generator.events(60);
+
+        let mut counting = CountingEngine::with_capacity(subscriptions.len());
+        let mut naive = NaiveEngine::new();
+        for s in &subscriptions {
+            counting.insert(s.clone());
+            naive.insert(s.clone());
+        }
+        for (i, event) in events.iter().enumerate() {
+            let a = counting.match_event(event);
+            let mut b = naive.match_event(event);
+            b.sort();
+            prop_assert_eq!(&a, &b, "divergence on seed {} event {}", seed, i);
+        }
+    }
+
+    /// Agreement survives churn: removing and re-registering a slice of the
+    /// subscriptions (exercising slot reuse) must not change results.
+    #[test]
+    fn counting_agrees_with_naive_under_churn(seed in 0u64..16) {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+        let subscriptions = generator.subscriptions(120);
+        let events = generator.events(40);
+
+        let mut counting = CountingEngine::new();
+        let mut naive = NaiveEngine::new();
+        for s in &subscriptions {
+            counting.insert(s.clone());
+            naive.insert(s.clone());
+        }
+        // Remove every third subscription, then re-register half of those —
+        // freed slots get reused with different subscription ids.
+        let removed: Vec<_> = subscriptions
+            .iter()
+            .step_by(3)
+            .map(|s| s.id())
+            .collect();
+        for id in &removed {
+            counting.remove(*id).unwrap();
+            naive.remove(*id).unwrap();
+        }
+        for s in subscriptions.iter().step_by(6) {
+            counting.insert(s.clone());
+            naive.insert(s.clone());
+        }
+        for (i, event) in events.iter().enumerate() {
+            let a = counting.match_event(event);
+            let mut b = naive.match_event(event);
+            b.sort();
+            prop_assert_eq!(&a, &b, "divergence on seed {} event {}", seed, i);
+        }
+    }
+}
+
+/// The acceptance test for the zero-allocation hot path: once the engine has
+/// seen one pass over the event set, further matching grows no scratch
+/// buffer (counters, generation stamps, touched list), which is observable
+/// through `scratch_capacity()` / `scratch_grows()`.
+#[test]
+fn steady_state_matching_allocates_no_new_scratch() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(2_000);
+    let events = generator.events(300);
+
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in &subscriptions {
+        engine.insert(s.clone());
+    }
+
+    // Warm-up pass: scratch buffers grow to their steady-state sizes.
+    let mut matches = Vec::new();
+    for event in &events {
+        engine.match_event_into(event, &mut matches);
+    }
+    let grows_after_warmup = engine.scratch_grows();
+    let capacity_after_warmup = engine.scratch_capacity();
+    assert!(capacity_after_warmup > 0, "warmup should allocate scratch");
+
+    // Steady state: the second and every later pass reuse the scratch.
+    for _ in 0..3 {
+        for event in &events {
+            engine.match_event_into(event, &mut matches);
+        }
+    }
+    assert_eq!(
+        engine.scratch_grows(),
+        grows_after_warmup,
+        "match_event grew scratch after warmup"
+    );
+    assert_eq!(engine.scratch_capacity(), capacity_after_warmup);
+}
+
+/// Match output is sorted by subscription id, making results reproducible
+/// independent of registration order.
+#[test]
+fn match_output_is_deterministic_and_sorted() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let mut subscriptions = generator.subscriptions(300);
+    let events = generator.events(50);
+
+    let mut forward = CountingEngine::new();
+    for s in &subscriptions {
+        forward.insert(s.clone());
+    }
+    subscriptions.reverse();
+    let mut backward = CountingEngine::new();
+    for s in &subscriptions {
+        backward.insert(s.clone());
+    }
+    for event in &events {
+        let a = forward.match_event(event);
+        let b = backward.match_event(event);
+        assert_eq!(a, b, "order of registration leaked into match output");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "matches not sorted");
+    }
+}

@@ -1,7 +1,6 @@
 //! Event messages: sets of attribute–value pairs.
 
-use crate::{EventId, Value};
-use std::collections::BTreeMap;
+use crate::{attr, AttrId, EventId, Value};
 use std::fmt;
 
 /// A published event message.
@@ -10,13 +9,25 @@ use std::fmt;
 /// attribute–value pairs describing its content, e.g. an auction event
 /// `{title: "dune", category: "books", price: 12.5, bids: 3}`.
 ///
-/// Attribute names are stored in a sorted map so that message contents are
-/// deterministic (useful for hashing, serialization, and reproducible tests).
+/// Attribute names are resolved to dense [`AttrId`]s through the global
+/// interner exactly once, when the event is built. Matching engines therefore
+/// never hash or compare attribute strings per event: they iterate
+/// [`iter_resolved`](EventMessage::iter_resolved) and index flat per-attribute
+/// tables by id. Entries are kept sorted by attribute *name* so that message
+/// contents, iteration order, and [`Display`](fmt::Display) output stay
+/// deterministic and independent of interning order.
+///
+/// **Serde caveat:** the derived serde form stores raw [`AttrId`]s, which are
+/// process-local (they depend on interning order). It round-trips within one
+/// process but is not portable across processes; wire-format serialization
+/// needs custom name-based impls first. As shipped the `serde` feature only
+/// binds the offline no-op shim, so nothing can rely on the derived form.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventMessage {
     id: EventId,
-    attributes: BTreeMap<String, Value>,
+    /// Attribute entries sorted by interned attribute name.
+    attributes: Vec<(AttrId, Value)>,
 }
 
 impl EventMessage {
@@ -32,7 +43,7 @@ impl EventMessage {
     pub fn empty(id: EventId) -> Self {
         Self {
             id,
-            attributes: BTreeMap::new(),
+            attributes: Vec::new(),
         }
     }
 
@@ -49,12 +60,25 @@ impl EventMessage {
 
     /// Looks up the value of `attribute`, if present.
     pub fn get(&self, attribute: &str) -> Option<&Value> {
-        self.attributes.get(attribute)
+        let id = attr::lookup(attribute)?;
+        self.get_id(id)
+    }
+
+    /// Looks up the value of an attribute by its interned id.
+    ///
+    /// This is the hot-path variant of [`get`](Self::get): no string hashing,
+    /// just a linear scan over the event's few entries comparing `u32`s.
+    #[inline]
+    pub fn get_id(&self, id: AttrId) -> Option<&Value> {
+        self.attributes
+            .iter()
+            .find(|(aid, _)| *aid == id)
+            .map(|(_, v)| v)
     }
 
     /// Returns `true` if the event carries the given attribute.
     pub fn contains(&self, attribute: &str) -> bool {
-        self.attributes.contains_key(attribute)
+        self.get(attribute).is_some()
     }
 
     /// Number of attribute–value pairs in the event.
@@ -69,17 +93,49 @@ impl EventMessage {
 
     /// Iterates over the attribute–value pairs in attribute-name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.attributes.iter().map(|(k, v)| (k.as_str(), v))
+        self.attributes.iter().map(|(id, v)| (attr::name(*id), v))
+    }
+
+    /// Iterates over `(AttrId, &Value)` pairs in attribute-name order.
+    ///
+    /// This is what the filtering indexes consume: the ids were resolved when
+    /// the event was built, so the whole matching path is string-free.
+    #[inline]
+    pub fn iter_resolved(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.attributes.iter().map(|(id, v)| (*id, v))
     }
 
     /// Inserts (or replaces) an attribute–value pair.
-    pub fn insert(&mut self, attribute: impl Into<String>, value: impl Into<Value>) {
-        self.attributes.insert(attribute.into(), value.into());
+    pub fn insert(&mut self, attribute: impl AsRef<str>, value: impl Into<Value>) {
+        let id = attr::intern(attribute.as_ref());
+        self.insert_id(id, value.into());
+    }
+
+    /// Inserts (or replaces) an attribute–value pair by pre-resolved id.
+    pub fn insert_id(&mut self, id: AttrId, value: impl Into<Value>) {
+        let value = value.into();
+        match self.position_of(id) {
+            Ok(pos) => self.attributes[pos].1 = value,
+            Err(pos) => self.attributes.insert(pos, (id, value)),
+        }
     }
 
     /// Removes an attribute, returning its previous value if present.
     pub fn remove(&mut self, attribute: &str) -> Option<Value> {
-        self.attributes.remove(attribute)
+        let id = attr::lookup(attribute)?;
+        match self.position_of(id) {
+            Ok(pos) => Some(self.attributes.remove(pos).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Binary-searches the name-sorted entries for `id`, resolving all probe
+    /// names under a single interner lock acquisition.
+    fn position_of(&self, id: AttrId) -> Result<usize, usize> {
+        let resolver = attr::resolver();
+        let name = resolver.name(id);
+        self.attributes
+            .binary_search_by(|(aid, _)| resolver.name(*aid).cmp(name))
     }
 
     /// Approximate wire size of this event in bytes: attribute names plus
@@ -90,11 +146,12 @@ impl EventMessage {
     pub fn size_bytes(&self) -> usize {
         const PER_PAIR_OVERHEAD: usize = 4;
         const HEADER: usize = 16;
+        let resolver = attr::resolver();
         HEADER
             + self
                 .attributes
                 .iter()
-                .map(|(k, v)| k.len() + v.size_bytes() + PER_PAIR_OVERHEAD)
+                .map(|(id, v)| resolver.name(*id).len() + v.size_bytes() + PER_PAIR_OVERHEAD)
                 .sum::<usize>()
     }
 }
@@ -103,7 +160,7 @@ impl fmt::Display for EventMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{{", self.id)?;
         let mut first = true;
-        for (k, v) in &self.attributes {
+        for (k, v) in self.iter() {
             if !first {
                 write!(f, ", ")?;
             }
@@ -117,8 +174,7 @@ impl fmt::Display for EventMessage {
 /// Builder for [`EventMessage`].
 #[derive(Debug, Default, Clone)]
 pub struct EventBuilder {
-    id: EventId,
-    attributes: BTreeMap<String, Value>,
+    event: EventMessage,
 }
 
 impl Default for EventId {
@@ -127,33 +183,44 @@ impl Default for EventId {
     }
 }
 
+impl Default for EventMessage {
+    fn default() -> Self {
+        EventMessage::empty(EventId::default())
+    }
+}
+
 impl EventBuilder {
     /// Creates a new builder with id 0 and no attributes.
     pub fn new() -> Self {
         Self {
-            id: EventId::from_raw(0),
-            attributes: BTreeMap::new(),
+            event: EventMessage::default(),
         }
     }
 
     /// Sets the event identifier.
     pub fn id(mut self, id: impl Into<EventId>) -> Self {
-        self.id = id.into();
+        self.event.id = id.into();
         self
     }
 
-    /// Adds an attribute–value pair.
-    pub fn attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
-        self.attributes.insert(name.into(), value.into());
+    /// Adds an attribute–value pair, interning the attribute name.
+    pub fn attr(mut self, name: impl AsRef<str>, value: impl Into<Value>) -> Self {
+        self.event.insert(name, value);
+        self
+    }
+
+    /// Adds an attribute–value pair by pre-resolved [`AttrId`].
+    ///
+    /// Event generators resolve their schema's attribute ids once and use
+    /// this to skip the interner's hash lookup on every event.
+    pub fn attr_id(mut self, id: AttrId, value: impl Into<Value>) -> Self {
+        self.event.insert_id(id, value);
         self
     }
 
     /// Finishes building the event message.
     pub fn build(self) -> EventMessage {
-        EventMessage {
-            id: self.id,
-            attributes: self.attributes,
-        }
+        self.event
     }
 }
 
@@ -209,6 +276,29 @@ mod tests {
         let ev = sample();
         let names: Vec<&str> = ev.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["bids", "category", "price", "title"]);
+    }
+
+    #[test]
+    fn resolved_iteration_agrees_with_named_iteration() {
+        let ev = sample();
+        let by_name: Vec<(&str, &Value)> = ev.iter().collect();
+        let by_id: Vec<(&str, &Value)> = ev
+            .iter_resolved()
+            .map(|(id, v)| (crate::attr::name(id), v))
+            .collect();
+        assert_eq!(by_name, by_id);
+        for (id, v) in ev.iter_resolved() {
+            assert_eq!(ev.get_id(id), Some(v));
+        }
+    }
+
+    #[test]
+    fn builder_attr_id_matches_attr() {
+        let id = crate::attr::intern("price");
+        let a = EventMessage::builder().attr("price", 1i64).build();
+        let b = EventMessage::builder().attr_id(id, 1i64).build();
+        assert_eq!(a, b);
+        assert_eq!(b.get_id(id), Some(&Value::Int(1)));
     }
 
     #[test]

@@ -33,42 +33,42 @@ impl Expr {
     }
 
     /// Leaf constructor: `attribute = value`.
-    pub fn eq(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn eq(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Eq, value))
     }
 
     /// Leaf constructor: `attribute != value`.
-    pub fn ne(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn ne(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Ne, value))
     }
 
     /// Leaf constructor: `attribute < value`.
-    pub fn lt(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn lt(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Lt, value))
     }
 
     /// Leaf constructor: `attribute <= value`.
-    pub fn le(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn le(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Le, value))
     }
 
     /// Leaf constructor: `attribute > value`.
-    pub fn gt(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn gt(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Gt, value))
     }
 
     /// Leaf constructor: `attribute >= value`.
-    pub fn ge(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn ge(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Ge, value))
     }
 
     /// Leaf constructor: the string attribute starts with `value`.
-    pub fn prefix(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn prefix(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Prefix, value))
     }
 
     /// Leaf constructor: the string attribute contains `value`.
-    pub fn contains(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn contains(attribute: impl AsRef<str>, value: impl Into<Value>) -> Self {
         Expr::Pred(Predicate::new(attribute, Operator::Contains, value))
     }
 

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attr;
 mod error;
 mod event;
 mod expr;
@@ -59,6 +60,7 @@ mod subscription;
 mod tree;
 mod value;
 
+pub use attr::AttrId;
 pub use error::CoreError;
 pub use event::{EventBuilder, EventMessage};
 pub use expr::Expr;
@@ -66,7 +68,7 @@ pub use ids::{BrokerId, EventId, NodeId, SubscriberId, SubscriptionId};
 pub use operator::Operator;
 pub use predicate::Predicate;
 pub use subscription::Subscription;
-pub use tree::{Node, NodeKind, PruneError, SubscriptionTree, TreeStats};
+pub use tree::{LeafMask, Node, NodeKind, PruneError, SubscriptionTree, TreeStats};
 pub use value::Value;
 
 /// Convenient result alias for fallible operations in this crate.

@@ -1,7 +1,7 @@
 //! Predicates: attribute–operator–value triples, the variables of Boolean
 //! subscriptions.
 
-use crate::{EventMessage, Operator, Value};
+use crate::{attr, AttrId, EventMessage, Operator, Value};
 use std::fmt;
 
 /// A predicate specifies a single condition on event messages as an
@@ -11,31 +11,48 @@ use std::fmt;
 /// A predicate is fulfilled by an event message if the message carries the
 /// attribute and the comparison of the carried value against the predicate's
 /// constant succeeds. Events missing the attribute never fulfil the predicate.
+/// The attribute name is resolved to a dense [`AttrId`] through the global
+/// interner at construction time, so evaluating the predicate against an
+/// event — and registering it in the attribute indexes — never hashes or
+/// compares attribute strings.
+///
+/// **Serde caveat:** as with [`EventMessage`], the derived serde form stores
+/// the raw process-local [`AttrId`]; it is not portable across processes
+/// (custom name-based impls are needed for a wire format). As shipped the
+/// `serde` feature only binds the offline no-op shim.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Predicate {
-    attribute: String,
+    attribute: AttrId,
     operator: Operator,
     constant: Value,
 }
 
 impl Predicate {
-    /// Creates a new predicate `attribute operator constant`.
-    pub fn new(
-        attribute: impl Into<String>,
-        operator: Operator,
-        constant: impl Into<Value>,
-    ) -> Self {
+    /// Creates a new predicate `attribute operator constant`, interning the
+    /// attribute name.
+    pub fn new(attribute: impl AsRef<str>, operator: Operator, constant: impl Into<Value>) -> Self {
+        Self::with_attr_id(attr::intern(attribute.as_ref()), operator, constant)
+    }
+
+    /// Creates a new predicate from a pre-resolved attribute id.
+    pub fn with_attr_id(attribute: AttrId, operator: Operator, constant: impl Into<Value>) -> Self {
         Self {
-            attribute: attribute.into(),
+            attribute,
             operator,
             constant: constant.into(),
         }
     }
 
-    /// The attribute this predicate constrains.
-    pub fn attribute(&self) -> &str {
-        &self.attribute
+    /// The name of the attribute this predicate constrains.
+    pub fn attribute(&self) -> &'static str {
+        attr::name(self.attribute)
+    }
+
+    /// The interned id of the attribute this predicate constrains.
+    #[inline]
+    pub fn attr_id(&self) -> AttrId {
+        self.attribute
     }
 
     /// The comparison operator.
@@ -50,7 +67,7 @@ impl Predicate {
 
     /// Evaluates this predicate against an event message.
     pub fn evaluate(&self, event: &EventMessage) -> bool {
-        match event.get(&self.attribute) {
+        match event.get_id(self.attribute) {
             Some(value) => self.operator.evaluate(value, &self.constant),
             None => false,
         }
@@ -67,7 +84,7 @@ impl Predicate {
     pub fn size_bytes(&self) -> usize {
         const OPERATOR_TAG: usize = 1;
         const STRUCT_OVERHEAD: usize = 8;
-        self.attribute.len() + OPERATOR_TAG + self.constant.size_bytes() + STRUCT_OVERHEAD
+        self.attribute().len() + OPERATOR_TAG + self.constant.size_bytes() + STRUCT_OVERHEAD
     }
 
     /// Returns `true` if `self` is at least as general as `other`, i.e. every
@@ -162,7 +179,13 @@ impl Predicate {
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}", self.attribute, self.operator, self.constant)
+        write!(
+            f,
+            "{} {} {}",
+            self.attribute(),
+            self.operator,
+            self.constant
+        )
     }
 }
 

@@ -318,6 +318,27 @@ impl SubscriptionTree {
         self.evaluate_node(self.root, leaf_truth)
     }
 
+    /// Evaluates the tree against a precomputed leaf truth mask: a leaf is
+    /// taken as fulfilled exactly when [`LeafMask::contains`] reports it.
+    ///
+    /// This is the hot-path variant of [`evaluate_leaves`](Self::evaluate_leaves):
+    /// the counting matcher marks fulfilled leaves in a reusable mask during
+    /// its index phase and then evaluates candidate trees with plain array
+    /// reads — no closure dispatch, no per-event allocation.
+    pub fn evaluate_with_mask(&self, mask: &LeafMask) -> bool {
+        self.evaluate_mask_node(self.root, mask)
+    }
+
+    fn evaluate_mask_node(&self, node: NodeId, mask: &LeafMask) -> bool {
+        let n = &self.nodes[node.index()];
+        match &n.kind {
+            NodeKind::Predicate(_) => mask.contains(node),
+            NodeKind::And => n.children.iter().all(|c| self.evaluate_mask_node(*c, mask)),
+            NodeKind::Or => n.children.iter().any(|c| self.evaluate_mask_node(*c, mask)),
+            NodeKind::Not => !self.evaluate_mask_node(n.children[0], mask),
+        }
+    }
+
     fn evaluate_node(
         &self,
         node: NodeId,
@@ -501,6 +522,76 @@ impl SubscriptionTree {
         // Building the pruned tree is O(size of tree); trees are small
         // (tens of nodes), so this stays cheap while remaining exact.
         Ok(self.prune(node)?.stats())
+    }
+}
+
+/// A reusable, generation-stamped truth mask over the nodes of one
+/// [`SubscriptionTree`].
+///
+/// The counting matcher keeps one mask per registered subscription. Between
+/// events the mask is cleared in O(1) by advancing its generation stamp
+/// ([`clear`](Self::clear)) instead of zeroing memory; a node is considered
+/// set only if its slot carries the current stamp. The backing array is
+/// allocated once at registration time (sized to the tree's node count), so
+/// the per-event matching path performs no allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LeafMask {
+    marks: Vec<u32>,
+    stamp: u32,
+}
+
+impl LeafMask {
+    /// Creates a cleared mask able to address `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            marks: vec![0; node_count],
+            stamp: 1,
+        }
+    }
+
+    /// A mask with no set bits regardless of node id, for evaluating trees
+    /// whose subscriptions had no fulfilled predicate at all.
+    pub fn empty() -> &'static Self {
+        static EMPTY: LeafMask = LeafMask {
+            marks: Vec::new(),
+            stamp: 1,
+        };
+        &EMPTY
+    }
+
+    /// Number of addressable nodes.
+    pub fn node_count(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Clears all set bits in O(1) by advancing the generation stamp.
+    ///
+    /// On the (once per 2³² clears) stamp wrap-around the backing array is
+    /// zeroed so marks from a previous generation era can never leak through.
+    pub fn clear(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.marks.fill(0);
+            self.stamp = 1;
+        }
+    }
+
+    /// Marks `node` as set in the current generation.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the mask's node range.
+    #[inline]
+    pub fn set(&mut self, node: NodeId) {
+        self.marks[node.index()] = self.stamp;
+    }
+
+    /// Returns `true` if `node` was set since the last [`clear`](Self::clear).
+    /// Nodes outside the mask's range are reported as unset.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.marks
+            .get(node.index())
+            .is_some_and(|m| *m == self.stamp)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed attribute value.
 ///
@@ -24,7 +25,12 @@ pub enum Value {
     /// A 64-bit floating point number, e.g. `price = 17.50`.
     Float(f64),
     /// A UTF-8 string, e.g. `category = "books"`.
-    Str(String),
+    ///
+    /// Stored behind `Arc` so that cloning a string value — which happens on
+    /// every subscription registration and event copy — is a reference-count
+    /// bump instead of a heap allocation. (With a real `serde`, deriving on
+    /// `Arc<str>` requires serde's `rc` feature.)
+    Str(Arc<str>),
 }
 
 impl Value {
@@ -65,7 +71,7 @@ impl Value {
     /// String view of the value, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s.as_str()),
+            Value::Str(s) => Some(&s[..]),
             _ => None,
         }
     }
@@ -150,12 +156,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }

@@ -1,7 +1,7 @@
 //! Auction event generation.
 
 use crate::catalog::Catalog;
-use crate::schema::{attributes, AuctionSchema, CONDITIONS};
+use crate::schema::{AttrIds, AuctionSchema, CONDITIONS};
 use pubsub_core::{EventId, EventMessage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,6 +24,9 @@ pub struct EventGenerator {
     bids: Poisson<f64>,
     rng: StdRng,
     next_id: u64,
+    /// Schema attribute names resolved to interned ids once, so every
+    /// generated event is built without hashing attribute strings.
+    attr_ids: AttrIds,
 }
 
 impl EventGenerator {
@@ -40,6 +43,7 @@ impl EventGenerator {
             bids,
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
+            attr_ids: AttrIds::resolve(),
             schema,
         }
     }
@@ -84,18 +88,19 @@ impl EventGenerator {
         let buy_now = self.rng.gen_bool(0.35);
         let shipping = (self.rng.gen_range(0.0..12.0f64) * 100.0).round() / 100.0;
 
+        let ids = &self.attr_ids;
         EventMessage::builder()
             .id(id)
-            .attr(attributes::TITLE, self.titles.name(title_idx))
-            .attr(attributes::AUTHOR, self.authors.name(author_idx))
-            .attr(attributes::CATEGORY, self.categories.name(category_idx))
-            .attr(attributes::PRICE, price)
-            .attr(attributes::BIDS, bids)
-            .attr(attributes::SELLER_RATING, rating)
-            .attr(attributes::END_TIME_HOURS, end_time)
-            .attr(attributes::CONDITION, condition)
-            .attr(attributes::BUY_NOW, buy_now)
-            .attr(attributes::SHIPPING_COST, shipping)
+            .attr_id(ids.title, self.titles.name(title_idx))
+            .attr_id(ids.author, self.authors.name(author_idx))
+            .attr_id(ids.category, self.categories.name(category_idx))
+            .attr_id(ids.price, price)
+            .attr_id(ids.bids, bids)
+            .attr_id(ids.seller_rating, rating)
+            .attr_id(ids.end_time_hours, end_time)
+            .attr_id(ids.condition, condition)
+            .attr_id(ids.buy_now, buy_now)
+            .attr_id(ids.shipping_cost, shipping)
             .build()
     }
 
@@ -108,6 +113,7 @@ impl EventGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schema::attributes;
     use pubsub_core::Value;
 
     fn generator() -> EventGenerator {

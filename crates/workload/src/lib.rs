@@ -49,5 +49,5 @@ pub use catalog::Catalog;
 pub use events::EventGenerator;
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use scenario::ScenarioConfig;
-pub use schema::{attributes, AuctionSchema};
+pub use schema::{attributes, AttrIds, AuctionSchema};
 pub use subscriptions::{ClassMix, SubscriptionClass, SubscriptionGenerator};

@@ -1,5 +1,7 @@
 //! The auction event schema: attribute names and catalog sizes.
 
+use pubsub_core::AttrId;
+
 /// Attribute names used by auction events and subscriptions.
 ///
 /// Keeping them in one module avoids typo'd attribute strings scattered over
@@ -29,6 +31,61 @@ pub mod attributes {
 
 /// Item conditions used by the [`attributes::CONDITION`] attribute.
 pub const CONDITIONS: [&str; 4] = ["new", "like-new", "used", "worn"];
+
+/// The schema's attribute names resolved to interned [`AttrId`]s.
+///
+/// Generators resolve the ids once at construction and build events through
+/// [`EventBuilder::attr_id`](pubsub_core::EventBuilder::attr_id), so the
+/// per-event path never hashes an attribute string — the same ids the
+/// filtering indexes are keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrIds {
+    /// Id of [`attributes::TITLE`].
+    pub title: AttrId,
+    /// Id of [`attributes::AUTHOR`].
+    pub author: AttrId,
+    /// Id of [`attributes::CATEGORY`].
+    pub category: AttrId,
+    /// Id of [`attributes::PRICE`].
+    pub price: AttrId,
+    /// Id of [`attributes::BIDS`].
+    pub bids: AttrId,
+    /// Id of [`attributes::SELLER_RATING`].
+    pub seller_rating: AttrId,
+    /// Id of [`attributes::END_TIME_HOURS`].
+    pub end_time_hours: AttrId,
+    /// Id of [`attributes::CONDITION`].
+    pub condition: AttrId,
+    /// Id of [`attributes::BUY_NOW`].
+    pub buy_now: AttrId,
+    /// Id of [`attributes::SHIPPING_COST`].
+    pub shipping_cost: AttrId,
+}
+
+impl AttrIds {
+    /// Interns every schema attribute and returns the resolved ids.
+    pub fn resolve() -> Self {
+        use pubsub_core::attr::intern;
+        Self {
+            title: intern(attributes::TITLE),
+            author: intern(attributes::AUTHOR),
+            category: intern(attributes::CATEGORY),
+            price: intern(attributes::PRICE),
+            bids: intern(attributes::BIDS),
+            seller_rating: intern(attributes::SELLER_RATING),
+            end_time_hours: intern(attributes::END_TIME_HOURS),
+            condition: intern(attributes::CONDITION),
+            buy_now: intern(attributes::BUY_NOW),
+            shipping_cost: intern(attributes::SHIPPING_COST),
+        }
+    }
+}
+
+impl Default for AttrIds {
+    fn default() -> Self {
+        Self::resolve()
+    }
+}
 
 /// The sizes and skews of the auction catalog the generator draws from.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -25,12 +25,23 @@ pub enum BatchSize {
     NumIterations(u64),
 }
 
+/// Declares how many logical units of work one benchmark iteration
+/// processes, so results can additionally be reported as a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. events matched) per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// Per-benchmark timing configuration.
 #[derive(Debug, Clone, Copy)]
 struct Config {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    throughput: Option<Throughput>,
 }
 
 impl Default for Config {
@@ -39,6 +50,7 @@ impl Default for Config {
             sample_size: 10,
             measurement_time: Duration::from_millis(500),
             warm_up_time: Duration::from_millis(100),
+            throughput: None,
         }
     }
 }
@@ -114,6 +126,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work so results are also printed as a
+    /// rate (elements or bytes per second).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.config.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
@@ -139,8 +158,17 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, config: Config, mut f: F) {
         println!("bench {id:<50} (no iterations)");
     } else {
         let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        let rate = match config.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" {:>12.0} elem/s", n as f64 * 1e9 / per_iter.max(1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(" {:>12.0} B/s", n as f64 * 1e9 / per_iter.max(1e-9))
+            }
+            None => String::new(),
+        };
         println!(
-            "bench {id:<50} {:>12.0} ns/iter ({} iters)",
+            "bench {id:<50} {:>12.0} ns/iter ({} iters){rate}",
             per_iter, bencher.iterations
         );
     }
