@@ -8,9 +8,9 @@
 
 use bench::narrow_events;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
+use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine};
 use pruning::{Dimension, Pruner, PrunerConfig};
-use pubsub_core::{EventMessage, Subscription, SubscriptionId};
+use pubsub_core::{EventBatch, EventMessage, Subscription, SubscriptionId};
 use selectivity::SelectivityEstimator;
 use workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -77,6 +77,44 @@ fn bench_matching_panel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batch-first hot path: the same events pre-chunked into
+/// `EventBatch`es and driven through `match_batch` with a reusable
+/// `CountSink`. Batch size 1 measures the batch API's fixed overhead; the
+/// larger sizes show the per-event amortization.
+fn bench_batched_matching(c: &mut Criterion) {
+    let (all_subs, events) = workload(*SUBSCRIPTION_PANEL.iter().max().unwrap(), EVENTS);
+    let mut group = c.benchmark_group("matching_batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    for &sub_count in &SUBSCRIPTION_PANEL {
+        let mut engine = CountingEngine::with_capacity(sub_count);
+        for s in &all_subs[..sub_count] {
+            engine.insert(s.clone());
+        }
+        for batch_size in [1usize, 16, 200] {
+            let batches: Vec<EventBatch> = events
+                .chunks(batch_size)
+                .map(|chunk| chunk.iter().cloned().collect())
+                .collect();
+            let mut sink = CountSink::new();
+            group.bench_function(format!("counting/subs{sub_count}/batch{batch_size}"), |b| {
+                b.iter(|| {
+                    let mut matches = 0u64;
+                    for batch in &batches {
+                        engine.match_batch(batch, &mut sink);
+                        matches += sink.count();
+                    }
+                    matches
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_pruned_and_construction(c: &mut Criterion) {
     let (subscriptions, events) = workload(2_000, EVENTS);
     let mut group = c.benchmark_group("matching");
@@ -129,5 +167,10 @@ fn bench_pruned_and_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matching_panel, bench_pruned_and_construction);
+criterion_group!(
+    benches,
+    bench_matching_panel,
+    bench_batched_matching,
+    bench_pruned_and_construction
+);
 criterion_main!(benches);

@@ -94,7 +94,7 @@ fn run_with_config(
     // reuse the default runner's measurement loop by replaying through a
     // temporary pruner-compatible path. The simplest faithful approach is to
     // measure here directly.
-    use filtering::{CountingEngine, MatchingEngine};
+    use filtering::{CountSink, CountingEngine, MatchingEngine};
     use std::collections::HashMap;
 
     let mut pruner = Pruner::new(config, estimator.clone());
@@ -116,6 +116,8 @@ fn run_with_config(
     let mut trees = originals.clone();
     let mut applied = 0usize;
     let mut points = Vec::new();
+    let event_batch: pubsub_core::EventBatch = events.iter().cloned().collect();
+    let mut sink = CountSink::new();
     for fraction in sorted {
         let target = (fraction.clamp(0.0, 1.0) * total as f64).round() as usize;
         if target > applied {
@@ -130,9 +132,7 @@ fn run_with_config(
             applied = target;
         }
         engine.reset_stats();
-        for event in events {
-            let _ = engine.match_event(event);
-        }
+        engine.match_batch(&event_batch, &mut sink);
         let stats = *engine.stats();
         points.push(bench::CentralizedPoint {
             dimension: config.dimension,

@@ -15,10 +15,18 @@
 //! `--quick` shrinks the panel to smoke-test sizes (used by CI); the default
 //! panel matches 2,000 events against 1,000 and 10,000 subscriptions at full
 //! (10-attribute) and narrow (4-attribute) event widths.
+//!
+//! Besides the single-event panel (the `results` array, kept for trajectory
+//! comparability with earlier sessions), the panel records a **batched**
+//! paper-scale series (`batch_results`): the same events pre-chunked into
+//! `EventBatch`es of size 1/16/256 and driven through `match_batch` with a
+//! `CountSink` at the largest subscription count. The batch-size-1 cells
+//! measure the batch API's fixed overhead against the single-event path; the
+//! larger cells show the amortization the batch-first redesign buys.
 
 use bench::narrow_events;
-use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
-use pubsub_core::{EventMessage, Subscription};
+use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine};
+use pubsub_core::{EventBatch, EventMessage, Subscription};
 use std::time::Instant;
 use workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -31,6 +39,19 @@ struct PanelResult {
     /// Repetitions of the full event pass that were timed.
     passes: usize,
     /// Subscription matches produced by one pass over the event set.
+    matches_per_pass: usize,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+/// One measured cell of the batched panel.
+struct BatchPanelResult {
+    engine: &'static str,
+    subscriptions: usize,
+    event_width: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
     matches_per_pass: usize,
     ns_per_event: f64,
     events_per_sec: f64,
@@ -135,7 +156,70 @@ fn measure(
     }
 }
 
-fn render_json(config: &PanelConfig, results: &[PanelResult]) -> String {
+/// Times `match_batch` over pre-chunked batches, reusing one `CountSink`.
+/// One untimed warm-up pass lets the engine allocate its scratch first.
+fn time_engine_batched(
+    engine: &mut dyn MatchingEngine,
+    batches: &[EventBatch],
+    passes: usize,
+) -> (usize, f64) {
+    let mut sink = CountSink::new();
+    for batch in batches {
+        engine.match_batch(batch, &mut sink);
+    }
+    let total_events: usize = batches.iter().map(EventBatch::len).sum();
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for batch in batches {
+            engine.match_batch(batch, &mut sink);
+            matches += sink.count() as usize;
+        }
+    }
+    let elapsed = start.elapsed();
+    let matches_per_pass = matches / passes.max(1);
+    let ns_per_event = elapsed.as_nanos() as f64 / (passes * total_events) as f64;
+    (matches_per_pass, ns_per_event)
+}
+
+/// Measures the counting engine over pre-chunked batches. (The naive
+/// baseline has no batch-specific behaviour worth a panel row — its
+/// per-event cost is identical either way, as the single-event panel above
+/// already records.)
+fn measure_batched(
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    width: usize,
+    batch_size: usize,
+    passes: usize,
+) -> BatchPanelResult {
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let (matches_per_pass, ns_per_event) = time_engine_batched(&mut engine, &batches, passes);
+    BatchPanelResult {
+        engine: "counting",
+        subscriptions: subscriptions.len(),
+        event_width: width,
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+    }
+}
+
+fn render_json(
+    config: &PanelConfig,
+    results: &[PanelResult],
+    batch_results: &[BatchPanelResult],
+) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"matching\",\n");
@@ -159,6 +243,32 @@ fn render_json(config: &PanelConfig, results: &[PanelResult]) -> String {
             r.ns_per_event,
             r.events_per_sec,
             if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"batch_results\": [\n");
+    for (i, r) in batch_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"subscriptions\": {}, ",
+                "\"event_width\": {}, \"batch_size\": {}, \"events\": {}, ",
+                "\"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}}}{}\n"
+            ),
+            r.engine,
+            r.subscriptions,
+            r.event_width,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            if i + 1 == batch_results.len() {
+                ""
+            } else {
+                ","
+            }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -211,7 +321,27 @@ fn main() {
         }
     }
 
-    let json = render_json(&config, &results);
+    // Batched paper-scale panel: the full-width events pre-chunked into
+    // batches and driven through `match_batch` at the largest subscription
+    // count. Batch size 1 measures the batch API's fixed overhead against
+    // the single-event path above; 16 and 256 show the amortization.
+    let batch_sizes: &[usize] = if config.quick {
+        &[1, 16]
+    } else {
+        &[1, 16, 256]
+    };
+    let batch_subs = &all_subs[..max_subs];
+    let mut batch_results = Vec::new();
+    for &batch_size in batch_sizes {
+        let r = measure_batched(batch_subs, &full_events, 10, batch_size, passes);
+        eprintln!(
+            "{:>8} subs={:<6} batch={:<4} {:>12.0} ns/event {:>12.0} events/s",
+            r.engine, r.subscriptions, r.batch_size, r.ns_per_event, r.events_per_sec
+        );
+        batch_results.push(r);
+    }
+
+    let json = render_json(&config, &results, &batch_results);
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);
         std::process::exit(1);

@@ -4,7 +4,8 @@ use crate::metrics::RoutingMemoryReport;
 use crate::routing_table::RoutingTable;
 use filtering::FilterStats;
 use pubsub_core::{
-    BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+    BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
+    SubscriptionTree,
 };
 
 /// Where a routing entry's matches must be sent.
@@ -24,6 +25,21 @@ pub struct EventHandling {
     pub deliveries: Vec<(SubscriberId, SubscriptionId)>,
     /// Neighbors that need their own copy of the event.
     pub forward_to: Vec<BrokerId>,
+}
+
+/// The result of a broker processing one incoming event batch.
+///
+/// Reusable: hot paths keep one instance alive and refill it through
+/// [`Broker::handle_batch_into`], so per-hop batch handling allocates
+/// nothing in steady state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchHandling {
+    /// Notifications to deliver to local subscribers, tagged with the batch
+    /// index of the triggering event.
+    pub deliveries: Vec<(usize, SubscriberId, SubscriptionId)>,
+    /// Per batch event, the neighbors that need their own copy
+    /// (`forward_to[i]` belongs to the event at batch index `i`).
+    pub forward_to: Vec<Vec<BrokerId>>,
 }
 
 /// One broker of the distributed publish/subscribe network.
@@ -113,6 +129,35 @@ impl Broker {
         }
     }
 
+    /// Processes a whole batch of events that arrived over one link: each
+    /// local and per-neighbor engine is driven once for the entire batch.
+    ///
+    /// `from` is the neighbor the batch arrived from (`None` for locally
+    /// published events); it is excluded from the forwarding sets of every
+    /// event in the batch. This is the primary event path of the simulation —
+    /// [`handle_event`](Self::handle_event) remains for genuinely single
+    /// events.
+    pub fn handle_batch(&mut self, batch: &EventBatch, from: Option<BrokerId>) -> BatchHandling {
+        let mut handling = BatchHandling::default();
+        self.handle_batch_into(batch, from, &mut handling);
+        handling
+    }
+
+    /// Like [`handle_batch`](Self::handle_batch), but refills a
+    /// caller-provided [`BatchHandling`] (replacing its contents) so the
+    /// delivery and forwarding buffers are reused hop after hop.
+    pub fn handle_batch_into(
+        &mut self,
+        batch: &EventBatch,
+        from: Option<BrokerId>,
+        handling: &mut BatchHandling,
+    ) {
+        self.table
+            .match_local_batch(batch, &mut handling.deliveries);
+        self.table
+            .forward_batch(batch, from, &mut handling.forward_to);
+    }
+
     /// Memory accounting of this broker's routing table.
     pub fn memory_report(&self) -> RoutingMemoryReport {
         self.table.memory_report()
@@ -188,6 +233,36 @@ mod tests {
         let handling = broker.handle_event(&books_event(), Some(b(0)));
         assert!(handling.forward_to.is_empty());
         assert_eq!(handling.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn batch_handling_agrees_with_per_event_handling() {
+        let mut broker = broker();
+        broker.register_local(sub(1, 11, &Expr::eq("category", "books")));
+        broker.register_remote(sub(2, 22, &Expr::eq("category", "books")), b(0));
+        broker.register_remote(sub(3, 33, &Expr::le("price", 5i64)), b(2));
+
+        let events = [
+            books_event(),
+            EventMessage::builder()
+                .attr("category", "music")
+                .attr("price", 3i64)
+                .build(),
+        ];
+        let batch: EventBatch = events.iter().cloned().collect();
+        let handling = broker.handle_batch(&batch, Some(b(0)));
+        assert_eq!(handling.forward_to.len(), 2);
+        for (i, event) in events.iter().enumerate() {
+            let single = broker.handle_event(event, Some(b(0)));
+            let batch_deliveries: Vec<(SubscriberId, SubscriptionId)> = handling
+                .deliveries
+                .iter()
+                .filter(|(e, _, _)| *e == i)
+                .map(|&(_, subscriber, id)| (subscriber, id))
+                .collect();
+            assert_eq!(batch_deliveries, single.deliveries, "event {i}");
+            assert_eq!(handling.forward_to[i], single.forward_to, "event {i}");
+        }
     }
 
     #[test]

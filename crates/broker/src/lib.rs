@@ -54,7 +54,7 @@ mod routing_table;
 mod simulation;
 mod topology;
 
-pub use broker_node::{Broker, Destination, EventHandling};
+pub use broker_node::{BatchHandling, Broker, Destination, EventHandling};
 pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;

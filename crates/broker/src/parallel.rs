@@ -9,17 +9,19 @@
 //!
 //! Design: each broker runs on its own worker thread behind a
 //! `parking_lot::Mutex` and owns a `crossbeam` channel of incoming
-//! [`Envelope`]s. Publishing an event injects it at its origin broker; each
-//! hop forwards the envelope to the neighbor's channel. A shared atomic
-//! in-flight counter detects quiescence so [`ParallelNetwork::run`] can return
-//! once every event has been fully routed.
+//! [`Envelope`]s. Publishing injects per-origin [`EventBatch`]es; each hop
+//! matches the whole batch against the broker's engines
+//! (`Broker::handle_batch`) and forwards one regrouped batch per matching
+//! neighbor. A shared atomic in-flight counter detects quiescence so
+//! [`ParallelNetwork::run`] can return once every event has been fully
+//! routed.
 
 use crate::broker_node::Broker;
 use crate::metrics::NetworkStats;
 use crate::topology::Topology;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use pubsub_core::{BrokerId, EventMessage};
+use pubsub_core::{BrokerId, EventBatch, EventMessage};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,11 +29,11 @@ use std::time::{Duration, Instant};
 
 /// One message travelling between brokers (or from a publisher into its
 /// origin broker).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 enum Envelope {
-    /// An event copy plus the link it arrived on.
-    Event {
-        event: EventMessage,
+    /// A batch of event copies plus the link they arrived on.
+    Batch {
+        batch: EventBatch,
         from: Option<BrokerId>,
     },
     /// Orderly shutdown: the run is quiescent and the worker should exit.
@@ -154,21 +156,35 @@ impl ParallelNetwork {
                 let messages = Arc::clone(&messages);
                 scope.spawn(move |_| {
                     // Workers drain their channel until the injector tells
-                    // them the run is quiescent.
+                    // them the run is quiescent, reusing one handling buffer
+                    // across envelopes.
+                    let mut handling = crate::BatchHandling::default();
                     while let Ok(envelope) = receiver.recv() {
-                        let (event, from) = match envelope {
+                        let (batch, from) = match envelope {
                             Envelope::Shutdown => break,
-                            Envelope::Event { event, from } => (event, from),
+                            Envelope::Batch { batch, from } => (batch, from),
                         };
                         let own_id = broker.lock().id();
-                        let handling = broker.lock().handle_event(&event, from);
+                        broker.lock().handle_batch_into(&batch, from, &mut handling);
                         deliveries.fetch_add(handling.deliveries.len() as u64, Ordering::Relaxed);
-                        for neighbor in handling.forward_to {
-                            messages.fetch_add(1, Ordering::Relaxed);
+                        // Regroup the forwarded events into one batch per
+                        // neighbor; each event copy still counts as one
+                        // inter-broker message.
+                        let mut per_neighbor: BTreeMap<BrokerId, EventBatch> = BTreeMap::new();
+                        for (index, neighbors) in handling.forward_to.iter().enumerate() {
+                            for neighbor in neighbors {
+                                per_neighbor
+                                    .entry(*neighbor)
+                                    .or_default()
+                                    .push(batch.event(index).clone());
+                            }
+                        }
+                        for (neighbor, forwarded) in per_neighbor {
+                            messages.fetch_add(forwarded.len() as u64, Ordering::Relaxed);
                             in_flight.fetch_add(1, Ordering::Relaxed);
                             senders[&neighbor]
-                                .send(Envelope::Event {
-                                    event: event.clone(),
+                                .send(Envelope::Batch {
+                                    batch: forwarded,
                                     from: Some(own_id),
                                 })
                                 .expect("receiver outlives forwarding");
@@ -178,15 +194,17 @@ impl ParallelNetwork {
                 });
             }
 
-            // Injector: publish each event at its round-robin origin.
+            // Injector: group the events into one batch per round-robin
+            // origin broker and publish each batch where it originates.
+            let mut per_origin: BTreeMap<BrokerId, EventBatch> = BTreeMap::new();
             for (i, event) in events.iter().enumerate() {
                 let origin = broker_ids[i % broker_ids.len()];
+                per_origin.entry(origin).or_default().push(event.clone());
+            }
+            for (origin, batch) in per_origin {
                 in_flight.fetch_add(1, Ordering::Relaxed);
                 senders[&origin]
-                    .send(Envelope::Event {
-                        event: event.clone(),
-                        from: None,
-                    })
+                    .send(Envelope::Batch { batch, from: None })
                     .expect("workers are running");
             }
 

@@ -2,11 +2,31 @@
 //! entries.
 
 use crate::metrics::RoutingMemoryReport;
-use filtering::{CountingEngine, FilterStats, MatchingEngine};
+use filtering::{CountingEngine, FilterStats, MatchSink, MatchingEngine, VecSink};
 use pubsub_core::{
-    BrokerId, EventMessage, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+    BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
+    SubscriptionTree,
 };
 use std::collections::BTreeMap;
+
+/// A [`MatchSink`] that only remembers *whether* each batch event matched —
+/// all the per-neighbor forwarding decision needs. Reused across neighbors
+/// and batches, so batch routing allocates nothing in steady state.
+#[derive(Debug, Default)]
+struct AnyMatchSink {
+    matched: Vec<bool>,
+}
+
+impl MatchSink for AnyMatchSink {
+    fn begin_batch(&mut self, batch_len: usize) {
+        self.matched.clear();
+        self.matched.resize(batch_len, false);
+    }
+
+    fn on_match(&mut self, event_index: usize, _sub: SubscriptionId) {
+        self.matched[event_index] = true;
+    }
+}
 
 /// The routing table of one broker.
 ///
@@ -31,6 +51,15 @@ pub struct RoutingTable {
     /// Reusable match buffer so per-event routing allocates nothing in
     /// steady state (events are matched through `match_event_into`).
     match_scratch: Vec<SubscriptionId>,
+    /// Reusable sink for batch-matching the local engine.
+    batch_sink: VecSink,
+    /// Reusable per-event matched flags for the per-neighbor forwarding
+    /// decision.
+    any_match: AnyMatchSink,
+    /// Spare per-event forwarding buckets parked here when `forward_batch`
+    /// shrinks its output to a smaller batch, so alternating hop sizes do
+    /// not free and reallocate the nested buffers.
+    forward_spares: Vec<Vec<BrokerId>>,
 }
 
 impl RoutingTable {
@@ -123,6 +152,69 @@ impl RoutingTable {
             .collect();
         self.match_scratch = ids;
         hits
+    }
+
+    /// Matches a whole batch against the local entries, replacing `out` with
+    /// `(event index, subscriber, subscription)` triples to notify.
+    ///
+    /// This is the batch analogue of [`match_local`](Self::match_local): the
+    /// local engine is driven once for the whole batch, and the table's
+    /// reusable sink keeps the operation allocation-free in steady state
+    /// (apart from growing `out`).
+    pub fn match_local_batch(
+        &mut self,
+        batch: &EventBatch,
+        out: &mut Vec<(usize, SubscriberId, SubscriptionId)>,
+    ) {
+        out.clear();
+        self.local.match_batch(batch, &mut self.batch_sink);
+        out.extend(self.batch_sink.matches().iter().map(|&(event_index, id)| {
+            let subscriber = self
+                .local
+                .get(id)
+                .expect("matched subscription is registered")
+                .subscriber();
+            (event_index, subscriber, id)
+        }));
+    }
+
+    /// Determines, per batch event, which neighbors need a copy: for each
+    /// event `i` of the batch, `out[i]` lists every neighbor (except
+    /// `exclude`, the link the batch arrived on) whose engine reports at
+    /// least one matching remote entry, in ascending broker-id order.
+    ///
+    /// Each per-neighbor engine is driven once for the whole batch; the
+    /// nested buffers of `out` are reused across calls.
+    pub fn forward_batch(
+        &mut self,
+        batch: &EventBatch,
+        exclude: Option<BrokerId>,
+        out: &mut Vec<Vec<BrokerId>>,
+    ) {
+        for neighbors in out.iter_mut() {
+            neighbors.clear();
+        }
+        // Resize to exactly `batch.len()` entries without freeing nested
+        // buffers: shrinking parks the (cleared) tail buckets in the spare
+        // pool, growing takes them back before allocating fresh ones.
+        while out.len() > batch.len() {
+            self.forward_spares
+                .push(out.pop().expect("len checked above"));
+        }
+        while out.len() < batch.len() {
+            out.push(self.forward_spares.pop().unwrap_or_default());
+        }
+        for (neighbor, engine) in &mut self.per_neighbor {
+            if Some(*neighbor) == exclude {
+                continue;
+            }
+            engine.match_batch(batch, &mut self.any_match);
+            for (event_index, matched) in self.any_match.matched.iter().enumerate() {
+                if *matched {
+                    out[event_index].push(*neighbor);
+                }
+            }
+        }
     }
 
     /// Determines which neighbors need a copy of the event: every neighbor
@@ -343,6 +435,57 @@ mod tests {
             .map(|s| s.id().raw())
             .collect();
         assert_eq!(local_ids, vec![4, 9]);
+    }
+
+    #[test]
+    fn batch_matching_agrees_with_per_event_matching() {
+        let mut table = RoutingTable::new();
+        table.add_local(sub(1, 10, &Expr::eq("category", "books")));
+        table.add_local(sub(2, 20, &Expr::le("price", 3i64)));
+        table.add_remote(sub(3, 30, &Expr::eq("category", "books")), b(1));
+        table.add_remote(sub(4, 40, &Expr::ge("price", 100i64)), b(2));
+
+        let events: Vec<EventMessage> = vec![books_event(2), books_event(50), books_event(200)];
+        let batch: pubsub_core::EventBatch = events.iter().cloned().collect();
+
+        let mut local = Vec::new();
+        table.match_local_batch(&batch, &mut local);
+        let mut forward = Vec::new();
+        table.forward_batch(&batch, None, &mut forward);
+        assert_eq!(forward.len(), batch.len());
+
+        for (i, event) in events.iter().enumerate() {
+            let expected_local: Vec<(SubscriberId, SubscriptionId)> = table.match_local(event);
+            let got_local: Vec<(SubscriberId, SubscriptionId)> = local
+                .iter()
+                .filter(|(e, _, _)| *e == i)
+                .map(|&(_, subscriber, id)| (subscriber, id))
+                .collect();
+            assert_eq!(got_local, expected_local, "event {i}");
+            let expected_forward = table.neighbors_to_forward(event, None);
+            assert_eq!(forward[i], expected_forward, "event {i}");
+        }
+
+        // Exclusion applies to every event of the batch.
+        table.forward_batch(&batch, Some(b(1)), &mut forward);
+        assert!(forward.iter().all(|n| !n.contains(&b(1))));
+    }
+
+    #[test]
+    fn forward_batch_resizes_and_clears_reused_buffers() {
+        let mut table = RoutingTable::new();
+        table.add_remote(sub(1, 10, &Expr::eq("category", "books")), b(1));
+        let big: pubsub_core::EventBatch = (0..4).map(|_| books_event(1)).collect();
+        let mut out = Vec::new();
+        table.forward_batch(&big, None, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|n| n == &vec![b(1)]));
+        // A smaller follow-up batch must not leak entries from the big one.
+        let small: pubsub_core::EventBatch =
+            std::iter::once(EventMessage::builder().attr("category", "music").build()).collect();
+        table.forward_batch(&small, None, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //! shortcut.
 
 use crate::index::{AttributeIndex, PredicateKey, SubSlot};
-use crate::{EngineReport, FilterStats, MatchingEngine};
-use pubsub_core::{EventMessage, LeafMask, Subscription, SubscriptionId};
+use crate::{EngineReport, FilterStats, MatchSink, MatchingEngine};
+use pubsub_core::{
+    AttrId, EventBatch, EventMessage, LeafMask, Subscription, SubscriptionId, Value,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -36,6 +38,9 @@ struct MatchScratch {
     /// Slots with at least one fulfilled predicate this event, in first-touch
     /// order.
     touched: Vec<u32>,
+    /// Reusable per-event match buffer used by `match_batch` to sort each
+    /// event's matches before emitting them to the sink.
+    match_buf: Vec<SubscriptionId>,
     /// Number of times any scratch buffer had to grow (reallocate). Stable
     /// across calls in steady state; tests assert on it.
     grows: u64,
@@ -64,7 +69,10 @@ impl MatchScratch {
 
     /// Total number of scratch elements currently allocated.
     fn capacity(&self) -> usize {
-        self.counts.capacity() + self.gen.capacity() + self.touched.capacity()
+        self.counts.capacity()
+            + self.gen.capacity()
+            + self.touched.capacity()
+            + self.match_buf.capacity()
     }
 }
 
@@ -86,6 +94,12 @@ impl MatchScratch {
 /// masks are generation-stamped — "clearing" them between events is a single
 /// integer increment — which together with the reusable `touched` list makes
 /// the steady-state hot path allocation-free.
+///
+/// The primary entry point is `match_batch`: the scratch state — counters,
+/// stamps, touch list, leaf masks, and the per-event match buffer — stays hot
+/// across the whole batch, with a single generation bump per event and one
+/// timestamp pair per batch, so a warmed-up batch performs no heap
+/// allocation at all regardless of its size.
 ///
 /// The `pmin` shortcut is exactly what makes the paper's throughput heuristic
 /// meaningful: pruning that *raises* `pmin` makes the subscription cheaper to
@@ -191,6 +205,92 @@ impl CountingEngine {
         self.zero_pmin.push(slot);
     }
 
+    /// Matches one event — given as a stream of resolved `(AttrId, &Value)`
+    /// pairs — into `matches` (replacing its contents, id-sorted).
+    ///
+    /// This is the per-event core shared by `match_batch` and the
+    /// single-event compatibility path; it takes the engine's fields
+    /// piecewise so the batch loop can hold the borrows across events.
+    fn match_one<'a>(
+        slots: &mut [Option<SlotEntry>],
+        zero_pmin: &[u32],
+        index: &AttributeIndex,
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+        pairs: impl Iterator<Item = (AttrId, &'a Value)>,
+        matches: &mut Vec<SubscriptionId>,
+    ) {
+        matches.clear();
+
+        // Phase 1: resolve fulfilled predicates through the index, counting
+        // fulfilled leaves per slot in flat generation-stamped arrays and
+        // marking them in the subscription's reusable leaf mask.
+        scratch.advance(slots.len());
+        let current_gen = scratch.current_gen;
+        let mut fulfilled_count = 0u64;
+        index.fulfilled_pairs(pairs, |key: PredicateKey| {
+            let s = key.slot.index();
+            let Some(entry) = slots.get_mut(s).and_then(|e| e.as_mut()) else {
+                return;
+            };
+            if scratch.gen[s] != current_gen {
+                scratch.gen[s] = current_gen;
+                scratch.counts[s] = 0;
+                entry.mask.clear();
+                scratch.touched.push(key.slot.0);
+            }
+            if !entry.mask.contains(key.node) {
+                entry.mask.set(key.node);
+                scratch.counts[s] += 1;
+                fulfilled_count += 1;
+            }
+        });
+        stats.predicates_fulfilled += fulfilled_count;
+
+        // Phase 2: evaluate only the candidate subscriptions — those with at
+        // least one fulfilled predicate whose fulfilled-leaf count reaches
+        // the tree's pmin.
+        for &slot in &scratch.touched {
+            let entry = slots[slot as usize]
+                .as_ref()
+                .expect("touched slots are occupied");
+            if scratch.counts[slot as usize] < entry.pmin {
+                stats.skipped_by_pmin += 1;
+                continue;
+            }
+            stats.trees_evaluated += 1;
+            if entry.subscription.tree().evaluate_with_mask(&entry.mask) {
+                matches.push(entry.subscription.id());
+            }
+        }
+        // Subscriptions with pmin == 0 (possible only with negations) are
+        // evaluated for every event, because they can match an event that
+        // fulfils none of their predicates. Slots already touched above were
+        // evaluated with their real mask (pmin 0 always passes the count
+        // check); the rest see the all-false mask.
+        for &slot in zero_pmin.iter() {
+            if scratch.gen[slot as usize] == current_gen {
+                continue;
+            }
+            let entry = slots[slot as usize]
+                .as_ref()
+                .expect("zero-pmin slots are occupied");
+            stats.trees_evaluated += 1;
+            if entry
+                .subscription
+                .tree()
+                .evaluate_with_mask(LeafMask::empty())
+            {
+                matches.push(entry.subscription.id());
+            }
+        }
+
+        // Deterministic output: emit in subscription-id order, independent of
+        // slot assignment and index iteration order.
+        matches.sort_unstable();
+        stats.matches += matches.len() as u64;
+    }
+
     /// O(1) removal from the zero-pmin list via the position map and
     /// `swap_remove` (replacing the former O(n) `retain`).
     fn zero_pmin_remove(&mut self, slot: u32) {
@@ -256,17 +356,55 @@ impl MatchingEngine for CountingEngine {
             .map(|entry| &entry.subscription)
     }
 
-    fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId> {
-        // Small initial capacity: most events match few subscriptions, and
-        // the vector grows geometrically for the rest.
-        let mut matches = Vec::with_capacity(8);
-        self.match_event_into(event, &mut matches);
-        matches
+    fn match_batch(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
+        let start = Instant::now();
+        sink.begin_batch(batch.len());
+        let scratch_capacity_before = self.scratch.capacity();
+
+        // The match buffer is taken out of the scratch so the remaining
+        // scratch can be borrowed mutably alongside it; it is restored (with
+        // its possibly grown allocation) before the capacity check below.
+        let mut buf = std::mem::take(&mut self.scratch.match_buf);
+        {
+            let Self {
+                slots,
+                zero_pmin,
+                index,
+                scratch,
+                stats,
+                ..
+            } = self;
+            // One generation bump per event; every other piece of scratch —
+            // counters, stamps, touch list, leaf masks, match buffer — stays
+            // hot across the whole batch, so a warmed-up batch allocates
+            // nothing.
+            for index_in_batch in 0..batch.len() {
+                Self::match_one(
+                    slots,
+                    zero_pmin,
+                    index,
+                    scratch,
+                    stats,
+                    batch.resolved(index_in_batch),
+                    &mut buf,
+                );
+                for &id in buf.iter() {
+                    sink.on_match(index_in_batch, id);
+                }
+            }
+        }
+        self.scratch.match_buf = buf;
+
+        if self.scratch.capacity() > scratch_capacity_before {
+            self.scratch.grows += 1;
+        }
+        self.stats.batches_filtered += 1;
+        self.stats.events_filtered += batch.len() as u64;
+        self.stats.filter_time += start.elapsed();
     }
 
     fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
         let start = Instant::now();
-        matches.clear();
         let scratch_capacity_before = self.scratch.capacity();
 
         let Self {
@@ -277,79 +415,21 @@ impl MatchingEngine for CountingEngine {
             stats,
             ..
         } = self;
-
-        // Phase 1: resolve fulfilled predicates through the index, counting
-        // fulfilled leaves per slot in flat generation-stamped arrays and
-        // marking them in the subscription's reusable leaf mask.
-        scratch.advance(slots.len());
-        let current_gen = scratch.current_gen;
-        let mut fulfilled_count = 0u64;
-        index.fulfilled(event, |key: PredicateKey| {
-            let s = key.slot.index();
-            let Some(entry) = slots.get_mut(s).and_then(|e| e.as_mut()) else {
-                return;
-            };
-            if scratch.gen[s] != current_gen {
-                scratch.gen[s] = current_gen;
-                scratch.counts[s] = 0;
-                entry.mask.clear();
-                scratch.touched.push(key.slot.0);
-            }
-            if !entry.mask.contains(key.node) {
-                entry.mask.set(key.node);
-                scratch.counts[s] += 1;
-                fulfilled_count += 1;
-            }
-        });
-        stats.predicates_fulfilled += fulfilled_count;
-
-        // Phase 2: evaluate only the candidate subscriptions — those with at
-        // least one fulfilled predicate whose fulfilled-leaf count reaches
-        // the tree's pmin.
-        for &slot in &scratch.touched {
-            let entry = slots[slot as usize]
-                .as_ref()
-                .expect("touched slots are occupied");
-            if scratch.counts[slot as usize] < entry.pmin {
-                stats.skipped_by_pmin += 1;
-                continue;
-            }
-            stats.trees_evaluated += 1;
-            if entry.subscription.tree().evaluate_with_mask(&entry.mask) {
-                matches.push(entry.subscription.id());
-            }
-        }
-        // Subscriptions with pmin == 0 (possible only with negations) are
-        // evaluated for every event, because they can match an event that
-        // fulfils none of their predicates. Slots already touched above were
-        // evaluated with their real mask (pmin 0 always passes the count
-        // check); the rest see the all-false mask.
-        for &slot in zero_pmin.iter() {
-            if scratch.gen[slot as usize] == current_gen {
-                continue;
-            }
-            let entry = slots[slot as usize]
-                .as_ref()
-                .expect("zero-pmin slots are occupied");
-            stats.trees_evaluated += 1;
-            if entry
-                .subscription
-                .tree()
-                .evaluate_with_mask(LeafMask::empty())
-            {
-                matches.push(entry.subscription.id());
-            }
-        }
-
-        // Deterministic output: emit in subscription-id order, independent of
-        // slot assignment and index iteration order.
-        matches.sort_unstable();
+        Self::match_one(
+            slots,
+            zero_pmin,
+            index,
+            scratch,
+            stats,
+            event.iter_resolved(),
+            matches,
+        );
 
         if self.scratch.capacity() > scratch_capacity_before {
             self.scratch.grows += 1;
         }
+        self.stats.batches_filtered += 1;
         self.stats.events_filtered += 1;
-        self.stats.matches += matches.len() as u64;
         self.stats.filter_time += start.elapsed();
     }
 

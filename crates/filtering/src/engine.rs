@@ -1,7 +1,7 @@
 //! The common interface of all matching engines.
 
-use crate::FilterStats;
-use pubsub_core::{EventMessage, Subscription, SubscriptionId};
+use crate::{FilterStats, MatchSink, VecSink};
+use pubsub_core::{EventBatch, EventMessage, Subscription, SubscriptionId};
 
 /// A point-in-time summary of an engine's contents, used by the memory
 /// experiments (Figures 1(c) and 1(f) of the paper).
@@ -41,9 +41,18 @@ impl EngineReport {
 
 /// A filtering engine: stores subscriptions and matches events against them.
 ///
-/// Implementations must be deterministic: matching the same event against the
-/// same set of subscriptions always yields the same set of subscription ids
-/// (order of the returned vector is unspecified).
+/// The API is **batch-first**: [`match_batch`](Self::match_batch) is the
+/// primary entry point — it drives a whole [`EventBatch`] through the engine
+/// and streams every `(event index, subscription)` match into a
+/// [`MatchSink`]. The single-event methods
+/// [`match_event`](Self::match_event) /
+/// [`match_event_into`](Self::match_event_into) are provided as thin
+/// wrappers over a one-event batch so that existing callers keep working;
+/// engines with a cheap dedicated single-event path may override them.
+///
+/// Implementations must be deterministic: matching the same events against
+/// the same set of subscriptions always yields the same matches, with each
+/// event's matches emitted sorted by subscription id.
 pub trait MatchingEngine {
     /// Registers a subscription, replacing any existing subscription with the
     /// same id.
@@ -55,20 +64,42 @@ pub trait MatchingEngine {
     /// Returns the registered subscription with the given id, if any.
     fn get(&self, id: SubscriptionId) -> Option<&Subscription>;
 
-    /// Matches an event, returning the ids of all fulfilled subscriptions.
-    fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId>;
+    /// Matches every event of a batch, streaming each match into `sink`.
+    ///
+    /// The engine calls [`MatchSink::begin_batch`] exactly once, then
+    /// [`MatchSink::on_match`] once per match, with event indexes
+    /// non-decreasing and each event's matches sorted by subscription id.
+    /// Engines keep their per-event scratch hot across the whole batch, so
+    /// driving one large batch is strictly cheaper than looping
+    /// [`match_event`](Self::match_event).
+    fn match_batch(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink);
 
-    /// Matches an event into a caller-provided buffer, *replacing* its
+    /// Matches a single event, returning the ids of all fulfilled
+    /// subscriptions sorted by id.
+    ///
+    /// Compatibility wrapper over a one-event batch; prefer
+    /// [`match_batch`](Self::match_batch) on hot paths.
+    fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId> {
+        // Small initial capacity: most events match few subscriptions, and
+        // the vector grows geometrically for the rest.
+        let mut matches = Vec::with_capacity(8);
+        self.match_event_into(event, &mut matches);
+        matches
+    }
+
+    /// Matches a single event into a caller-provided buffer, *replacing* its
     /// contents.
     ///
-    /// Callers on hot paths (brokers, batch drivers) keep one buffer alive
-    /// across events so that steady-state matching performs no allocation at
-    /// all. The default implementation delegates to
-    /// [`match_event`](Self::match_event); engines with allocation-free
+    /// Callers that keep one buffer alive across events avoid the result
+    /// allocation; the batch construction of this default wrapper still
+    /// clones the event, so engines with allocation-free single-event
     /// internals override it.
     fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
+        let batch = EventBatch::builder().event(event.clone()).build();
+        let mut sink = VecSink::new();
+        self.match_batch(&batch, &mut sink);
         matches.clear();
-        matches.append(&mut self.match_event(event));
+        matches.extend(sink.matches().iter().map(|&(_, id)| id));
     }
 
     /// Number of registered subscriptions.

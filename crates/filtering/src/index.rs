@@ -285,12 +285,24 @@ impl AttributeIndex {
 
     /// Reports every registered predicate fulfilled by the event, by calling
     /// `on_fulfilled` once per fulfilled predicate key.
+    pub fn fulfilled(&self, event: &EventMessage, on_fulfilled: impl FnMut(PredicateKey)) {
+        self.fulfilled_pairs(event.iter_resolved(), on_fulfilled);
+    }
+
+    /// Reports every registered predicate fulfilled by a stream of resolved
+    /// `(AttrId, &Value)` pairs — one event's attribute entries, wherever
+    /// they are stored (an [`EventMessage`], or a span of an
+    /// `EventBatch` arena).
     ///
-    /// This is the phase-1 hot path: the event's attribute ids were resolved
-    /// at build time, the top-level probe is a `Vec` index, and no allocation
+    /// This is the phase-1 hot path: the attribute ids were resolved at
+    /// build time, the top-level probe is a `Vec` index, and no allocation
     /// takes place.
-    pub fn fulfilled(&self, event: &EventMessage, mut on_fulfilled: impl FnMut(PredicateKey)) {
-        for (attribute, value) in event.iter_resolved() {
+    pub fn fulfilled_pairs<'a>(
+        &self,
+        pairs: impl Iterator<Item = (AttrId, &'a Value)>,
+        mut on_fulfilled: impl FnMut(PredicateKey),
+    ) {
+        for (attribute, value) in pairs {
             let Some(buckets) = self.buckets(attribute) else {
                 continue;
             };

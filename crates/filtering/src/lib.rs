@@ -20,9 +20,20 @@
 //! Both engines expose the *predicate/subscription association count*, the
 //! memory metric reported in the paper's Figures 1(c) and 1(f).
 //!
+//! ## Batch-first matching
+//!
+//! The primary entry point is [`MatchingEngine::match_batch`]: it drives a
+//! whole [`EventBatch`](pubsub_core::EventBatch) through the engine and
+//! streams every `(event index, subscription)` match into a [`MatchSink`]
+//! ([`VecSink`], [`CountSink`], and [`PerEventSink`] are provided). The
+//! counting engine keeps its generation-stamped scratch hot across the
+//! batch, so steady-state batch matching performs no allocation at all. The
+//! single-event methods remain as thin wrappers for callers that genuinely
+//! have one event in hand.
+//!
 //! ```
-//! use filtering::{CountingEngine, MatchingEngine};
-//! use pubsub_core::{Expr, EventMessage, Subscription, SubscriptionId, SubscriberId};
+//! use filtering::{CountingEngine, MatchingEngine, PerEventSink};
+//! use pubsub_core::{Expr, EventBatch, EventMessage, Subscription, SubscriptionId, SubscriberId};
 //!
 //! let mut engine = CountingEngine::new();
 //! engine.insert(Subscription::from_expr(
@@ -31,12 +42,18 @@
 //!     &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
 //! ));
 //!
-//! let event = EventMessage::builder()
-//!     .attr("category", "books")
-//!     .attr("price", 12i64)
-//!     .build();
-//! let matches = engine.match_event(&event);
-//! assert_eq!(matches.len(), 1);
+//! let batch: EventBatch = (0..3)
+//!     .map(|i| {
+//!         EventMessage::builder()
+//!             .attr("category", "books")
+//!             .attr("price", 10 * i as i64)
+//!             .build()
+//!     })
+//!     .collect();
+//! let mut sink = PerEventSink::new();
+//! engine.match_batch(&batch, &mut sink);
+//! // All three prices (0, 10, 20) satisfy `price <= 20`.
+//! assert_eq!(sink.total_matches(), 3);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,10 +64,12 @@ mod counting;
 mod engine;
 mod index;
 mod naive;
+mod sink;
 mod stats;
 
 pub use counting::CountingEngine;
 pub use engine::{EngineReport, MatchingEngine};
 pub use index::{AttributeIndex, PredicateKey, SubSlot};
 pub use naive::NaiveEngine;
+pub use sink::{CountSink, MatchSink, PerEventSink, VecSink};
 pub use stats::FilterStats;

@@ -1,7 +1,7 @@
 //! Brute-force baseline matcher.
 
-use crate::{EngineReport, FilterStats, MatchingEngine};
-use pubsub_core::{EventMessage, Subscription, SubscriptionId};
+use crate::{EngineReport, FilterStats, MatchSink, MatchingEngine};
+use pubsub_core::{EventBatch, EventMessage, Subscription, SubscriptionId};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -43,7 +43,28 @@ impl MatchingEngine for NaiveEngine {
         self.subscriptions.get(&id)
     }
 
+    fn match_batch(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
+        let start = Instant::now();
+        sink.begin_batch(batch.len());
+        for (index, event) in batch.events().iter().enumerate() {
+            // BTreeMap iteration is id-sorted, so each event's matches are
+            // emitted in subscription-id order as the trait requires.
+            for (id, sub) in &self.subscriptions {
+                self.stats.trees_evaluated += 1;
+                if sub.matches(event) {
+                    self.stats.matches += 1;
+                    sink.on_match(index, *id);
+                }
+            }
+        }
+        self.stats.batches_filtered += 1;
+        self.stats.events_filtered += batch.len() as u64;
+        self.stats.filter_time += start.elapsed();
+    }
+
     fn match_event(&mut self, event: &EventMessage) -> Vec<SubscriptionId> {
+        // Dedicated single-event path: same evaluation loop as `match_batch`
+        // without the batch construction the default wrapper would pay.
         let start = Instant::now();
         let mut matches = Vec::new();
         for (id, sub) in &self.subscriptions {
@@ -52,10 +73,16 @@ impl MatchingEngine for NaiveEngine {
                 matches.push(*id);
             }
         }
+        self.stats.batches_filtered += 1;
         self.stats.events_filtered += 1;
         self.stats.matches += matches.len() as u64;
         self.stats.filter_time += start.elapsed();
         matches
+    }
+
+    fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
+        matches.clear();
+        matches.append(&mut self.match_event(event));
     }
 
     fn len(&self) -> usize {

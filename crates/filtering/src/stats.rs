@@ -14,6 +14,11 @@ use std::time::Duration;
 pub struct FilterStats {
     /// Number of events filtered.
     pub events_filtered: u64,
+    /// Number of `match_batch` invocations (a single-event call through the
+    /// compatibility wrappers counts as a one-event batch). Together with
+    /// [`events_filtered`](Self::events_filtered) this reports the average
+    /// batch size the engine was driven with.
+    pub batches_filtered: u64,
     /// Total number of subscription matches produced.
     pub matches: u64,
     /// Number of subscription trees actually evaluated.
@@ -83,10 +88,20 @@ impl FilterStats {
         }
     }
 
+    /// Average number of events per `match_batch` invocation.
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches_filtered == 0 {
+            0.0
+        } else {
+            self.events_filtered as f64 / self.batches_filtered as f64
+        }
+    }
+
     /// Merges another statistics block into this one (used when aggregating
     /// per-broker statistics into a system-wide view).
     pub fn merge(&mut self, other: &FilterStats) {
         self.events_filtered += other.events_filtered;
+        self.batches_filtered += other.batches_filtered;
         self.matches += other.matches;
         self.trees_evaluated += other.trees_evaluated;
         self.skipped_by_pmin += other.skipped_by_pmin;
@@ -111,6 +126,7 @@ mod tests {
     fn averages_divide_by_event_count() {
         let s = FilterStats {
             events_filtered: 4,
+            batches_filtered: 2,
             matches: 8,
             trees_evaluated: 12,
             skipped_by_pmin: 2,
@@ -120,12 +136,15 @@ mod tests {
         assert_eq!(s.avg_matches_per_event(), 2.0);
         assert_eq!(s.avg_filter_time(), Duration::from_millis(10));
         assert_eq!(s.avg_evaluations_per_event(), 3.0);
+        assert_eq!(s.avg_batch_size(), 2.0);
+        assert_eq!(FilterStats::new().avg_batch_size(), 0.0);
     }
 
     #[test]
     fn merge_accumulates_all_counters() {
         let mut a = FilterStats {
             events_filtered: 1,
+            batches_filtered: 1,
             matches: 2,
             trees_evaluated: 3,
             skipped_by_pmin: 4,
@@ -135,6 +154,7 @@ mod tests {
         let b = a;
         a.merge(&b);
         assert_eq!(a.events_filtered, 2);
+        assert_eq!(a.batches_filtered, 2);
         assert_eq!(a.matches, 4);
         assert_eq!(a.trees_evaluated, 6);
         assert_eq!(a.skipped_by_pmin, 8);

@@ -3,12 +3,15 @@
 //! * The counting engine must agree with the naive baseline on random
 //!   workloads drawn from the `workload` generators (the same generators the
 //!   benchmarks and experiments use), across seeds and under churn.
-//! * After warmup, repeated `match_event` calls must not allocate any new
-//!   scratch: the generation-stamped counters, leaf masks, and touched lists
-//!   are reused across events.
+//! * `match_batch` must agree with per-event `match_event` on both engines,
+//!   including when subscriptions churn between batches.
+//! * After warmup, repeated matching — per event or per batch — must not
+//!   allocate any new scratch: the generation-stamped counters, leaf masks,
+//!   touched lists, and the batch match buffer are reused.
 
-use filtering::{CountingEngine, MatchingEngine, NaiveEngine};
+use filtering::{CountingEngine, MatchingEngine, NaiveEngine, PerEventSink};
 use proptest::prelude::*;
+use pubsub_core::EventBatch;
 use workload::{WorkloadConfig, WorkloadGenerator};
 
 proptest! {
@@ -71,6 +74,69 @@ proptest! {
             prop_assert_eq!(&a, &b, "divergence on seed {} event {}", seed, i);
         }
     }
+
+    /// `match_batch` over a random batch equals per-event `match_event` on
+    /// both engines — including mid-batch churn: subscriptions are removed
+    /// and re-registered between batches (exercising slot reuse inside the
+    /// batch scratch), and every batch is checked against the per-event
+    /// results of the *current* subscription set.
+    #[test]
+    fn match_batch_agrees_with_per_event_matching(seed in 0u64..24) {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+        let subscriptions = generator.subscriptions(140);
+
+        let mut counting = CountingEngine::new();
+        let mut naive = NaiveEngine::new();
+        for s in &subscriptions {
+            counting.insert(s.clone());
+            naive.insert(s.clone());
+        }
+
+        let mut counting_sink = PerEventSink::new();
+        let mut naive_sink = PerEventSink::new();
+        for round in 0..3usize {
+            let batch: EventBatch = generator.events(25).into_iter().collect();
+            counting.match_batch(&batch, &mut counting_sink);
+            naive.match_batch(&batch, &mut naive_sink);
+            prop_assert_eq!(counting_sink.len(), batch.len());
+            prop_assert_eq!(naive_sink.len(), batch.len());
+            for (i, event) in batch.events().iter().enumerate() {
+                // Reference: the engines' own single-event path.
+                let expected_counting = counting.match_event(event);
+                let mut expected_naive = naive.match_event(event);
+                expected_naive.sort();
+                prop_assert_eq!(
+                    counting_sink.for_event(i),
+                    &expected_counting[..],
+                    "counting batch/single divergence on seed {} round {} event {}",
+                    seed, round, i
+                );
+                prop_assert_eq!(
+                    naive_sink.for_event(i),
+                    &expected_naive[..],
+                    "naive batch/single divergence on seed {} round {} event {}",
+                    seed, round, i
+                );
+                prop_assert_eq!(
+                    counting_sink.for_event(i),
+                    naive_sink.for_event(i),
+                    "engine divergence on seed {} round {} event {}",
+                    seed, round, i
+                );
+            }
+            // Churn between batches: remove every third subscription, then
+            // re-register every sixth, so freed slots get reused with
+            // different ids before the next batch.
+            for s in subscriptions.iter().step_by(3) {
+                counting.remove(s.id());
+                naive.remove(s.id());
+            }
+            for s in subscriptions.iter().step_by(6) {
+                counting.insert(s.clone());
+                naive.insert(s.clone());
+            }
+        }
+    }
 }
 
 /// The acceptance test for the zero-allocation hot path: once the engine has
@@ -109,6 +175,46 @@ fn steady_state_matching_allocates_no_new_scratch() {
         "match_event grew scratch after warmup"
     );
     assert_eq!(engine.scratch_capacity(), capacity_after_warmup);
+}
+
+/// The batch analogue of the zero-allocation acceptance test: once warmed
+/// up, driving batch after batch through `match_batch` grows neither the
+/// engine scratch (counters, stamps, touch list, match buffer) nor the
+/// reused batch and sink — zero steady-state growth across batches.
+#[test]
+fn steady_state_batch_matching_allocates_no_new_scratch() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(2_000);
+
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in &subscriptions {
+        engine.insert(s.clone());
+    }
+
+    // Warm-up: one refill/match cycle sizes every buffer.
+    let mut batch = EventBatch::new();
+    let mut sink = PerEventSink::new();
+    generator.fill_event_batch(128, &mut batch);
+    engine.match_batch(&batch, &mut sink);
+
+    let grows_after_warmup = engine.scratch_grows();
+    let engine_capacity = engine.scratch_capacity();
+    let batch_capacity = batch.capacity();
+    assert!(engine_capacity > 0, "warmup should allocate scratch");
+
+    // Steady state: refilling the same batch and matching it repeatedly
+    // must not grow anything.
+    for _ in 0..5 {
+        generator.fill_event_batch(128, &mut batch);
+        engine.match_batch(&batch, &mut sink);
+    }
+    assert_eq!(
+        engine.scratch_grows(),
+        grows_after_warmup,
+        "match_batch grew engine scratch after warmup"
+    );
+    assert_eq!(engine.scratch_capacity(), engine_capacity);
+    assert_eq!(batch.capacity(), batch_capacity, "batch arena reallocated");
 }
 
 /// Match output is sorted by subscription id, making results reproducible

@@ -5,6 +5,8 @@
 //!
 //! * [`Value`] — typed attribute values carried by event messages.
 //! * [`EventMessage`] — a set of attribute–value pairs published by a producer.
+//! * [`EventBatch`] — a reusable, arena-backed batch of event messages, the
+//!   unit the batch-first matching API consumes.
 //! * [`Predicate`] — an attribute–operator–value triple, the leaf variables of
 //!   subscriptions.
 //! * [`SubscriptionTree`] — an arbitrary Boolean expression over predicates
@@ -50,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attr;
+mod batch;
 mod error;
 mod event;
 mod expr;
@@ -61,6 +64,7 @@ mod tree;
 mod value;
 
 pub use attr::AttrId;
+pub use batch::{EventBatch, EventBatchBuilder};
 pub use error::CoreError;
 pub use event::{EventBuilder, EventMessage};
 pub use expr::Expr;

@@ -1,6 +1,8 @@
 //! Greedy subscription merging for conjunctive subscriptions.
 
-use pubsub_core::{Expr, Operator, Predicate, SubscriberId, Subscription, SubscriptionId, Value};
+use pubsub_core::{
+    AttrId, Expr, Operator, Predicate, SubscriberId, Subscription, SubscriptionId, Value,
+};
 use std::collections::BTreeMap;
 
 /// Configuration of the greedy merger.
@@ -69,12 +71,13 @@ impl MergeReport {
 }
 
 /// The key a conjunctive subscription is grouped by: its attribute/operator
-/// signature. Only subscriptions with the same signature are merged, which is
-/// the classic "merge candidates" criterion.
-fn signature(predicates: &[&Predicate]) -> Option<Vec<(String, Operator)>> {
-    let mut sig: Vec<(String, Operator)> = predicates
+/// signature, keyed by dense interned [`AttrId`]s — grouping never copies or
+/// compares attribute strings. Only subscriptions with the same signature
+/// are merged, which is the classic "merge candidates" criterion.
+fn signature(predicates: &[&Predicate]) -> Option<Vec<(AttrId, Operator)>> {
+    let mut sig: Vec<(AttrId, Operator)> = predicates
         .iter()
-        .map(|p| (p.attribute().to_owned(), p.operator()))
+        .map(|p| (p.attr_id(), p.operator()))
         .collect();
     sig.sort();
     // Subscriptions with repeated attribute/operator pairs are left alone —
@@ -99,7 +102,7 @@ fn conjunctive_predicates(subscription: &Subscription) -> Option<Vec<Predicate>>
 /// group's per-subscription constants. Returns `(predicate, exact)` where
 /// `exact` is `false` when the merged predicate over-approximates.
 fn merge_slot(
-    attribute: &str,
+    attribute: AttrId,
     operator: Operator,
     constants: &[&Value],
 ) -> Option<(Predicate, bool)> {
@@ -109,7 +112,10 @@ fn merge_slot(
             // single equality, so it is dropped (over-approximation).
             let first = constants[0];
             if constants.iter().all(|c| *c == first) {
-                Some((Predicate::new(attribute, operator, (*first).clone()), true))
+                Some((
+                    Predicate::with_attr_id(attribute, operator, (*first).clone()),
+                    true,
+                ))
             } else {
                 None
             }
@@ -124,7 +130,10 @@ fn merge_slot(
                 }
             }
             let exact = constants.iter().all(|c| *c == best);
-            Some((Predicate::new(attribute, operator, best.clone()), exact))
+            Some((
+                Predicate::with_attr_id(attribute, operator, best.clone()),
+                exact,
+            ))
         }
         Operator::Ge | Operator::Gt => {
             // The union of lower bounds is the smallest bound.
@@ -135,14 +144,20 @@ fn merge_slot(
                 }
             }
             let exact = constants.iter().all(|c| *c == best);
-            Some((Predicate::new(attribute, operator, best.clone()), exact))
+            Some((
+                Predicate::with_attr_id(attribute, operator, best.clone()),
+                exact,
+            ))
         }
         // Pattern and inequality predicates are dropped from the merger
         // (over-approximation) unless identical across the group.
         _ => {
             let first = constants[0];
             if constants.iter().all(|c| *c == first) {
-                Some((Predicate::new(attribute, operator, (*first).clone()), true))
+                Some((
+                    Predicate::with_attr_id(attribute, operator, (*first).clone()),
+                    true,
+                ))
             } else {
                 None
             }
@@ -167,7 +182,7 @@ pub fn merge_subscriptions(
     };
 
     // Group conjunctive subscriptions by signature.
-    let mut groups: BTreeMap<Vec<(String, Operator)>, Vec<&Subscription>> = BTreeMap::new();
+    let mut groups: BTreeMap<Vec<(AttrId, Operator)>, Vec<&Subscription>> = BTreeMap::new();
     let mut unmergeable_associations = 0usize;
     for s in subscriptions {
         match conjunctive_predicates(s) {
@@ -206,12 +221,12 @@ pub fn merge_subscriptions(
                 .map(|preds| {
                     preds
                         .iter()
-                        .find(|p| p.attribute() == attribute && p.operator() == *operator)
+                        .find(|p| p.attr_id() == *attribute && p.operator() == *operator)
                         .expect("signature guarantees the slot exists")
                         .constant()
                 })
                 .collect();
-            match merge_slot(attribute, *operator, &constants) {
+            match merge_slot(*attribute, *operator, &constants) {
                 Some((predicate, exact)) => {
                     perfect &= exact;
                     merged_predicates.push(Expr::pred(predicate));

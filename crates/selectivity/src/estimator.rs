@@ -41,13 +41,15 @@ impl SelectivityEstimator {
     /// Probability that a random event fulfils the predicate.
     ///
     /// The result already accounts for events that do not carry the
-    /// attribute at all (those never fulfil a predicate).
+    /// attribute at all (those never fulfil a predicate). The statistics are
+    /// probed by the predicate's interned [`AttrId`](pubsub_core::AttrId) —
+    /// a flat array index, no string hashing.
     pub fn estimate_predicate(&self, predicate: &Predicate) -> f64 {
-        let presence = self.stats.presence_probability(predicate.attribute());
+        let presence = self.stats.presence_probability_id(predicate.attr_id());
         if presence == 0.0 {
             return 0.0;
         }
-        let Some(attr) = self.stats.attribute(predicate.attribute()) else {
+        let Some(attr) = self.stats.attribute_id(predicate.attr_id()) else {
             return 0.0;
         };
         if attr.present == 0 {

@@ -1,8 +1,7 @@
 //! Event-sample statistics per attribute.
 
 use crate::histogram::{numeric_observation, CategoricalStats, NumericHistogram};
-use pubsub_core::{EventMessage, Value};
-use std::collections::HashMap;
+use pubsub_core::{attr, AttrId, EventMessage, Value};
 
 /// Statistics about one attribute, gathered from an event sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,33 +51,55 @@ impl AttributeStatistics {
 /// be maintained incrementally from the observed event stream; here they are
 /// built from a sample (either historical events or a warm-up prefix of the
 /// published stream).
+///
+/// Statistics are keyed by dense [`AttrId`] — the same hash-free probes the
+/// matching engine uses: the estimator looks up a predicate's statistics by
+/// indexing a flat `Vec` with the predicate's interned attribute id. The
+/// name-based accessors remain as thin wrappers that resolve the name
+/// through the interner first.
+///
+/// **Serde caveat:** as with raw `AttrId`s generally, the serialized form is
+/// keyed by process-local ids and round-trips within one process only.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventStatistics {
-    attributes: HashMap<String, AttributeStatistics>,
+    /// Indexed by `AttrId::index()`; `None` for interned attributes the
+    /// sample never carried.
+    attributes: Vec<Option<AttributeStatistics>>,
+    attributes_observed: usize,
     event_count: u64,
 }
 
 impl EventStatistics {
     /// Builds statistics from a sample of events.
     pub fn from_events(events: &[EventMessage]) -> Self {
-        let mut observations: HashMap<&str, Vec<&Value>> = HashMap::new();
+        // Observations bucketed per dense attribute id — no string hashing;
+        // the events' ids were resolved when they were built.
+        let mut observations: Vec<Vec<&Value>> = Vec::new();
         for event in events {
-            for (attr, value) in event.iter() {
-                observations.entry(attr).or_default().push(value);
+            for (id, value) in event.iter_resolved() {
+                let index = id.index();
+                if index >= observations.len() {
+                    observations.resize_with(index + 1, Vec::new);
+                }
+                observations[index].push(value);
             }
         }
+        let mut attributes_observed = 0;
         let attributes = observations
             .into_iter()
-            .map(|(attr, values)| {
-                (
-                    attr.to_owned(),
-                    AttributeStatistics::from_observations(&values),
-                )
+            .map(|values| {
+                if values.is_empty() {
+                    None
+                } else {
+                    attributes_observed += 1;
+                    Some(AttributeStatistics::from_observations(&values))
+                }
             })
             .collect();
         Self {
             attributes,
+            attributes_observed,
             event_count: events.len() as u64,
         }
     }
@@ -90,22 +111,42 @@ impl EventStatistics {
 
     /// Number of distinct attributes observed.
     pub fn attribute_count(&self) -> usize {
-        self.attributes.len()
+        self.attributes_observed
     }
 
-    /// Statistics for one attribute, if it was observed at all.
+    /// Statistics for one attribute by its interned id — the hot-path
+    /// accessor: a flat `Vec` index, no hashing.
+    #[inline]
+    pub fn attribute_id(&self, id: AttrId) -> Option<&AttributeStatistics> {
+        self.attributes.get(id.index())?.as_ref()
+    }
+
+    /// Statistics for one attribute by name, if it was observed at all.
+    ///
+    /// Thin resolving wrapper over [`attribute_id`](Self::attribute_id).
     pub fn attribute(&self, name: &str) -> Option<&AttributeStatistics> {
-        self.attributes.get(name)
+        self.attribute_id(attr::lookup(name)?)
     }
 
-    /// Probability that a sampled event carries the attribute.
-    pub fn presence_probability(&self, name: &str) -> f64 {
+    /// Probability that a sampled event carries the attribute with the given
+    /// interned id.
+    #[inline]
+    pub fn presence_probability_id(&self, id: AttrId) -> f64 {
         if self.event_count == 0 {
             return 0.0;
         }
-        self.attributes
-            .get(name)
+        self.attribute_id(id)
             .map(|a| a.present as f64 / self.event_count as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Probability that a sampled event carries the attribute.
+    ///
+    /// Thin resolving wrapper over
+    /// [`presence_probability_id`](Self::presence_probability_id).
+    pub fn presence_probability(&self, name: &str) -> f64 {
+        attr::lookup(name)
+            .map(|id| self.presence_probability_id(id))
             .unwrap_or(0.0)
     }
 }
@@ -161,6 +202,23 @@ mod tests {
         let featured = stats.attribute("featured").unwrap();
         assert_eq!(featured.bool_true, 25);
         assert_eq!(featured.bool_false, 0);
+    }
+
+    #[test]
+    fn id_accessors_agree_with_name_accessors() {
+        let stats = EventStatistics::from_events(&sample_events());
+        for name in ["price", "category", "featured"] {
+            let id = attr::lookup(name).expect("sample attribute is interned");
+            assert_eq!(stats.attribute_id(id), stats.attribute(name));
+            assert_eq!(
+                stats.presence_probability_id(id),
+                stats.presence_probability(name)
+            );
+        }
+        // An interned attribute the sample never carried reports nothing.
+        let unseen = attr::intern("selectivity_stats_test_unseen");
+        assert!(stats.attribute_id(unseen).is_none());
+        assert_eq!(stats.presence_probability_id(unseen), 0.0);
     }
 
     #[test]

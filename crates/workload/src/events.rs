@@ -2,7 +2,7 @@
 
 use crate::catalog::Catalog;
 use crate::schema::{AttrIds, AuctionSchema, CONDITIONS};
-use pubsub_core::{EventId, EventMessage};
+use pubsub_core::{EventBatch, EventId, EventMessage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal, Poisson};
@@ -107,6 +107,25 @@ impl EventGenerator {
     /// Generates `count` event messages.
     pub fn events(&mut self, count: usize) -> Vec<EventMessage> {
         (0..count).map(|_| self.next_event()).collect()
+    }
+
+    /// Generates `count` events as an [`EventBatch`].
+    pub fn event_batch(&mut self, count: usize) -> EventBatch {
+        let mut batch = EventBatch::with_capacity(count, 10);
+        self.fill_event_batch(count, &mut batch);
+        batch
+    }
+
+    /// Clears `batch` and refills it with the next `count` events.
+    ///
+    /// Sustained-stream drivers keep one batch alive and refill it between
+    /// `match_batch` calls; the batch retains its arena allocation, so the
+    /// steady state allocates only the events themselves.
+    pub fn fill_event_batch(&mut self, count: usize, batch: &mut EventBatch) {
+        batch.clear();
+        for _ in 0..count {
+            batch.push(self.next_event());
+        }
     }
 }
 

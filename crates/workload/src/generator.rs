@@ -2,7 +2,7 @@
 //! configuration and seed.
 
 use crate::{AuctionSchema, ClassMix, EventGenerator, SubscriptionGenerator};
-use pubsub_core::{EventMessage, Subscription};
+use pubsub_core::{EventBatch, EventMessage, Subscription};
 
 /// Configuration of a [`WorkloadGenerator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +94,18 @@ impl WorkloadGenerator {
         self.events.next_event()
     }
 
+    /// Generates `count` auction events as an [`EventBatch`], ready for
+    /// `MatchingEngine::match_batch` / `Simulation::publish_batch`.
+    pub fn event_batch(&mut self, count: usize) -> EventBatch {
+        self.events.event_batch(count)
+    }
+
+    /// Clears `batch` and refills it with the next `count` auction events,
+    /// reusing the batch's allocations.
+    pub fn fill_event_batch(&mut self, count: usize, batch: &mut EventBatch) {
+        self.events.fill_event_batch(count, batch)
+    }
+
     /// Generates `count` subscriptions spread over the configured subscribers.
     pub fn subscriptions(&mut self, count: usize) -> Vec<Subscription> {
         self.subscriptions
@@ -121,6 +133,22 @@ mod tests {
         assert_eq!(g.events(25).len(), 25);
         assert_eq!(g.subscriptions(40).len(), 40);
         assert_eq!(g.config().subscriber_count, 100);
+    }
+
+    #[test]
+    fn batch_generation_matches_event_generation() {
+        let mut a = WorkloadGenerator::new(WorkloadConfig::small());
+        let mut b = WorkloadGenerator::new(WorkloadConfig::small());
+        let batch = a.event_batch(30);
+        let events = b.events(30);
+        assert_eq!(batch.events(), &events[..]);
+        // Refilling a kept batch continues the stream and reuses the arena.
+        let mut batch = batch;
+        a.fill_event_batch(30, &mut batch);
+        let capacity = batch.capacity();
+        assert_eq!(batch.events(), &b.events(30)[..]);
+        a.fill_event_batch(30, &mut batch);
+        assert_eq!(batch.capacity(), capacity);
     }
 
     #[test]

@@ -16,7 +16,7 @@ const PRUNING_FRACTION: f64 = 0.5;
 fn main() {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
     let subscriptions = generator.subscriptions(SUBSCRIPTIONS);
-    let events = generator.events(EVENTS);
+    let events = generator.event_batch(EVENTS);
     let sample = generator.events(1_000);
     let estimator = SelectivityEstimator::from_events(&sample);
 
@@ -62,13 +62,12 @@ fn main() {
     }
 }
 
-/// Filters all events and returns (seconds per event, matches per
-/// subscription per event).
-fn measure(engine: &mut CountingEngine, events: &[EventMessage]) -> (f64, f64) {
+/// Filters the whole event batch through `match_batch` and returns (seconds
+/// per event, matches per subscription per event).
+fn measure(engine: &mut CountingEngine, events: &EventBatch) -> (f64, f64) {
     engine.reset_stats();
-    for event in events {
-        let _ = engine.match_event(event);
-    }
+    let mut sink = CountSink::new();
+    engine.match_batch(events, &mut sink);
     let stats = *engine.stats();
     let per_event = stats.avg_filter_time().as_secs_f64();
     let matches = stats.matches as f64 / (events.len() as f64 * engine.len().max(1) as f64);

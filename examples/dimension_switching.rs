@@ -25,7 +25,7 @@ fn choose_dimension(memory_pressure: f64, bandwidth_pressure: f64, cpu_pressure:
 fn main() {
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
     let subscriptions = generator.subscriptions(2_000);
-    let events = generator.events(400);
+    let events = generator.event_batch(400);
     let sample = generator.events(800);
     let estimator = SelectivityEstimator::from_events(&sample);
 
@@ -50,9 +50,8 @@ fn main() {
         for s in pruner.pruned_subscriptions() {
             engine.insert(s);
         }
-        for event in &events {
-            let _ = engine.match_event(event);
-        }
+        let mut sink = CountSink::new();
+        engine.match_batch(&events, &mut sink);
         let stats = *engine.stats();
         println!(
             "{label}\n  -> chose {dimension} pruning: {} prunings, associations -{:.1}%, {:.3} ms/event, {:.4} matches/sub/event\n",

@@ -35,7 +35,9 @@ fn main() {
         ),
     ];
 
-    // 2. Register them in the counting matcher and filter an event.
+    // 2. Register them in the counting matcher and filter a small batch of
+    //    events through the batch-first API: the engine is driven once for
+    //    the whole batch and streams its matches into a reusable sink.
     let mut engine = CountingEngine::new();
     for s in &subscriptions {
         engine.insert(s.clone());
@@ -48,8 +50,20 @@ fn main() {
         .attr("bids", 5i64)
         .attr("end_time_hours", 48i64)
         .build();
-    let matches = engine.match_event(&event);
-    println!("event matches subscriptions: {matches:?}");
+    let batch = EventBatch::builder()
+        .event(event.clone())
+        .event(
+            EventMessage::builder()
+                .attr("category", "music")
+                .attr("price", 40i64)
+                .build(),
+        )
+        .build();
+    let mut sink = PerEventSink::new();
+    engine.match_batch(&batch, &mut sink);
+    for (i, matches) in sink.iter().enumerate() {
+        println!("event {i} matches subscriptions: {matches:?}");
+    }
 
     // 3. Build a selectivity estimator from a small synthetic event sample.
     let sample: Vec<EventMessage> = (0..500)

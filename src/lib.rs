@@ -32,7 +32,20 @@
 //!     &Expr::and(vec![Expr::eq("category", "books"), Expr::le("price", 20i64)]),
 //! ));
 //!
-//! // Match an event.
+//! // Match a batch of events through the batch-first API.
+//! let batch: EventBatch = (0..2)
+//!     .map(|i| {
+//!         EventMessage::builder()
+//!             .attr("category", "books")
+//!             .attr("price", 12i64 + i)
+//!             .build()
+//!     })
+//!     .collect();
+//! let mut sink = PerEventSink::new();
+//! engine.match_batch(&batch, &mut sink);
+//! assert_eq!(sink.total_matches(), 2);
+//!
+//! // Single events keep working through the compatibility wrapper.
 //! let event = EventMessage::builder()
 //!     .attr("category", "books")
 //!     .attr("price", 12i64)
@@ -82,9 +95,11 @@ pub mod baseline {
 pub mod prelude {
     pub use crate::auction::{AuctionSchema, ScenarioConfig, WorkloadConfig, WorkloadGenerator};
     pub use crate::estimate::{EventStatistics, SelectivityEstimate, SelectivityEstimator};
-    pub use crate::matching::{CountingEngine, MatchingEngine, NaiveEngine};
+    pub use crate::matching::{
+        CountSink, CountingEngine, MatchSink, MatchingEngine, NaiveEngine, PerEventSink, VecSink,
+    };
     pub use crate::model::{
-        BrokerId, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,
+        BrokerId, EventBatch, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,
         SubscriptionId, SubscriptionTree, Value,
     };
     pub use crate::net::{Simulation, SimulationConfig, Topology};
