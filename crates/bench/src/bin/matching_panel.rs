@@ -23,9 +23,19 @@
 //! `CountSink` at the largest subscription count. The batch-size-1 cells
 //! measure the batch API's fixed overhead against the single-event path; the
 //! larger cells show the amortization the batch-first redesign buys.
+//!
+//! A third series (`sharded_results`) drives the same workload through
+//! `ShardedEngine` at shard counts 1/2/4/8 (large batches, so the fan-out
+//! amortizes): the 1-shard cell measures the sharding machinery's fixed
+//! overhead (merge + dispatch) and the larger counts show the multi-core
+//! scaling. On a single-core host the >1-shard cells measure overhead only —
+//! the recorded `host_parallelism` field says which regime a recording is in.
+//! After the measurements a same-run comparison table (single vs. batch vs.
+//! sharded at the shared 10k-subscription/width-10 cell) is printed to
+//! stderr, since host variance makes cross-run JSON diffing misleading.
 
 use bench::narrow_events;
-use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine};
+use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine, ShardedEngine};
 use pubsub_core::{EventBatch, EventMessage, Subscription};
 use std::time::Instant;
 use workload::{WorkloadConfig, WorkloadGenerator};
@@ -49,6 +59,20 @@ struct BatchPanelResult {
     engine: &'static str,
     subscriptions: usize,
     event_width: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+/// One measured cell of the sharded panel.
+struct ShardedPanelResult {
+    engine: &'static str,
+    subscriptions: usize,
+    event_width: usize,
+    shards: usize,
     batch_size: usize,
     events: usize,
     passes: usize,
@@ -215,16 +239,120 @@ fn measure_batched(
     }
 }
 
+/// Measures the sharded engine over pre-chunked batches at one shard count.
+fn measure_sharded(
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    width: usize,
+    shards: usize,
+    batch_size: usize,
+    passes: usize,
+) -> ShardedPanelResult {
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = ShardedEngine::with_shards_and_capacity(shards, subscriptions.len());
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let (matches_per_pass, ns_per_event) = time_engine_batched(&mut engine, &batches, passes);
+    ShardedPanelResult {
+        engine: "sharded",
+        subscriptions: subscriptions.len(),
+        event_width: width,
+        shards,
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+    }
+}
+
+/// Prints the same-run single-vs-batch-vs-sharded comparison table to
+/// stderr. All compared cells share the subscription count, width, and
+/// event set of this run, so the ±20% run-to-run host variance (see
+/// ROADMAP) cancels out of the speedup columns — this replaces manually
+/// diffing `BENCH_matching.json` across recordings.
+fn print_comparison_table(
+    results: &[PanelResult],
+    batch_results: &[BatchPanelResult],
+    sharded_results: &[ShardedPanelResult],
+) {
+    // The shared cell: the largest subscription count at full width, which
+    // every series measures.
+    let subs = results
+        .iter()
+        .filter(|r| r.engine == "counting" && r.event_width == 10)
+        .map(|r| r.subscriptions)
+        .max();
+    let Some(subs) = subs else { return };
+    let Some(single) = results
+        .iter()
+        .find(|r| r.engine == "counting" && r.event_width == 10 && r.subscriptions == subs)
+    else {
+        return;
+    };
+
+    eprintln!();
+    eprintln!("same-run comparison at {subs} subscriptions / width 10 (speedup vs single-event counting; cells from other runs are not comparable):");
+    eprintln!(
+        "  {:<26} {:>14} {:>14} {:>9}",
+        "configuration", "ns/event", "events/s", "speedup"
+    );
+    let row = |label: String, ns_per_event: f64, events_per_sec: f64| {
+        eprintln!(
+            "  {:<26} {:>14.0} {:>14.0} {:>8.2}x",
+            label,
+            ns_per_event,
+            events_per_sec,
+            single.ns_per_event / ns_per_event.max(1e-9)
+        );
+    };
+    row(
+        "counting single-event".to_owned(),
+        single.ns_per_event,
+        single.events_per_sec,
+    );
+    for r in batch_results
+        .iter()
+        .filter(|r| r.subscriptions == subs && r.event_width == 10)
+    {
+        row(
+            format!("counting batch={}", r.batch_size),
+            r.ns_per_event,
+            r.events_per_sec,
+        );
+    }
+    for r in sharded_results
+        .iter()
+        .filter(|r| r.subscriptions == subs && r.event_width == 10)
+    {
+        row(
+            format!("sharded shards={} batch={}", r.shards, r.batch_size),
+            r.ns_per_event,
+            r.events_per_sec,
+        );
+    }
+}
+
 fn render_json(
     config: &PanelConfig,
     results: &[PanelResult],
     batch_results: &[BatchPanelResult],
+    sharded_results: &[ShardedPanelResult],
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"matching\",\n");
     out.push_str(&format!("  \"seed\": {},\n", config.seed));
     out.push_str(&format!("  \"quick\": {},\n", config.quick));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -265,6 +393,33 @@ fn render_json(
             r.ns_per_event,
             r.events_per_sec,
             if i + 1 == batch_results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded_results\": [\n");
+    for (i, r) in sharded_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"subscriptions\": {}, ",
+                "\"event_width\": {}, \"shards\": {}, \"batch_size\": {}, ",
+                "\"events\": {}, \"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}}}{}\n"
+            ),
+            r.engine,
+            r.subscriptions,
+            r.event_width,
+            r.shards,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            if i + 1 == sharded_results.len() {
                 ""
             } else {
                 ","
@@ -341,7 +496,28 @@ fn main() {
         batch_results.push(r);
     }
 
-    let json = render_json(&config, &results, &batch_results);
+    // Sharded panel: the same workload through `ShardedEngine` at rising
+    // shard counts, chunked into large batches so the per-batch fan-out
+    // amortizes. The 1-shard cell is the sharding machinery's overhead
+    // floor; whether the higher counts scale depends on `host_parallelism`.
+    let (shard_counts, sharded_batch): (&[usize], usize) = if config.quick {
+        (&[1, 2], 16)
+    } else {
+        (&[1, 2, 4, 8], 256)
+    };
+    let mut sharded_results = Vec::new();
+    for &shards in shard_counts {
+        let r = measure_sharded(batch_subs, &full_events, 10, shards, sharded_batch, passes);
+        eprintln!(
+            "{:>8} subs={:<6} shards={:<3} {:>11.0} ns/event {:>12.0} events/s",
+            r.engine, r.subscriptions, r.shards, r.ns_per_event, r.events_per_sec
+        );
+        sharded_results.push(r);
+    }
+
+    print_comparison_table(&results, &batch_results, &sharded_results);
+
+    let json = render_json(&config, &results, &batch_results, &sharded_results);
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);
         std::process::exit(1);

@@ -2,7 +2,7 @@
 
 use crate::metrics::RoutingMemoryReport;
 use crate::routing_table::RoutingTable;
-use filtering::FilterStats;
+use filtering::{EngineKind, FilterStats};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
@@ -56,13 +56,26 @@ pub struct Broker {
 }
 
 impl Broker {
-    /// Creates a broker with the given id and neighbor set.
+    /// Creates a broker with the given id and neighbor set, matching with
+    /// the default single-threaded engines.
     pub fn new(id: BrokerId, neighbors: Vec<BrokerId>) -> Self {
+        Self::with_engine(id, neighbors, EngineKind::Counting)
+    }
+
+    /// Creates a broker whose routing-table engines are built as the given
+    /// [`EngineKind`] (e.g. `EngineKind::Sharded(4)` to match incoming
+    /// batches on four cores).
+    pub fn with_engine(id: BrokerId, neighbors: Vec<BrokerId>, engine: EngineKind) -> Self {
         Self {
             id,
             neighbors,
-            table: RoutingTable::new(),
+            table: RoutingTable::with_engine(engine),
         }
+    }
+
+    /// The engine kind this broker's routing table uses.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.table.engine_kind()
     }
 
     /// This broker's id.

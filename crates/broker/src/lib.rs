@@ -55,6 +55,9 @@ mod simulation;
 mod topology;
 
 pub use broker_node::{BatchHandling, Broker, Destination, EventHandling};
+// Re-exported so configuring a simulation's engine does not require a
+// direct `filtering` dependency.
+pub use filtering::EngineKind;
 pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;

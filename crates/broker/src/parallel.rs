@@ -264,12 +264,20 @@ mod tests {
     /// simulation would install, by reusing the simulation's forwarding
     /// logic against standalone brokers.
     fn build_brokers(topology: &Topology, subscriptions: &[Subscription]) -> Vec<Broker> {
+        build_brokers_with_engine(topology, subscriptions, filtering::EngineKind::Counting)
+    }
+
+    fn build_brokers_with_engine(
+        topology: &Topology,
+        subscriptions: &[Subscription],
+        engine: filtering::EngineKind,
+    ) -> Vec<Broker> {
         let mut sim = Simulation::new(SimulationConfig::new(topology.clone()));
         sim.register_all(subscriptions.iter().cloned());
         topology
             .broker_ids()
             .map(|id| {
-                let mut broker = Broker::new(id, topology.neighbors(id));
+                let mut broker = Broker::with_engine(id, topology.neighbors(id), engine);
                 for s in sim.broker(id).unwrap().local_subscriptions() {
                     broker.register_local(s);
                 }
@@ -334,6 +342,34 @@ mod tests {
         assert_eq!(network.deliveries(), reference.deliveries);
         assert_eq!(network.broker_messages(), reference.network.messages);
         assert!(report.events_per_second() > 0.0);
+    }
+
+    #[test]
+    fn parallel_run_with_sharded_brokers_matches_the_simulation() {
+        // Thread-per-broker workers whose brokers themselves shard their
+        // matching across threads: the composition must still reproduce the
+        // deterministic simulation's deliveries and message counts.
+        let topology = Topology::star(4);
+        let subscriptions = vec![
+            sub(1, 0, &Expr::eq("category", "books")),
+            sub(2, 1, &Expr::le("price", 10i64)),
+            sub(3, 2, &Expr::ge("price", 30i64)),
+        ];
+        let events = events(60);
+
+        let mut sim = Simulation::new(
+            SimulationConfig::new(topology.clone()).with_engine(filtering::EngineKind::Sharded(2)),
+        );
+        sim.register_all(subscriptions.iter().cloned());
+        let reference = sim.publish_all(&events);
+
+        let network = ParallelNetwork::from_brokers(
+            topology.clone(),
+            build_brokers_with_engine(&topology, &subscriptions, filtering::EngineKind::Sharded(2)),
+        );
+        let report = network.run(&events);
+        assert_eq!(report.deliveries, reference.deliveries);
+        assert_eq!(report.broker_messages, reference.network.messages);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! entries.
 
 use crate::metrics::RoutingMemoryReport;
-use filtering::{CountingEngine, FilterStats, MatchSink, MatchingEngine, VecSink};
+use filtering::{AnyEngine, EngineKind, FilterStats, MatchSink, MatchingEngine, VecSink};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
@@ -39,13 +39,17 @@ impl MatchSink for AnyMatchSink {
 ///   pruning optimization may generalize, because any false positive they
 ///   admit is post-filtered closer to (or at) the home broker.
 ///
-/// Each destination is backed by its own [`CountingEngine`], so matching an
+/// Each destination is backed by its own matching engine (a
+/// single-threaded `CountingEngine` by default, or a sharded parallel engine
+/// — see [`RoutingTable::with_engine`] and [`EngineKind`]), so matching an
 /// event against the routing table answers both "which local subscribers get
 /// a notification" and "which neighbors need a copy of this event".
 #[derive(Debug, Default)]
 pub struct RoutingTable {
-    local: CountingEngine,
-    per_neighbor: BTreeMap<BrokerId, CountingEngine>,
+    /// The engine kind new per-destination engines are built as.
+    engine_kind: EngineKind,
+    local: AnyEngine,
+    per_neighbor: BTreeMap<BrokerId, AnyEngine>,
     /// Where each remote entry currently lives (subscription id → neighbor).
     remote_destination: BTreeMap<SubscriptionId, BrokerId>,
     /// Reusable match buffer so per-event routing allocates nothing in
@@ -63,9 +67,25 @@ pub struct RoutingTable {
 }
 
 impl RoutingTable {
-    /// Creates an empty routing table.
+    /// Creates an empty routing table backed by single-threaded
+    /// [`EngineKind::Counting`] engines.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty routing table whose local and per-neighbor engines
+    /// are built as the given [`EngineKind`].
+    pub fn with_engine(kind: EngineKind) -> Self {
+        Self {
+            engine_kind: kind,
+            local: kind.build(),
+            ..Self::default()
+        }
+    }
+
+    /// The engine kind this table builds its destination engines as.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine_kind
     }
 
     /// Registers a local-client subscription.
@@ -77,9 +97,10 @@ impl RoutingTable {
     /// given neighbor.
     pub fn add_remote(&mut self, subscription: Subscription, toward: BrokerId) {
         self.remote_destination.insert(subscription.id(), toward);
+        let kind = self.engine_kind;
         self.per_neighbor
             .entry(toward)
-            .or_default()
+            .or_insert_with(|| kind.build())
             .insert(subscription);
     }
 
@@ -486,6 +507,37 @@ mod tests {
         table.forward_batch(&small, None, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn sharded_table_routes_and_matches_like_the_default_table() {
+        let mut counting = RoutingTable::new();
+        let mut sharded = RoutingTable::with_engine(EngineKind::Sharded(2));
+        assert_eq!(sharded.engine_kind(), EngineKind::Sharded(2));
+        for table in [&mut counting, &mut sharded] {
+            table.add_local(sub(1, 10, &Expr::eq("category", "books")));
+            table.add_local(sub(2, 20, &Expr::le("price", 3i64)));
+            table.add_remote(sub(3, 30, &Expr::eq("category", "books")), b(1));
+            table.add_remote(sub(4, 40, &Expr::ge("price", 100i64)), b(2));
+        }
+        let batch: pubsub_core::EventBatch =
+            vec![books_event(2), books_event(50), books_event(200)]
+                .into_iter()
+                .collect();
+        let mut expected_local = Vec::new();
+        counting.match_local_batch(&batch, &mut expected_local);
+        let mut got_local = Vec::new();
+        sharded.match_local_batch(&batch, &mut got_local);
+        assert_eq!(got_local, expected_local);
+        let mut expected_forward = Vec::new();
+        counting.forward_batch(&batch, None, &mut expected_forward);
+        let mut got_forward = Vec::new();
+        sharded.forward_batch(&batch, None, &mut got_forward);
+        assert_eq!(got_forward, expected_forward);
+        // Removal and listings work through the sharded engines too.
+        assert!(sharded.remove(SubscriptionId::from_raw(3)).is_some());
+        assert_eq!(sharded.remote_len(), 1);
+        assert_eq!(sharded.local_subscriptions().len(), 2);
     }
 
     #[test]

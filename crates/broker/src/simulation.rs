@@ -3,7 +3,7 @@
 use crate::broker_node::Broker;
 use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 use crate::topology::Topology;
-use filtering::FilterStats;
+use filtering::{EngineKind, FilterStats};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
@@ -20,6 +20,10 @@ pub struct SimulationConfig {
     /// broker's own routing table before being forwarded (always true in real
     /// systems; kept configurable for micro-benchmarks of pure forwarding).
     pub deliver_at_origin: bool,
+    /// The matching-engine kind every broker's routing table is built with
+    /// ([`EngineKind::Counting`] by default; `EngineKind::Sharded(n)`
+    /// matches each hop's batch on `n` cores).
+    pub engine: EngineKind,
 }
 
 impl SimulationConfig {
@@ -28,7 +32,14 @@ impl SimulationConfig {
         Self {
             topology,
             deliver_at_origin: true,
+            engine: EngineKind::Counting,
         }
+    }
+
+    /// Selects the matching-engine kind the brokers use.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The paper's distributed setting: five brokers connected as a line.
@@ -79,7 +90,12 @@ impl Simulation {
         let brokers = config
             .topology
             .broker_ids()
-            .map(|id| (id, Broker::new(id, config.topology.neighbors(id))))
+            .map(|id| {
+                (
+                    id,
+                    Broker::with_engine(id, config.topology.neighbors(id), config.engine),
+                )
+            })
             .collect();
         Self {
             config,
@@ -701,6 +717,47 @@ mod tests {
         let report = sim.publish_batch(&batch);
         assert_eq!(report.deliveries, 1);
         assert_eq!(report.network.messages, 1);
+    }
+
+    #[test]
+    fn sharded_engine_simulation_matches_counting_simulation() {
+        // The whole distributed pipeline — deliveries, message counts,
+        // bytes, per-link traffic — must be identical whether the brokers
+        // match with the single-threaded or the sharded engine.
+        let subs = vec![
+            sub(1, 0, &Expr::eq("category", "books")),
+            sub(
+                2,
+                3,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
+            ),
+            sub(3, 9, &Expr::gt("price", 40i64)),
+            sub(4, 4, &Expr::not(Expr::eq("category", "books"))),
+        ];
+        let events: Vec<EventMessage> = (0..30).map(|i| books((i * 5) % 60)).collect();
+        let batch: pubsub_core::EventBatch = events.iter().cloned().collect();
+
+        let mut counting = line_simulation();
+        counting.register_all(subs.clone());
+        let reference = counting.publish_batch(&batch);
+
+        let config = SimulationConfig::new(Topology::line(5)).with_engine(EngineKind::Sharded(3));
+        let mut sharded = Simulation::new(config);
+        assert_eq!(
+            sharded.broker(b(0)).unwrap().engine_kind(),
+            EngineKind::Sharded(3)
+        );
+        sharded.register_all(subs);
+        let report = sharded.publish_batch(&batch);
+
+        assert_eq!(report.deliveries, reference.deliveries);
+        assert_eq!(report.network.messages, reference.network.messages);
+        assert_eq!(report.network.bytes, reference.network.bytes);
+        assert_eq!(report.network.per_link, reference.network.per_link);
+        assert_eq!(report.filter_stats.matches, reference.filter_stats.matches);
     }
 
     #[test]

@@ -359,6 +359,9 @@ impl MatchingEngine for CountingEngine {
     fn match_batch(&mut self, batch: &EventBatch, sink: &mut dyn MatchSink) {
         let start = Instant::now();
         sink.begin_batch(batch.len());
+        // Close the mutation epoch: rebuild any stale flat interval arrays
+        // once, so every probe of the batch takes the sorted fast path.
+        self.index.ensure_built();
         let scratch_capacity_before = self.scratch.capacity();
 
         // The match buffer is taken out of the scratch so the remaining
@@ -405,6 +408,7 @@ impl MatchingEngine for CountingEngine {
 
     fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
         let start = Instant::now();
+        self.index.ensure_built();
         let scratch_capacity_before = self.scratch.capacity();
 
         let Self {

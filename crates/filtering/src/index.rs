@@ -16,14 +16,31 @@
 //!
 //! * an **equality index** (hash map from constant to predicate keys) for
 //!   `=` predicates;
-//! * an **interval index** (two ordered maps over numeric thresholds) for
-//!   `<`, `≤`, `>`, `≥` predicates on numeric constants;
+//! * an **interval index** (flat sorted threshold arrays) for `<`, `≤`, `>`,
+//!   `≥` predicates on numeric constants;
 //! * a **scan list** for everything else (string pattern operators, `≠`,
 //!   ordering on strings), which is evaluated predicate-by-predicate but only
 //!   for events that actually carry the attribute.
+//!
+//! ## Interval micro-layout
+//!
+//! The interval side keeps, per attribute and per predicate class
+//! (`<`/`≤`/`>`/`≥`), one **flat array of `(threshold, key)` entries sorted
+//! by threshold**. Probing an event value is a single binary search followed
+//! by a contiguous suffix (upper bounds) or prefix (lower bounds) emission:
+//! every fulfilled predicate of the class sits in one cache-linear slice, so
+//! the count of fulfilled entries is available by aggregation
+//! (`len - index` / `index`) before a single key is touched.
+//!
+//! Mutations never re-sort eagerly: `insert`/`remove` append to (or
+//! `swap_remove` from) the unsorted source arrays and mark the attribute
+//! dirty, and the sorted mirror is rebuilt lazily at the start of the next
+//! mutation epoch — [`AttributeIndex::ensure_built`], which the engines call
+//! once per batch. Probing a dirty attribute through the shared-reference
+//! path stays correct by scanning the (unsorted) source entries directly.
 
 use pubsub_core::{AttrId, EventMessage, NodeId, Operator, Predicate, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -68,29 +85,6 @@ impl PredicateKey {
     }
 }
 
-/// A totally ordered wrapper for `f64` used as a BTreeMap key.
-///
-/// NaN constants are rejected at registration time, so the total order only
-/// needs to handle non-NaN values.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct OrderedF64(f64);
-
-impl Eq for OrderedF64 {}
-
-impl PartialOrd for OrderedF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrderedF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("NaN keys are rejected at registration")
-    }
-}
-
 /// Key for the equality hash index.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum EqKey {
@@ -114,35 +108,108 @@ impl EqKey {
     }
 }
 
+/// One interval predicate class of one attribute (all `< t` predicates, all
+/// `≤ t` predicates, …): an unsorted mutation-side array plus a flat sorted
+/// mirror rebuilt lazily.
+#[derive(Debug, Default)]
+struct IntervalClass {
+    /// Source of truth, in mutation order. `insert` pushes, `remove`
+    /// swap-removes; neither touches the sorted mirror.
+    entries: Vec<(f64, PredicateKey)>,
+    /// Thresholds of `entries` sorted ascending, rebuilt by
+    /// [`IntervalClass::rebuild`]. Parallel to `sorted_keys`.
+    sorted_thresholds: Vec<f64>,
+    /// Keys of `entries` in threshold order, parallel to
+    /// `sorted_thresholds`. A probe emits one contiguous slice of this.
+    sorted_keys: Vec<PredicateKey>,
+}
+
+impl IntervalClass {
+    fn insert(&mut self, threshold: f64, key: PredicateKey) {
+        self.entries.push((threshold, key));
+    }
+
+    fn remove(&mut self, key: PredicateKey) -> bool {
+        match self.entries.iter().position(|(_, k)| *k == key) {
+            Some(pos) => {
+                self.entries.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds the sorted mirror from the source entries. Called once per
+    /// mutation epoch, not per mutation.
+    fn rebuild(&mut self) {
+        self.sorted_thresholds.clear();
+        self.sorted_keys.clear();
+        self.sorted_thresholds
+            .extend(self.entries.iter().map(|&(t, _)| t));
+        self.sorted_keys
+            .extend(self.entries.iter().map(|&(_, k)| k));
+        // Thresholds are NaN-free (rejected at registration), so a plain
+        // total-order sort over the index permutation is safe. The relative
+        // order of equal thresholds is unspecified (unstable sort) — nothing
+        // may depend on it; determinism comes from the engine's id-sort of
+        // each event's matches, not from emission order.
+        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.entries[a as usize]
+                .0
+                .partial_cmp(&self.entries[b as usize].0)
+                .expect("NaN thresholds are rejected at registration")
+        });
+        for (slot, &src) in order.iter().enumerate() {
+            self.sorted_thresholds[slot] = self.entries[src as usize].0;
+            self.sorted_keys[slot] = self.entries[src as usize].1;
+        }
+    }
+
+    /// Emits the keys of the suffix whose thresholds satisfy `pred` being
+    /// false — i.e. the first index where `pred(threshold)` turns false,
+    /// found by binary search, starts the fulfilled suffix.
+    #[inline]
+    fn emit_suffix(&self, first_false: usize, on_fulfilled: &mut impl FnMut(PredicateKey)) {
+        for &k in &self.sorted_keys[first_false..] {
+            on_fulfilled(k);
+        }
+    }
+
+    #[inline]
+    fn emit_prefix(&self, end: usize, on_fulfilled: &mut impl FnMut(PredicateKey)) {
+        for &k in &self.sorted_keys[..end] {
+            on_fulfilled(k);
+        }
+    }
+
+    /// Index of the first sorted threshold for which `pred` is false.
+    #[inline]
+    fn partition(&self, pred: impl Fn(f64) -> bool) -> usize {
+        self.sorted_thresholds.partition_point(|&t| pred(t))
+    }
+}
+
 /// The per-attribute sub-indexes.
 #[derive(Debug, Default)]
 struct AttributeBuckets {
     /// `attribute = constant` predicates, keyed by the constant.
     equality: HashMap<EqKey, Vec<PredicateKey>>,
-    /// `attribute < t` / `attribute <= t` predicates: fulfilled by event
-    /// values strictly/weakly below the threshold.
-    upper_bounds: BTreeMap<OrderedF64, UpperBucket>,
-    /// `attribute > t` / `attribute >= t` predicates: fulfilled by event
-    /// values strictly/weakly above the threshold.
-    lower_bounds: BTreeMap<OrderedF64, LowerBucket>,
+    /// `attribute < t` predicates: fulfilled by event values strictly below
+    /// the threshold (suffix of the sorted thresholds).
+    lt: IntervalClass,
+    /// `attribute <= t` predicates (suffix).
+    le: IntervalClass,
+    /// `attribute > t` predicates: fulfilled by event values strictly above
+    /// the threshold (prefix of the sorted thresholds).
+    gt: IntervalClass,
+    /// `attribute >= t` predicates (prefix).
+    ge: IntervalClass,
     /// Everything else, checked by direct evaluation against the event value.
     scan: Vec<(Predicate, PredicateKey)>,
-}
-
-#[derive(Debug, Default)]
-struct UpperBucket {
-    /// `< t` predicates with this threshold.
-    strict: Vec<PredicateKey>,
-    /// `<= t` predicates with this threshold.
-    inclusive: Vec<PredicateKey>,
-}
-
-#[derive(Debug, Default)]
-struct LowerBucket {
-    /// `> t` predicates with this threshold.
-    strict: Vec<PredicateKey>,
-    /// `>= t` predicates with this threshold.
-    inclusive: Vec<PredicateKey>,
+    /// Set when an interval class mutated since the last rebuild; probes on a
+    /// dirty attribute fall back to scanning the source entries.
+    interval_dirty: bool,
 }
 
 /// The top-level predicate index: dense `AttrId` → per-attribute buckets.
@@ -154,6 +221,9 @@ pub struct AttributeIndex {
     /// Number of `Some` entries in `attributes`.
     attributes_in_use: usize,
     registered: usize,
+    /// Number of attributes whose interval mirror is stale. Makes
+    /// [`ensure_built`](Self::ensure_built) O(1) in the steady state.
+    dirty_attributes: usize,
 }
 
 impl AttributeIndex {
@@ -197,6 +267,7 @@ impl AttributeIndex {
     /// Registers a predicate under the given key.
     pub fn insert(&mut self, predicate: &Predicate, key: PredicateKey) {
         let buckets = self.buckets_mut(predicate.attr_id());
+        let mut interval_mutated = false;
         match predicate.operator() {
             Operator::Eq => {
                 if let Some(eq_key) = EqKey::from_value(predicate.constant()) {
@@ -205,29 +276,20 @@ impl AttributeIndex {
                     buckets.scan.push((predicate.clone(), key));
                 }
             }
-            Operator::Lt | Operator::Le => match predicate.constant().as_f64() {
-                Some(t) if !t.is_nan() => {
-                    let bucket = buckets.upper_bounds.entry(OrderedF64(t)).or_default();
-                    if predicate.operator() == Operator::Lt {
-                        bucket.strict.push(key);
-                    } else {
-                        bucket.inclusive.push(key);
+            op @ (Operator::Lt | Operator::Le | Operator::Gt | Operator::Ge) => {
+                match predicate.constant().as_f64() {
+                    Some(t) if !t.is_nan() => {
+                        interval_class_mut(buckets, op).insert(t, key);
+                        interval_mutated = true;
                     }
+                    _ => buckets.scan.push((predicate.clone(), key)),
                 }
-                _ => buckets.scan.push((predicate.clone(), key)),
-            },
-            Operator::Gt | Operator::Ge => match predicate.constant().as_f64() {
-                Some(t) if !t.is_nan() => {
-                    let bucket = buckets.lower_bounds.entry(OrderedF64(t)).or_default();
-                    if predicate.operator() == Operator::Gt {
-                        bucket.strict.push(key);
-                    } else {
-                        bucket.inclusive.push(key);
-                    }
-                }
-                _ => buckets.scan.push((predicate.clone(), key)),
-            },
+            }
             _ => buckets.scan.push((predicate.clone(), key)),
+        }
+        if interval_mutated && !buckets.interval_dirty {
+            buckets.interval_dirty = true;
+            self.dirty_attributes += 1;
         }
         self.registered += 1;
     }
@@ -241,6 +303,7 @@ impl AttributeIndex {
         let Some(Some(buckets)) = self.attributes.get_mut(idx) else {
             return false;
         };
+        let mut interval_mutated = false;
         let removed = match predicate.operator() {
             Operator::Eq => match EqKey::from_value(predicate.constant()) {
                 Some(eq_key) => match buckets.equality.get_mut(&eq_key) {
@@ -249,38 +312,47 @@ impl AttributeIndex {
                 },
                 None => remove_scan(&mut buckets.scan, key),
             },
-            Operator::Lt | Operator::Le => match predicate.constant().as_f64() {
-                Some(t) if !t.is_nan() => match buckets.upper_bounds.get_mut(&OrderedF64(t)) {
-                    Some(bucket) => {
-                        if predicate.operator() == Operator::Lt {
-                            remove_key(&mut bucket.strict, key)
-                        } else {
-                            remove_key(&mut bucket.inclusive, key)
-                        }
+            op @ (Operator::Lt | Operator::Le | Operator::Gt | Operator::Ge) => {
+                match predicate.constant().as_f64() {
+                    Some(t) if !t.is_nan() => {
+                        let removed = interval_class_mut(buckets, op).remove(key);
+                        interval_mutated = removed;
+                        removed
                     }
-                    None => false,
-                },
-                _ => remove_scan(&mut buckets.scan, key),
-            },
-            Operator::Gt | Operator::Ge => match predicate.constant().as_f64() {
-                Some(t) if !t.is_nan() => match buckets.lower_bounds.get_mut(&OrderedF64(t)) {
-                    Some(bucket) => {
-                        if predicate.operator() == Operator::Gt {
-                            remove_key(&mut bucket.strict, key)
-                        } else {
-                            remove_key(&mut bucket.inclusive, key)
-                        }
-                    }
-                    None => false,
-                },
-                _ => remove_scan(&mut buckets.scan, key),
-            },
+                    _ => remove_scan(&mut buckets.scan, key),
+                }
+            }
             _ => remove_scan(&mut buckets.scan, key),
         };
+        if interval_mutated && !buckets.interval_dirty {
+            buckets.interval_dirty = true;
+            self.dirty_attributes += 1;
+        }
         if removed {
             self.registered -= 1;
         }
         removed
+    }
+
+    /// Rebuilds the flat sorted interval mirrors of every attribute that
+    /// mutated since the last call. O(1) when nothing changed; the engines
+    /// call this once per batch so steady-state probes always take the
+    /// binary-search + contiguous-slice path.
+    pub fn ensure_built(&mut self) {
+        if self.dirty_attributes == 0 {
+            return;
+        }
+        for buckets in self.attributes.iter_mut().flatten() {
+            if !buckets.interval_dirty {
+                continue;
+            }
+            buckets.lt.rebuild();
+            buckets.le.rebuild();
+            buckets.gt.rebuild();
+            buckets.ge.rebuild();
+            buckets.interval_dirty = false;
+        }
+        self.dirty_attributes = 0;
     }
 
     /// Reports every registered predicate fulfilled by the event, by calling
@@ -317,29 +389,46 @@ impl AttributeIndex {
             // Interval indexes only apply to numeric event values.
             if let Some(v) = value.as_f64() {
                 if !v.is_nan() {
-                    // `value < t` (strict) fulfilled when t > value;
-                    // `value <= t` fulfilled when t >= value.
-                    for (threshold, bucket) in buckets.upper_bounds.range(OrderedF64(v)..) {
-                        if threshold.0 > v {
-                            for k in &bucket.strict {
-                                on_fulfilled(*k);
+                    if buckets.interval_dirty {
+                        // Mutation epoch in progress and nobody called
+                        // `ensure_built` yet: stay correct by scanning the
+                        // unsorted source entries. Engines rebuild before
+                        // their batch loops, so this path is cold.
+                        for &(t, k) in &buckets.lt.entries {
+                            if v < t {
+                                on_fulfilled(k);
                             }
                         }
-                        for k in &bucket.inclusive {
-                            on_fulfilled(*k);
-                        }
-                    }
-                    // `value > t` fulfilled when t < value;
-                    // `value >= t` fulfilled when t <= value.
-                    for (threshold, bucket) in buckets.lower_bounds.range(..=OrderedF64(v)) {
-                        if threshold.0 < v {
-                            for k in &bucket.strict {
-                                on_fulfilled(*k);
+                        for &(t, k) in &buckets.le.entries {
+                            if v <= t {
+                                on_fulfilled(k);
                             }
                         }
-                        for k in &bucket.inclusive {
-                            on_fulfilled(*k);
+                        for &(t, k) in &buckets.gt.entries {
+                            if v > t {
+                                on_fulfilled(k);
+                            }
                         }
+                        for &(t, k) in &buckets.ge.entries {
+                            if v >= t {
+                                on_fulfilled(k);
+                            }
+                        }
+                    } else {
+                        // Flat sorted layout: one binary search per class,
+                        // then a contiguous, branch-free slice emission.
+                        // `value < t` fulfilled for the suffix of t > value.
+                        let lt = buckets.lt.partition(|t| t <= v);
+                        buckets.lt.emit_suffix(lt, &mut on_fulfilled);
+                        // `value <= t` fulfilled for the suffix of t >= value.
+                        let le = buckets.le.partition(|t| t < v);
+                        buckets.le.emit_suffix(le, &mut on_fulfilled);
+                        // `value > t` fulfilled for the prefix of t < value.
+                        let gt = buckets.gt.partition(|t| t < v);
+                        buckets.gt.emit_prefix(gt, &mut on_fulfilled);
+                        // `value >= t` fulfilled for the prefix of t <= value.
+                        let ge = buckets.ge.partition(|t| t <= v);
+                        buckets.ge.emit_prefix(ge, &mut on_fulfilled);
                     }
                 }
             }
@@ -357,6 +446,17 @@ impl AttributeIndex {
         let mut out = Vec::new();
         self.fulfilled(event, |k| out.push(k));
         out
+    }
+}
+
+/// The interval class storing predicates of the given ordering operator.
+fn interval_class_mut(buckets: &mut AttributeBuckets, op: Operator) -> &mut IntervalClass {
+    match op {
+        Operator::Lt => &mut buckets.lt,
+        Operator::Le => &mut buckets.le,
+        Operator::Gt => &mut buckets.gt,
+        Operator::Ge => &mut buckets.ge,
+        other => unreachable!("{other:?} is not an interval operator"),
     }
 }
 
@@ -539,6 +639,55 @@ mod tests {
         assert_eq!(hits, vec![key(1, 0), key(2, 5)]);
         assert!(idx.remove(&p, key(1, 0)));
         assert_eq!(idx.fulfilled_keys(&event(5, "x")), vec![key(2, 5)]);
+    }
+
+    #[test]
+    fn dirty_interval_probes_agree_with_rebuilt_probes() {
+        // Probing between a mutation and `ensure_built` must give the same
+        // answers as the rebuilt flat layout (via the unsorted-scan
+        // fallback), and rebuilding must not change any result.
+        let mut idx = AttributeIndex::new();
+        let thresholds = [10i64, 5, 20, 5, 15];
+        for (i, t) in thresholds.iter().enumerate() {
+            idx.insert(&Predicate::new("price", Operator::Lt, *t), key(i as u32, 0));
+            idx.insert(&Predicate::new("price", Operator::Ge, *t), key(i as u32, 1));
+        }
+        let probe = |idx: &AttributeIndex, v: i64| {
+            let mut hits = idx.fulfilled_keys(&event(v, "x"));
+            hits.sort();
+            hits
+        };
+        let dirty: Vec<_> = (0..25).map(|v| probe(&idx, v)).collect();
+        idx.ensure_built();
+        let clean: Vec<_> = (0..25).map(|v| probe(&idx, v)).collect();
+        assert_eq!(dirty, clean);
+        // A removal re-opens the epoch; both paths must again agree.
+        assert!(idx.remove(&Predicate::new("price", Operator::Lt, 10i64), key(0, 0)));
+        let dirty: Vec<_> = (0..25).map(|v| probe(&idx, v)).collect();
+        idx.ensure_built();
+        idx.ensure_built(); // idempotent
+        let clean: Vec<_> = (0..25).map(|v| probe(&idx, v)).collect();
+        assert_eq!(dirty, clean);
+        assert!(!dirty[11].contains(&key(0, 0)));
+    }
+
+    #[test]
+    fn duplicate_thresholds_sort_stably_and_probe_correctly() {
+        let mut idx = AttributeIndex::new();
+        // Many predicates sharing thresholds, mixed strict/inclusive.
+        for i in 0..8u32 {
+            idx.insert(
+                &Predicate::new("price", Operator::Le, (i % 2) as i64 * 10),
+                key(i, 0),
+            );
+        }
+        idx.ensure_built();
+        let hits = idx.fulfilled_keys(&event(5, "x"));
+        // Only the `<= 10` group (odd i) is fulfilled at price=5.
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|k| k.slot.0 % 2 == 1));
+        let hits = idx.fulfilled_keys(&event(0, "x"));
+        assert_eq!(hits.len(), 8);
     }
 
     #[test]

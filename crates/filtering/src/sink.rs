@@ -75,6 +75,14 @@ impl VecSink {
         self.matches.clear();
     }
 
+    /// Number of match entries the sink can hold without reallocating.
+    /// Exposed so scratch-reuse regression tests can observe that reused
+    /// sinks (e.g. the sharded engine's per-shard buffers) stop growing
+    /// after warmup.
+    pub fn capacity(&self) -> usize {
+        self.matches.capacity()
+    }
+
     /// Consumes the sink, returning the collected pairs.
     pub fn into_matches(self) -> Vec<(usize, SubscriptionId)> {
         self.matches

@@ -9,7 +9,7 @@
 //!   allocate any new scratch: the generation-stamped counters, leaf masks,
 //!   touched lists, and the batch match buffer are reused.
 
-use filtering::{CountingEngine, MatchingEngine, NaiveEngine, PerEventSink};
+use filtering::{CountingEngine, MatchingEngine, NaiveEngine, PerEventSink, ShardedEngine};
 use proptest::prelude::*;
 use pubsub_core::EventBatch;
 use workload::{WorkloadConfig, WorkloadGenerator};
@@ -137,6 +137,96 @@ proptest! {
             }
         }
     }
+
+    /// The sharded engine is byte-identical to the counting engine on
+    /// identical workloads, for 1, 2, and 4 shards, including subscription
+    /// churn between batches (slot reuse inside every shard's slab) and the
+    /// empty-batch edge case. Determinism of the merged output is what makes
+    /// `EngineKind::Sharded` a drop-in routing-table engine.
+    #[test]
+    fn sharded_agrees_with_counting_across_shard_counts(seed in 0u64..16) {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+        let subscriptions = generator.subscriptions(140);
+
+        let mut reference = CountingEngine::new();
+        let mut sharded: Vec<ShardedEngine> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| ShardedEngine::with_shards(n))
+            .collect();
+        for s in &subscriptions {
+            reference.insert(s.clone());
+            for engine in &mut sharded {
+                engine.insert(s.clone());
+            }
+        }
+
+        let mut expected_sink = PerEventSink::new();
+        let mut got_sink = PerEventSink::new();
+        for round in 0..3usize {
+            // Round 2 exercises the empty batch explicitly.
+            let batch: EventBatch = if round == 2 {
+                EventBatch::new()
+            } else {
+                generator.events(25).into_iter().collect()
+            };
+            reference.match_batch(&batch, &mut expected_sink);
+            for engine in &mut sharded {
+                engine.match_batch(&batch, &mut got_sink);
+                prop_assert_eq!(got_sink.len(), expected_sink.len());
+                for i in 0..batch.len() {
+                    prop_assert_eq!(
+                        got_sink.for_event(i),
+                        expected_sink.for_event(i),
+                        "divergence on seed {} round {} shards {} event {}",
+                        seed, round, engine.shard_count(), i
+                    );
+                }
+            }
+            // Churn between batches: remove every third subscription, then
+            // re-register every sixth with the same id — shard assignment
+            // and slot reuse must not leak into the match results.
+            for s in subscriptions.iter().step_by(3) {
+                reference.remove(s.id());
+                for engine in &mut sharded {
+                    engine.remove(s.id());
+                }
+            }
+            for s in subscriptions.iter().step_by(6) {
+                reference.insert(s.clone());
+                for engine in &mut sharded {
+                    engine.insert(s.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Sharded matching on an engine with no subscriptions at all (every shard's
+/// slab empty) and on empty batches: no matches, correct batch bookkeeping,
+/// no panics.
+#[test]
+fn sharded_empty_slab_and_empty_batch_edge_cases() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    for shards in [1usize, 2, 4] {
+        let mut engine = ShardedEngine::with_shards(shards);
+        let mut sink = PerEventSink::new();
+        // Empty slab, real batch.
+        let batch: EventBatch = generator.events(10).into_iter().collect();
+        engine.match_batch(&batch, &mut sink);
+        assert_eq!(sink.len(), batch.len());
+        assert_eq!(sink.total_matches(), 0, "{shards} shards");
+        // Empty slab, empty batch.
+        engine.match_batch(&EventBatch::new(), &mut sink);
+        assert_eq!(sink.len(), 0);
+        // Empty batch with a populated slab.
+        for s in generator.subscriptions(20) {
+            engine.insert(s);
+        }
+        engine.match_batch(&EventBatch::new(), &mut sink);
+        assert_eq!(sink.len(), 0);
+        assert_eq!(engine.stats().batches_filtered, 3);
+        assert_eq!(engine.stats().events_filtered, batch.len() as u64);
+    }
 }
 
 /// The acceptance test for the zero-allocation hot path: once the engine has
@@ -215,6 +305,54 @@ fn steady_state_batch_matching_allocates_no_new_scratch() {
     );
     assert_eq!(engine.scratch_capacity(), engine_capacity);
     assert_eq!(batch.capacity(), batch_capacity, "batch arena reallocated");
+}
+
+/// The sharded analogue of the batch scratch-reuse acceptance test: after a
+/// warm-up batch, repeated `match_batch` calls grow no scratch on *any*
+/// shard — every shard's generation-stamped counters, masks, and match
+/// buffer, and the engine's per-shard merge sinks, are all reused.
+#[test]
+fn sharded_steady_state_matching_reuses_scratch_on_every_shard() {
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small());
+    let subscriptions = generator.subscriptions(2_000);
+
+    let mut engine = ShardedEngine::with_shards_and_capacity(4, subscriptions.len());
+    for s in &subscriptions {
+        engine.insert(s.clone());
+    }
+
+    // Warm-up: a few refill/match cycles size every shard's buffers (the
+    // per-shard match buffers and touch lists grow to the *per-shard*
+    // maxima, which a single random batch does not necessarily reach).
+    let mut batch = EventBatch::new();
+    let mut sink = PerEventSink::new();
+    for _ in 0..4 {
+        generator.fill_event_batch(128, &mut batch);
+        engine.match_batch(&batch, &mut sink);
+    }
+
+    let grows_after_warmup = engine.scratch_grows();
+    let total_capacity = engine.scratch_capacity();
+    let per_shard_capacity = engine.shard_scratch_capacities();
+    assert_eq!(per_shard_capacity.len(), 4);
+    assert!(
+        per_shard_capacity.iter().all(|&c| c > 0),
+        "warmup should allocate scratch on every shard: {per_shard_capacity:?}"
+    );
+
+    // Steady state: refilling and re-matching must keep every shard's
+    // scratch capacity — and the merge sinks — exactly stable.
+    for _ in 0..5 {
+        generator.fill_event_batch(128, &mut batch);
+        engine.match_batch(&batch, &mut sink);
+    }
+    assert_eq!(
+        engine.scratch_grows(),
+        grows_after_warmup,
+        "a shard grew scratch after warmup"
+    );
+    assert_eq!(engine.shard_scratch_capacities(), per_shard_capacity);
+    assert_eq!(engine.scratch_capacity(), total_capacity);
 }
 
 /// Match output is sorted by subscription id, making results reproducible
