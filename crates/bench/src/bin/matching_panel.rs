@@ -24,6 +24,13 @@
 //! measure the batch API's fixed overhead against the single-event path; the
 //! larger cells show the amortization the batch-first redesign buys.
 //!
+//! A `wire_results` series re-runs the batched cells with the broker wire
+//! codec in the loop (encode `PublishBatch` frame → decode into a reused
+//! batch → match), recording both the end-to-end cost of a broker hop and
+//! the isolated encode+decode cost (`codec_ns_per_event`); the top-level
+//! `codec_overhead_pct` field reports that overhead relative to pure match
+//! time at the largest batch, and CI bounds it.
+//!
 //! A third series (`sharded_results`) drives the same workload through
 //! `ShardedEngine` at shard counts 1/2/4/8 (large batches, so the fan-out
 //! amortizes): the 1-shard cell measures the sharding machinery's fixed
@@ -35,6 +42,7 @@
 //! stderr, since host variance makes cross-run JSON diffing misleading.
 
 use bench::narrow_events;
+use broker::wire::Codec;
 use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine, ShardedEngine};
 use pubsub_core::{EventBatch, EventMessage, Subscription};
 use std::time::Instant;
@@ -67,6 +75,25 @@ struct BatchPanelResult {
     events_per_sec: f64,
 }
 
+/// One measured cell of the wire panel: the full wire pipeline
+/// (encode frame → decode into a reused batch → match) plus the isolated
+/// codec cost, per event.
+struct WirePanelResult {
+    engine: &'static str,
+    subscriptions: usize,
+    event_width: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    /// Encode + decode + match, per event.
+    ns_per_event: f64,
+    events_per_sec: f64,
+    /// Encode + decode only, per event (the codec overhead the wire adds on
+    /// top of matching).
+    codec_ns_per_event: f64,
+}
+
 /// One measured cell of the sharded panel.
 struct ShardedPanelResult {
     engine: &'static str,
@@ -83,6 +110,10 @@ struct ShardedPanelResult {
 
 struct PanelConfig {
     quick: bool,
+    /// CI's codec-overhead gate: a mid-size (2,000-subscription) panel big
+    /// enough for the <15% codec-overhead bound to be meaningful, small
+    /// enough to run on every commit.
+    wire_check: bool,
     out: String,
     seed: u64,
 }
@@ -90,6 +121,7 @@ struct PanelConfig {
 fn parse_args() -> Result<PanelConfig, String> {
     let mut config = PanelConfig {
         quick: false,
+        wire_check: false,
         out: "BENCH_matching.json".to_owned(),
         seed: 42,
     };
@@ -97,6 +129,7 @@ fn parse_args() -> Result<PanelConfig, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config.quick = true,
+            "--wire-check" => config.wire_check = true,
             "--out" => {
                 config.out = args.next().ok_or("--out requires a path")?;
             }
@@ -108,11 +141,14 @@ fn parse_args() -> Result<PanelConfig, String> {
                     .map_err(|e| format!("invalid --seed: {e}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: matching_panel [--quick] [--out PATH] [--seed N]");
+                println!("usage: matching_panel [--quick] [--wire-check] [--out PATH] [--seed N]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if config.quick && config.wire_check {
+        return Err("--quick and --wire-check are mutually exclusive".to_owned());
     }
     Ok(config)
 }
@@ -239,6 +275,88 @@ fn measure_batched(
     }
 }
 
+/// Measures the full wire pipeline over pre-chunked batches: each timed
+/// step encodes the batch into a reused frame buffer, decodes the frame
+/// into a reused `EventBatch` (exactly what a broker hop does with an
+/// incoming `PublishBatch`), and matches the decoded batch. A second timed
+/// loop isolates the encode+decode cost.
+fn measure_wire(
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    width: usize,
+    batch_size: usize,
+    passes: usize,
+) -> WirePanelResult {
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let mut codec = Codec::new();
+    let mut frame = Vec::new();
+    let mut decoded = EventBatch::new();
+    let mut sink = CountSink::new();
+    let total_events: usize = batches.iter().map(EventBatch::len).sum();
+
+    // Warm-up: size the frame buffer, the decode batch, the codec caches,
+    // and the engine scratch.
+    for batch in &batches {
+        frame.clear();
+        codec.encode_publish_batch(batch, &mut frame);
+        codec
+            .decode_publish_batch_into(&frame, &mut decoded)
+            .expect("panel frames are well-formed");
+        engine.match_batch(&decoded, &mut sink);
+    }
+
+    // Full pipeline: encode + decode + match.
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for batch in &batches {
+            frame.clear();
+            codec.encode_publish_batch(batch, &mut frame);
+            codec
+                .decode_publish_batch_into(&frame, &mut decoded)
+                .expect("panel frames are well-formed");
+            engine.match_batch(&decoded, &mut sink);
+            matches += sink.count() as usize;
+        }
+    }
+    let pipeline = start.elapsed();
+
+    // Codec only: encode + decode.
+    let start = Instant::now();
+    for _ in 0..passes {
+        for batch in &batches {
+            frame.clear();
+            codec.encode_publish_batch(batch, &mut frame);
+            codec
+                .decode_publish_batch_into(&frame, &mut decoded)
+                .expect("panel frames are well-formed");
+        }
+    }
+    let codec_only = start.elapsed();
+
+    let denom = (passes * total_events) as f64;
+    let ns_per_event = pipeline.as_nanos() as f64 / denom;
+    WirePanelResult {
+        engine: "counting",
+        subscriptions: subscriptions.len(),
+        event_width: width,
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass: matches / passes.max(1),
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+        codec_ns_per_event: codec_only.as_nanos() as f64 / denom,
+    }
+}
+
 /// Measures the sharded engine over pre-chunked batches at one shard count.
 fn measure_sharded(
     subscriptions: &[Subscription],
@@ -279,6 +397,7 @@ fn measure_sharded(
 fn print_comparison_table(
     results: &[PanelResult],
     batch_results: &[BatchPanelResult],
+    wire_results: &[WirePanelResult],
     sharded_results: &[ShardedPanelResult],
 ) {
     // The shared cell: the largest subscription count at full width, which
@@ -326,6 +445,16 @@ fn print_comparison_table(
             r.events_per_sec,
         );
     }
+    for r in wire_results
+        .iter()
+        .filter(|r| r.subscriptions == subs && r.event_width == 10)
+    {
+        row(
+            format!("wire+match batch={}", r.batch_size),
+            r.ns_per_event,
+            r.events_per_sec,
+        );
+    }
     for r in sharded_results
         .iter()
         .filter(|r| r.subscriptions == subs && r.event_width == 10)
@@ -342,6 +471,7 @@ fn render_json(
     config: &PanelConfig,
     results: &[PanelResult],
     batch_results: &[BatchPanelResult],
+    wire_results: &[WirePanelResult],
     sharded_results: &[ShardedPanelResult],
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -349,6 +479,7 @@ fn render_json(
     out.push_str("  \"benchmark\": \"matching\",\n");
     out.push_str(&format!("  \"seed\": {},\n", config.seed));
     out.push_str(&format!("  \"quick\": {},\n", config.quick));
+    out.push_str(&format!("  \"wire_check\": {},\n", config.wire_check));
     out.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -400,6 +531,44 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    // The codec overhead at the largest wire batch, as a percentage of the
+    // pure-match time of the batch cell with the same batch size — the
+    // figure CI bounds.
+    let overhead_pct = wire_results
+        .iter()
+        .max_by_key(|r| r.batch_size)
+        .and_then(|wire| {
+            batch_results
+                .iter()
+                .find(|b| b.batch_size == wire.batch_size && b.subscriptions == wire.subscriptions)
+                .map(|b| 100.0 * wire.codec_ns_per_event / b.ns_per_event.max(1e-9))
+        })
+        .unwrap_or(0.0);
+    out.push_str(&format!("  \"codec_overhead_pct\": {overhead_pct:.2},\n"));
+    out.push_str("  \"wire_results\": [\n");
+    for (i, r) in wire_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"subscriptions\": {}, ",
+                "\"event_width\": {}, \"batch_size\": {}, \"events\": {}, ",
+                "\"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}, ",
+                "\"codec_ns_per_event\": {:.1}}}{}\n"
+            ),
+            r.engine,
+            r.subscriptions,
+            r.event_width,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            r.codec_ns_per_event,
+            if i + 1 == wire_results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"sharded_results\": [\n");
     for (i, r) in sharded_results.iter().enumerate() {
         out.push_str(&format!(
@@ -446,10 +615,12 @@ fn main() {
 
     let (sub_counts, event_count, passes): (&[usize], usize, usize) = if config.quick {
         (&[50, 200], 50, 2)
+    } else if config.wire_check {
+        (&[2_000], 1_024, 2)
     } else {
         (&[1_000, 10_000], 2_000, 3)
     };
-    let widths = [10usize, 4];
+    let widths: &[usize] = if config.wire_check { &[10] } else { &[10, 4] };
 
     let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(config.seed));
     let max_subs = *sub_counts.iter().max().expect("panel has sizes");
@@ -457,7 +628,7 @@ fn main() {
     let full_events = generator.events(event_count);
 
     let mut results = Vec::new();
-    for &width in &widths {
+    for &width in widths {
         let events = if width >= 10 {
             full_events.clone()
         } else {
@@ -496,12 +667,29 @@ fn main() {
         batch_results.push(r);
     }
 
+    // Wire panel: the same batched workload with the wire codec in the
+    // loop — encode `PublishBatch` frame, decode into a reused batch, match
+    // — measuring what a broker hop pays end to end, plus the isolated
+    // encode+decode cost. CI asserts the codec overhead at the largest
+    // batch stays a small fraction of the match time.
+    let mut wire_results = Vec::new();
+    for &batch_size in batch_sizes {
+        let r = measure_wire(batch_subs, &full_events, 10, batch_size, passes);
+        eprintln!(
+            "    wire subs={:<6} batch={:<4} {:>12.0} ns/event {:>12.0} events/s (codec {:.0} ns/event)",
+            r.subscriptions, r.batch_size, r.ns_per_event, r.events_per_sec, r.codec_ns_per_event
+        );
+        wire_results.push(r);
+    }
+
     // Sharded panel: the same workload through `ShardedEngine` at rising
     // shard counts, chunked into large batches so the per-batch fan-out
     // amortizes. The 1-shard cell is the sharding machinery's overhead
     // floor; whether the higher counts scale depends on `host_parallelism`.
     let (shard_counts, sharded_batch): (&[usize], usize) = if config.quick {
         (&[1, 2], 16)
+    } else if config.wire_check {
+        (&[1, 2], 256)
     } else {
         (&[1, 2, 4, 8], 256)
     };
@@ -515,9 +703,15 @@ fn main() {
         sharded_results.push(r);
     }
 
-    print_comparison_table(&results, &batch_results, &sharded_results);
+    print_comparison_table(&results, &batch_results, &wire_results, &sharded_results);
 
-    let json = render_json(&config, &results, &batch_results, &sharded_results);
+    let json = render_json(
+        &config,
+        &results,
+        &batch_results,
+        &wire_results,
+        &sharded_results,
+    );
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);
         std::process::exit(1);

@@ -2,10 +2,12 @@
 
 use crate::metrics::RoutingMemoryReport;
 use crate::routing_table::RoutingTable;
+use crate::wire::WireMessage;
 use filtering::{EngineKind, FilterStats};
+#[cfg(test)]
+use pubsub_core::EventMessage;
 use pubsub_core::{
-    BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
-    SubscriptionTree,
+    BrokerId, EventBatch, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
 };
 
 /// Where a routing entry's matches must be sent.
@@ -19,6 +21,7 @@ pub enum Destination {
 }
 
 /// The result of a broker processing one incoming event.
+#[cfg(test)]
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EventHandling {
     /// Notifications to deliver to local subscribers.
@@ -28,10 +31,7 @@ pub struct EventHandling {
 }
 
 /// The result of a broker processing one incoming event batch.
-///
-/// Reusable: hot paths keep one instance alive and refill it through
-/// [`Broker::handle_batch_into`], so per-hop batch handling allocates
-/// nothing in steady state.
+#[cfg(test)]
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BatchHandling {
     /// Notifications to deliver to local subscribers, tagged with the batch
@@ -42,17 +42,53 @@ pub struct BatchHandling {
     pub forward_to: Vec<Vec<BrokerId>>,
 }
 
+/// The result of a broker processing one incoming [`WireMessage`].
+///
+/// Reusable: hot paths keep one instance alive and refill it through
+/// [`Broker::handle_message_into`]; the outgoing `PublishBatch` bodies are
+/// recycled back into the handling broker's batch pool on the next call.
+#[derive(Debug, Default)]
+pub struct MessageHandling {
+    /// Notifications to deliver to this broker's local subscribers, tagged
+    /// with the batch index of the triggering event (always `0` for
+    /// control-plane messages, which deliver nothing).
+    pub deliveries: Vec<(usize, SubscriberId, SubscriptionId)>,
+    /// Messages this broker wants sent to its neighbors in response, in
+    /// ascending neighbor order.
+    pub outgoing: Vec<(BrokerId, WireMessage)>,
+}
+
+impl MessageHandling {
+    /// Creates an empty handling buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One broker of the distributed publish/subscribe network.
 ///
-/// A broker owns a [`RoutingTable`] and knows its neighbors. It does not do
-/// any I/O: the [`Simulation`](crate::Simulation) moves events between
-/// brokers and accounts for the traffic, which keeps experiments
-/// deterministic and independent of the host machine's networking stack.
+/// A broker owns a [`RoutingTable`] and knows its neighbors. Its ingress is
+/// **message-passing**: every interaction with the rest of the network —
+/// link setup, subscription registration, event traffic — arrives as a
+/// [`WireMessage`] through [`handle_message`](Broker::handle_message), and
+/// everything the broker wants sent in response comes back as wire messages
+/// addressed to neighbors. The broker does no I/O itself: a
+/// [`Transport`](crate::wire::Transport) (driven by the
+/// [`Simulation`](crate::Simulation) or the
+/// [`ParallelNetwork`](crate::ParallelNetwork)) moves the encoded frames,
+/// which keeps experiments deterministic and independent of the host's
+/// networking stack.
 #[derive(Debug)]
 pub struct Broker {
     id: BrokerId,
     neighbors: Vec<BrokerId>,
     table: RoutingTable,
+    /// Neighbors whose link completed the Hello/Ack handshake.
+    links_up: Vec<BrokerId>,
+    /// Recycled bodies for outgoing `PublishBatch` messages.
+    batch_pool: Vec<EventBatch>,
+    /// Reusable per-event forwarding buckets for the batch path.
+    forward_scratch: Vec<Vec<BrokerId>>,
 }
 
 impl Broker {
@@ -70,6 +106,9 @@ impl Broker {
             id,
             neighbors,
             table: RoutingTable::with_engine(engine),
+            links_up: Vec::new(),
+            batch_pool: Vec::new(),
+            forward_scratch: Vec::new(),
         }
     }
 
@@ -95,6 +134,13 @@ impl Broker {
 
     /// Registers a forwarded subscription whose home broker lies towards the
     /// given neighbor.
+    ///
+    /// This is a bootstrap/snapshot helper (used when rebuilding a broker
+    /// from another broker's state, e.g. for [`ParallelNetwork::from_brokers`]
+    /// (crate::ParallelNetwork::from_brokers)); live registration arrives as
+    /// [`WireMessage::Subscribe`] through
+    /// [`handle_message`](Broker::handle_message), which records the arrival
+    /// link as the next hop.
     ///
     /// # Panics
     /// Panics if `toward` is not one of this broker's neighbors — that would
@@ -130,12 +176,162 @@ impl Broker {
         self.table.local_subscriptions()
     }
 
+    /// Returns `true` if the link to `neighbor` completed the
+    /// [`Hello`](WireMessage::Hello)/[`Ack`](WireMessage::Ack) handshake.
+    pub fn link_ready(&self, neighbor: BrokerId) -> bool {
+        self.links_up.contains(&neighbor)
+    }
+
+    /// Processes one wire message — the broker's public ingress.
+    ///
+    /// `from` is the neighbor the message arrived from (`None` when a local
+    /// client of this broker injected it). The returned
+    /// [`MessageHandling`] carries the local-subscriber deliveries the
+    /// message caused plus every response message, addressed by neighbor,
+    /// that the caller must encode and put on the wire:
+    ///
+    /// * [`Hello`](WireMessage::Hello) marks the link up and answers with an
+    ///   [`Ack`](WireMessage::Ack); an `Ack` marks the link up silently;
+    /// * [`Subscribe`](WireMessage::Subscribe) registers a local entry
+    ///   (client origin) or a remote entry pointing back over the arrival
+    ///   link (the next hop towards the subscriber's home broker), then
+    ///   floods the subscription to every *other* neighbor — subscription
+    ///   forwarding over the acyclic topology;
+    /// * [`Unsubscribe`](WireMessage::Unsubscribe) removes the entry and
+    ///   propagates the removal the same way;
+    /// * [`PublishBatch`](WireMessage::PublishBatch) matches the whole batch
+    ///   once against the local and per-neighbor engines, reports the local
+    ///   deliveries, and emits one regrouped `PublishBatch` per neighbor
+    ///   that needs event copies (never back over the arrival link).
+    pub fn handle_message(
+        &mut self,
+        message: &WireMessage,
+        from: Option<BrokerId>,
+    ) -> MessageHandling {
+        let mut handling = MessageHandling::default();
+        self.handle_message_into(message, from, &mut handling);
+        handling
+    }
+
+    /// Like [`handle_message`](Self::handle_message), but refills a
+    /// caller-provided [`MessageHandling`] (replacing its contents). The
+    /// previous call's outgoing `PublishBatch` bodies are recycled into this
+    /// broker's batch pool, so steady-state hop handling reuses its batch
+    /// allocations.
+    pub fn handle_message_into(
+        &mut self,
+        message: &WireMessage,
+        from: Option<BrokerId>,
+        handling: &mut MessageHandling,
+    ) {
+        handling.deliveries.clear();
+        for (_, message) in handling.outgoing.drain(..) {
+            if let WireMessage::PublishBatch { mut events } = message {
+                if self.batch_pool.len() < 8 {
+                    events.clear();
+                    self.batch_pool.push(events);
+                }
+            }
+        }
+        // Frames claiming to arrive over a link this broker does not have
+        // (a misrouted or hostile peer on a real transport) are dropped
+        // wholesale — the broker must never panic on ingress.
+        if let Some(from) = from {
+            if !self.neighbors.contains(&from) {
+                return;
+            }
+        }
+        match message {
+            WireMessage::Hello { broker } => {
+                if self.neighbors.contains(broker) {
+                    if !self.links_up.contains(broker) {
+                        self.links_up.push(*broker);
+                    }
+                    handling
+                        .outgoing
+                        .push((*broker, WireMessage::Ack { broker: self.id }));
+                }
+            }
+            WireMessage::Ack { broker } => {
+                if self.neighbors.contains(broker) && !self.links_up.contains(broker) {
+                    self.links_up.push(*broker);
+                }
+            }
+            WireMessage::Subscribe { subscription } => {
+                match from {
+                    Some(toward) => self.register_remote(subscription.clone(), toward),
+                    None => self.register_local(subscription.clone()),
+                }
+                for neighbor in &self.neighbors {
+                    if Some(*neighbor) != from {
+                        handling.outgoing.push((
+                            *neighbor,
+                            WireMessage::Subscribe {
+                                subscription: subscription.clone(),
+                            },
+                        ));
+                    }
+                }
+            }
+            WireMessage::Unsubscribe { id } => {
+                if self.unregister(*id).is_some() {
+                    for neighbor in &self.neighbors {
+                        if Some(*neighbor) != from {
+                            handling
+                                .outgoing
+                                .push((*neighbor, WireMessage::Unsubscribe { id: *id }));
+                        }
+                    }
+                }
+            }
+            WireMessage::PublishBatch { events } => {
+                self.table
+                    .match_local_batch(events, &mut handling.deliveries);
+                let mut forward = std::mem::take(&mut self.forward_scratch);
+                self.table.forward_batch(events, from, &mut forward);
+                // One regrouped sub-batch per neighbor that matched at least
+                // one event, in ascending neighbor order (`forward` buckets
+                // are already ascending per event).
+                for neighbor in &self.neighbors {
+                    if Some(*neighbor) == from {
+                        continue;
+                    }
+                    let mut out_batch: Option<EventBatch> = None;
+                    for (index, neighbors) in forward.iter().enumerate() {
+                        if neighbors.contains(neighbor) {
+                            out_batch
+                                .get_or_insert_with(|| {
+                                    let mut b = self.batch_pool.pop().unwrap_or_default();
+                                    b.clear();
+                                    b
+                                })
+                                .push_from(events, index);
+                        }
+                    }
+                    if let Some(events) = out_batch {
+                        handling
+                            .outgoing
+                            .push((*neighbor, WireMessage::PublishBatch { events }));
+                    }
+                }
+                self.forward_scratch = forward;
+            }
+        }
+    }
+
     /// Processes one event: matches it against the routing table and reports
     /// local deliveries plus the neighbors that need a copy.
     ///
     /// `from` is the neighbor the event arrived from (`None` when the event
     /// was published by a local client); it is excluded from forwarding.
-    pub fn handle_event(&mut self, event: &EventMessage, from: Option<BrokerId>) -> EventHandling {
+    /// Internal helper behind the [`handle_message`](Self::handle_message)
+    /// ingress.
+    #[cfg(test)]
+    pub(crate) fn handle_event(
+        &mut self,
+        event: &EventMessage,
+        from: Option<BrokerId>,
+    ) -> EventHandling {
         EventHandling {
             deliveries: self.table.match_local(event),
             forward_to: self.table.neighbors_to_forward(event, from),
@@ -144,22 +340,25 @@ impl Broker {
 
     /// Processes a whole batch of events that arrived over one link: each
     /// local and per-neighbor engine is driven once for the entire batch.
-    ///
-    /// `from` is the neighbor the batch arrived from (`None` for locally
-    /// published events); it is excluded from the forwarding sets of every
-    /// event in the batch. This is the primary event path of the simulation —
-    /// [`handle_event`](Self::handle_event) remains for genuinely single
-    /// events.
-    pub fn handle_batch(&mut self, batch: &EventBatch, from: Option<BrokerId>) -> BatchHandling {
+    /// Internal helper behind the [`handle_message`](Self::handle_message)
+    /// ingress.
+    #[cfg(test)]
+    pub(crate) fn handle_batch(
+        &mut self,
+        batch: &EventBatch,
+        from: Option<BrokerId>,
+    ) -> BatchHandling {
         let mut handling = BatchHandling::default();
         self.handle_batch_into(batch, from, &mut handling);
         handling
     }
 
-    /// Like [`handle_batch`](Self::handle_batch), but refills a
-    /// caller-provided [`BatchHandling`] (replacing its contents) so the
-    /// delivery and forwarding buffers are reused hop after hop.
-    pub fn handle_batch_into(
+    /// Like `handle_batch`, but refills a caller-provided [`BatchHandling`]
+    /// (replacing its contents) so the delivery and forwarding buffers are
+    /// reused hop after hop. Internal helper behind
+    /// [`handle_message`](Self::handle_message).
+    #[cfg(test)]
+    pub(crate) fn handle_batch_into(
         &mut self,
         batch: &EventBatch,
         from: Option<BrokerId>,
@@ -275,6 +474,193 @@ mod tests {
                 .collect();
             assert_eq!(batch_deliveries, single.deliveries, "event {i}");
             assert_eq!(handling.forward_to[i], single.forward_to, "event {i}");
+        }
+    }
+
+    #[test]
+    fn hello_marks_the_link_up_and_acks() {
+        let mut broker = broker();
+        assert!(!broker.link_ready(b(0)));
+        let handling = broker.handle_message(&WireMessage::Hello { broker: b(0) }, Some(b(0)));
+        assert!(broker.link_ready(b(0)));
+        assert_eq!(
+            handling.outgoing,
+            vec![(b(0), WireMessage::Ack { broker: b(1) })]
+        );
+        assert!(handling.deliveries.is_empty());
+        // An Ack marks the link up silently.
+        let handling = broker.handle_message(&WireMessage::Ack { broker: b(2) }, Some(b(2)));
+        assert!(broker.link_ready(b(2)));
+        assert!(handling.outgoing.is_empty());
+        // A Hello from a non-neighbor is ignored.
+        let handling = broker.handle_message(&WireMessage::Hello { broker: b(9) }, Some(b(9)));
+        assert!(handling.outgoing.is_empty());
+        assert!(!broker.link_ready(b(9)));
+    }
+
+    #[test]
+    fn subscribe_messages_register_and_flood() {
+        let mut broker = broker();
+        // From a local client: a local entry, flooded to every neighbor.
+        let local = sub(1, 11, &Expr::eq("category", "books"));
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: local.clone(),
+            },
+            None,
+        );
+        assert_eq!(broker.local_subscriptions().len(), 1);
+        let targets: Vec<BrokerId> = handling.outgoing.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![b(0), b(2)]);
+        // From a neighbor: a remote entry pointing back over the arrival
+        // link, flooded everywhere else.
+        let remote = sub(2, 22, &Expr::eq("category", "music"));
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: remote,
+            },
+            Some(b(0)),
+        );
+        assert_eq!(
+            broker
+                .routing_table()
+                .remote_destination(SubscriptionId::from_raw(2)),
+            Some(b(0))
+        );
+        let targets: Vec<BrokerId> = handling.outgoing.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![b(2)]);
+        // Unsubscribe removes and propagates; a second one is a no-op.
+        let handling =
+            broker.handle_message(&WireMessage::Unsubscribe { id: local.id() }, Some(b(2)));
+        assert_eq!(handling.outgoing.len(), 1);
+        assert!(broker.local_subscriptions().is_empty());
+        let handling =
+            broker.handle_message(&WireMessage::Unsubscribe { id: local.id() }, Some(b(2)));
+        assert!(handling.outgoing.is_empty());
+    }
+
+    #[test]
+    fn publish_batch_messages_agree_with_batch_handling() {
+        let mut broker = broker();
+        broker.register_local(sub(1, 11, &Expr::eq("category", "books")));
+        broker.register_remote(sub(2, 22, &Expr::eq("category", "books")), b(0));
+        broker.register_remote(sub(3, 33, &Expr::le("price", 5i64)), b(2));
+
+        let events = [
+            books_event(),
+            EventMessage::builder()
+                .attr("category", "music")
+                .attr("price", 3i64)
+                .build(),
+        ];
+        let batch: EventBatch = events.iter().cloned().collect();
+        let reference = broker.handle_batch(&batch, None);
+        let handling = broker.handle_message(
+            &WireMessage::PublishBatch {
+                events: batch.clone(),
+            },
+            None,
+        );
+        assert_eq!(handling.deliveries, reference.deliveries);
+        // The per-event forwarding sets regroup into one sub-batch per
+        // neighbor, in ascending neighbor order.
+        let mut expected: Vec<(BrokerId, Vec<usize>)> = Vec::new();
+        for (i, neighbors) in reference.forward_to.iter().enumerate() {
+            for n in neighbors {
+                match expected.iter_mut().find(|(to, _)| to == n) {
+                    Some((_, idx)) => idx.push(i),
+                    None => expected.push((*n, vec![i])),
+                }
+            }
+        }
+        expected.sort_by_key(|(to, _)| *to);
+        assert_eq!(handling.outgoing.len(), expected.len());
+        for ((to, message), (expected_to, indexes)) in handling.outgoing.iter().zip(&expected) {
+            assert_eq!(to, expected_to);
+            let WireMessage::PublishBatch { events } = message else {
+                panic!("expected a PublishBatch, got {message:?}");
+            };
+            assert_eq!(events.len(), indexes.len());
+            for (got, &source) in events.events().iter().zip(indexes) {
+                assert_eq!(got, &batch.events()[source]);
+            }
+        }
+        // The arrival link is excluded from forwarding.
+        let handling = broker.handle_message(
+            &WireMessage::PublishBatch {
+                events: batch.clone(),
+            },
+            Some(b(0)),
+        );
+        assert!(handling.outgoing.iter().all(|(to, _)| *to != b(0)));
+    }
+
+    #[test]
+    fn frames_from_non_neighbors_are_dropped_not_panicked() {
+        // handle_message is the public ingress behind arbitrary transports:
+        // a misrouted frame claiming to come over a link this broker does
+        // not have must be ignored, never panic.
+        let mut broker = broker(); // neighbors 0 and 2
+        let stranger = Some(b(9));
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: sub(1, 11, &Expr::eq("category", "books")),
+            },
+            stranger,
+        );
+        assert!(handling.outgoing.is_empty());
+        assert!(broker.remote_subscriptions().is_empty());
+        let handling = broker.handle_message(
+            &WireMessage::PublishBatch {
+                events: std::iter::once(books_event()).collect(),
+            },
+            stranger,
+        );
+        assert!(handling.deliveries.is_empty());
+        assert!(handling.outgoing.is_empty());
+        let handling = broker.handle_message(
+            &WireMessage::Unsubscribe {
+                id: sub(1, 11, &Expr::eq("a", 1i64)).id(),
+            },
+            stranger,
+        );
+        assert!(handling.outgoing.is_empty());
+    }
+
+    #[test]
+    fn reused_message_handling_recycles_outgoing_batches() {
+        let mut broker = broker();
+        broker.register_remote(sub(1, 11, &Expr::eq("category", "books")), b(0));
+        let batch: EventBatch = std::iter::once(books_event()).collect();
+        let message = WireMessage::PublishBatch {
+            events: batch.clone(),
+        };
+        let mut handling = MessageHandling::new();
+        // Warm up, then drive the same message repeatedly through the same
+        // handling buffer: the outgoing batch bodies must come back out of
+        // the broker's pool instead of being reallocated.
+        for _ in 0..3 {
+            broker.handle_message_into(&message, None, &mut handling);
+        }
+        let capacities: Vec<usize> = handling
+            .outgoing
+            .iter()
+            .map(|(_, m)| match m {
+                WireMessage::PublishBatch { events } => events.capacity(),
+                _ => 0,
+            })
+            .collect();
+        for _ in 0..5 {
+            broker.handle_message_into(&message, None, &mut handling);
+            let now: Vec<usize> = handling
+                .outgoing
+                .iter()
+                .map(|(_, m)| match m {
+                    WireMessage::PublishBatch { events } => events.capacity(),
+                    _ => 0,
+                })
+                .collect();
+            assert_eq!(now, capacities, "outgoing batch reallocated");
         }
     }
 

@@ -17,6 +17,17 @@
 //! * **throughput** — the wall-clock filtering time accumulated by the
 //!   brokers' matching engines while routing events.
 //!
+//! Brokers talk to each other exclusively through the **wire protocol** in
+//! [`wire`]: every interaction — link setup ([`wire::WireMessage::Hello`] /
+//! [`wire::WireMessage::Ack`]), subscription forwarding
+//! ([`wire::WireMessage::Subscribe`] / [`wire::WireMessage::Unsubscribe`]),
+//! and event traffic ([`wire::WireMessage::PublishBatch`]) — is encoded by
+//! the binary [`wire::Codec`] into length-prefixed frames and moved over a
+//! [`wire::Transport`]. A broker's ingress is
+//! [`Broker::handle_message`]; the simulation decodes each frame, hands it
+//! to the addressed broker, and puts the broker's responses back on the
+//! wire, so `NetworkStats::bytes` is the exact sum of encoded frame lengths.
+//!
 //! The central type is [`Simulation`]: build it from a [`Topology`] and a set
 //! of subscriptions, publish events, and read the metrics. Pruned routing
 //! entries are installed with [`Simulation::install_remote_tree`] (typically
@@ -53,8 +64,9 @@ mod parallel;
 mod routing_table;
 mod simulation;
 mod topology;
+pub mod wire;
 
-pub use broker_node::{BatchHandling, Broker, Destination, EventHandling};
+pub use broker_node::{Broker, Destination, MessageHandling};
 // Re-exported so configuring a simulation's engine does not require a
 // direct `filtering` dependency.
 pub use filtering::EngineKind;
@@ -64,3 +76,4 @@ pub use pubsub_core::BrokerId;
 pub use routing_table::RoutingTable;
 pub use simulation::{PublishOutcome, Simulation, SimulationConfig};
 pub use topology::Topology;
+pub use wire::{ChannelTransport, Codec, CodecError, Transport, WireKind, WireMessage};

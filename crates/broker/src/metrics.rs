@@ -8,16 +8,29 @@ use std::time::Duration;
 /// Counters for inter-broker traffic.
 ///
 /// Every event copy handed from one broker to a neighbor counts as one
-/// message; bytes use the event's estimated wire size. Per-link counters are
-/// keyed by the undirected link (smaller broker id first).
+/// **message** (the quantity the paper's network-load figures report), and
+/// every encoded wire frame counts as one **frame**; `bytes` is the exact
+/// sum of the encoded data-plane frame lengths as produced by the wire
+/// [`Codec`](crate::wire::Codec) — not an estimate. Control-plane traffic
+/// (`Subscribe`/`Unsubscribe` flooding, `Hello`/`Ack` link setup) is
+/// accounted separately so event-routing experiments stay comparable with
+/// the paper. Per-link counters are keyed by the undirected link (smaller
+/// broker id first).
 #[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkStats {
-    /// Total inter-broker event messages.
+    /// Total inter-broker event copies (one per event per link crossing).
     pub messages: u64,
-    /// Total estimated bytes carried by those messages.
+    /// Total data-plane frames those copies travelled in (batched routing
+    /// packs many copies into one frame).
+    pub frames: u64,
+    /// Exact encoded bytes of the data-plane frames.
     pub bytes: u64,
-    /// Message counts per undirected link.
+    /// Total control-plane frames (subscription flooding, link setup).
+    pub control_frames: u64,
+    /// Exact encoded bytes of the control-plane frames.
+    pub control_bytes: u64,
+    /// Event-copy counts per undirected link.
     pub per_link: BTreeMap<(BrokerId, BrokerId), u64>,
 }
 
@@ -27,12 +40,25 @@ impl NetworkStats {
         Self::default()
     }
 
-    /// Records one event message sent from `from` to `to`.
+    /// Records one single-event frame sent from `from` to `to`.
     pub fn record(&mut self, from: BrokerId, to: BrokerId, bytes: usize) {
-        self.messages += 1;
+        self.record_frame(from, to, 1, bytes);
+    }
+
+    /// Records one data-plane frame carrying `events` event copies from
+    /// `from` to `to`, of exactly `bytes` encoded bytes.
+    pub fn record_frame(&mut self, from: BrokerId, to: BrokerId, events: u64, bytes: usize) {
+        self.messages += events;
+        self.frames += 1;
         self.bytes += bytes as u64;
         let link = if from < to { (from, to) } else { (to, from) };
-        *self.per_link.entry(link).or_insert(0) += 1;
+        *self.per_link.entry(link).or_insert(0) += events;
+    }
+
+    /// Records one control-plane frame of exactly `bytes` encoded bytes.
+    pub fn record_control(&mut self, bytes: usize) {
+        self.control_frames += 1;
+        self.control_bytes += bytes as u64;
     }
 
     /// Messages carried by one undirected link.
@@ -53,9 +79,27 @@ impl NetworkStats {
     /// Merges another statistics block into this one.
     pub fn merge(&mut self, other: &NetworkStats) {
         self.messages += other.messages;
+        self.frames += other.frames;
         self.bytes += other.bytes;
+        self.control_frames += other.control_frames;
+        self.control_bytes += other.control_bytes;
         for (link, count) in &other.per_link {
             *self.per_link.entry(*link).or_insert(0) += count;
+        }
+    }
+
+    /// Subtracts a previously captured snapshot, leaving the delta since the
+    /// snapshot was taken (links absent from the snapshot are kept as-is).
+    pub(crate) fn subtract(&mut self, snapshot: &NetworkStats) {
+        self.messages -= snapshot.messages;
+        self.frames -= snapshot.frames;
+        self.bytes -= snapshot.bytes;
+        self.control_frames -= snapshot.control_frames;
+        self.control_bytes -= snapshot.control_bytes;
+        for (link, count) in &snapshot.per_link {
+            if let Some(current) = self.per_link.get_mut(link) {
+                *current -= count;
+            }
         }
     }
 }
@@ -170,11 +214,34 @@ mod tests {
         stats.record(b(1), b(0), 50);
         stats.record(b(1), b(2), 70);
         assert_eq!(stats.messages, 3);
+        assert_eq!(stats.frames, 3);
         assert_eq!(stats.bytes, 220);
         assert_eq!(stats.link_messages(b(0), b(1)), 2);
         assert_eq!(stats.link_messages(b(1), b(0)), 2);
         assert_eq!(stats.link_messages(b(1), b(2)), 1);
         assert_eq!(stats.link_messages(b(0), b(2)), 0);
+    }
+
+    #[test]
+    fn batched_frames_separate_copies_from_frames() {
+        let mut stats = NetworkStats::new();
+        stats.record_frame(b(0), b(1), 16, 900);
+        stats.record_frame(b(1), b(2), 4, 300);
+        stats.record_control(40);
+        assert_eq!(stats.messages, 20);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.bytes, 1200);
+        assert_eq!(stats.control_frames, 1);
+        assert_eq!(stats.control_bytes, 40);
+        assert_eq!(stats.link_messages(b(0), b(1)), 16);
+        // Control traffic never counts as event messages.
+        let snapshot = stats.clone();
+        let mut delta = stats.clone();
+        delta.subtract(&snapshot);
+        assert_eq!(delta.messages, 0);
+        assert_eq!(delta.frames, 0);
+        assert_eq!(delta.control_frames, 0);
+        assert_eq!(delta.link_messages(b(0), b(1)), 0);
     }
 
     #[test]

@@ -9,16 +9,19 @@
 //!
 //! Design: each broker runs on its own worker thread behind a
 //! `parking_lot::Mutex` and owns a `crossbeam` channel of incoming
-//! [`Envelope`]s. Publishing injects per-origin [`EventBatch`]es; each hop
-//! matches the whole batch against the broker's engines
-//! (`Broker::handle_batch`) and forwards one regrouped batch per matching
-//! neighbor. A shared atomic in-flight counter detects quiescence so
-//! [`ParallelNetwork::run`] can return once every event has been fully
-//! routed.
+//! [`Envelope`]s. Envelopes carry **encoded wire frames** — exactly the
+//! bytes a socket would carry: publishing injects per-origin
+//! [`WireMessage::PublishBatch`] frames; each worker decodes a frame with
+//! its own [`Codec`], hands the message to the broker's
+//! [`handle_message`](Broker::handle_message) ingress, and re-encodes the
+//! responses for its neighbors. A shared atomic in-flight counter detects
+//! quiescence so [`ParallelNetwork::run`] can return once every event has
+//! been fully routed.
 
-use crate::broker_node::Broker;
+use crate::broker_node::{Broker, MessageHandling};
 use crate::metrics::NetworkStats;
 use crate::topology::Topology;
+use crate::wire::{Codec, WireMessage};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use pubsub_core::{BrokerId, EventBatch, EventMessage};
@@ -31,9 +34,9 @@ use std::time::{Duration, Instant};
 /// origin broker).
 #[derive(Debug)]
 enum Envelope {
-    /// A batch of event copies plus the link they arrived on.
-    Batch {
-        batch: EventBatch,
+    /// One encoded wire frame plus the link it arrived on.
+    Frame {
+        bytes: Vec<u8>,
         from: Option<BrokerId>,
     },
     /// Orderly shutdown: the run is quiescent and the worker should exit.
@@ -49,8 +52,12 @@ pub struct ParallelRunReport {
     pub events_published: u64,
     /// Total notifications delivered to local subscribers.
     pub deliveries: u64,
-    /// Inter-broker messages exchanged while routing the batch.
+    /// Inter-broker event copies exchanged while routing the batch.
     pub broker_messages: u64,
+    /// Inter-broker wire frames those copies travelled in.
+    pub broker_frames: u64,
+    /// Exact encoded bytes of those frames.
+    pub bytes: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -79,6 +86,8 @@ pub struct ParallelNetwork {
     brokers: BTreeMap<BrokerId, Arc<Mutex<Broker>>>,
     deliveries: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
+    frames: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
 }
 
 impl ParallelNetwork {
@@ -105,6 +114,8 @@ impl ParallelNetwork {
             brokers: map,
             deliveries: Arc::new(AtomicU64::new(0)),
             messages: Arc::new(AtomicU64::new(0)),
+            frames: Arc::new(AtomicU64::new(0)),
+            bytes: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -118,14 +129,20 @@ impl ParallelNetwork {
         self.deliveries.load(Ordering::Relaxed)
     }
 
-    /// Total inter-broker messages so far.
+    /// Total inter-broker event copies so far.
     pub fn broker_messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
 
+    /// Total encoded frame bytes so far.
+    pub fn wire_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
     /// Routes a batch of events through the network using one worker thread
-    /// per broker. Events are injected round-robin over the brokers. Returns
-    /// once every event has been fully routed.
+    /// per broker. Events are injected round-robin over the brokers as
+    /// encoded `PublishBatch` frames. Returns once every event has been
+    /// fully routed.
     pub fn run(&self, events: &[EventMessage]) -> ParallelRunReport {
         let start = Instant::now();
         let broker_ids: Vec<BrokerId> = self.topology.broker_ids().collect();
@@ -144,6 +161,8 @@ impl ParallelNetwork {
         let in_flight = Arc::new(AtomicU64::new(0));
         let deliveries = Arc::new(AtomicU64::new(0));
         let messages = Arc::new(AtomicU64::new(0));
+        let frames = Arc::new(AtomicU64::new(0));
+        let bytes = Arc::new(AtomicU64::new(0));
 
         crossbeam::scope(|scope| {
             // Worker per broker.
@@ -154,37 +173,46 @@ impl ParallelNetwork {
                 let in_flight = Arc::clone(&in_flight);
                 let deliveries = Arc::clone(&deliveries);
                 let messages = Arc::clone(&messages);
+                let frames = Arc::clone(&frames);
+                let bytes = Arc::clone(&bytes);
+                let own_id = *id;
                 scope.spawn(move |_| {
                     // Workers drain their channel until the injector tells
-                    // them the run is quiescent, reusing one handling buffer
-                    // across envelopes.
-                    let mut handling = crate::BatchHandling::default();
+                    // them the run is quiescent. Each worker owns its codec
+                    // and reuses one decoded message, one handling buffer,
+                    // and one encode buffer across envelopes.
+                    let mut codec = Codec::new();
+                    let mut message = WireMessage::Ack { broker: own_id };
+                    let mut handling = MessageHandling::new();
+                    let mut frame = Vec::new();
                     while let Ok(envelope) = receiver.recv() {
-                        let (batch, from) = match envelope {
+                        let (envelope_bytes, from) = match envelope {
                             Envelope::Shutdown => break,
-                            Envelope::Batch { batch, from } => (batch, from),
+                            Envelope::Frame { bytes, from } => (bytes, from),
                         };
-                        let own_id = broker.lock().id();
-                        broker.lock().handle_batch_into(&batch, from, &mut handling);
+                        codec
+                            .decode_into(&envelope_bytes, &mut message)
+                            .expect("workers only receive well-formed frames");
+                        broker
+                            .lock()
+                            .handle_message_into(&message, from, &mut handling);
                         deliveries.fetch_add(handling.deliveries.len() as u64, Ordering::Relaxed);
-                        // Regroup the forwarded events into one batch per
-                        // neighbor; each event copy still counts as one
-                        // inter-broker message.
-                        let mut per_neighbor: BTreeMap<BrokerId, EventBatch> = BTreeMap::new();
-                        for (index, neighbors) in handling.forward_to.iter().enumerate() {
-                            for neighbor in neighbors {
-                                per_neighbor
-                                    .entry(*neighbor)
-                                    .or_default()
-                                    .push(batch.event(index).clone());
+                        // Encode and forward the broker's responses; every
+                        // event copy still counts as one inter-broker
+                        // message, and every frame's exact length is
+                        // accounted.
+                        for (neighbor, response) in &handling.outgoing {
+                            frame.clear();
+                            let len = codec.encode_into(response, &mut frame);
+                            if let WireMessage::PublishBatch { events } = response {
+                                messages.fetch_add(events.len() as u64, Ordering::Relaxed);
                             }
-                        }
-                        for (neighbor, forwarded) in per_neighbor {
-                            messages.fetch_add(forwarded.len() as u64, Ordering::Relaxed);
+                            frames.fetch_add(1, Ordering::Relaxed);
+                            bytes.fetch_add(len as u64, Ordering::Relaxed);
                             in_flight.fetch_add(1, Ordering::Relaxed);
-                            senders[&neighbor]
-                                .send(Envelope::Batch {
-                                    batch: forwarded,
+                            senders[neighbor]
+                                .send(Envelope::Frame {
+                                    bytes: frame.clone(),
                                     from: Some(own_id),
                                 })
                                 .expect("receiver outlives forwarding");
@@ -195,16 +223,23 @@ impl ParallelNetwork {
             }
 
             // Injector: group the events into one batch per round-robin
-            // origin broker and publish each batch where it originates.
+            // origin broker and inject each group as an encoded frame where
+            // it originates.
+            let mut injector_codec = Codec::new();
             let mut per_origin: BTreeMap<BrokerId, EventBatch> = BTreeMap::new();
             for (i, event) in events.iter().enumerate() {
                 let origin = broker_ids[i % broker_ids.len()];
                 per_origin.entry(origin).or_default().push(event.clone());
             }
             for (origin, batch) in per_origin {
+                let mut frame = Vec::new();
+                injector_codec.encode_publish_batch(&batch, &mut frame);
                 in_flight.fetch_add(1, Ordering::Relaxed);
                 senders[&origin]
-                    .send(Envelope::Batch { batch, from: None })
+                    .send(Envelope::Frame {
+                        bytes: frame,
+                        from: None,
+                    })
                     .expect("workers are running");
             }
 
@@ -225,22 +260,31 @@ impl ParallelNetwork {
             .fetch_add(deliveries.load(Ordering::Relaxed), Ordering::Relaxed);
         self.messages
             .fetch_add(messages.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.frames
+            .fetch_add(frames.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.bytes
+            .fetch_add(bytes.load(Ordering::Relaxed), Ordering::Relaxed);
 
         ParallelRunReport {
             events_published: events.len() as u64,
             deliveries: deliveries.load(Ordering::Relaxed),
             broker_messages: messages.load(Ordering::Relaxed),
+            broker_frames: frames.load(Ordering::Relaxed),
+            bytes: bytes.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
         }
     }
 
-    /// Aggregated network statistics reconstructed from the per-broker filter
-    /// statistics (message counts only; per-link attribution requires the
-    /// deterministic [`Simulation`](crate::Simulation)).
+    /// Aggregated network statistics reconstructed from the counters
+    /// (per-link attribution requires the deterministic
+    /// [`Simulation`](crate::Simulation)).
     pub fn network_stats(&self) -> NetworkStats {
         NetworkStats {
             messages: self.broker_messages(),
-            bytes: 0,
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.wire_bytes(),
+            control_frames: 0,
+            control_bytes: 0,
             per_link: BTreeMap::new(),
         }
     }
@@ -339,8 +383,14 @@ mod tests {
         assert_eq!(report.events_published, 40);
         assert_eq!(report.deliveries, reference.deliveries);
         assert_eq!(report.broker_messages, reference.network.messages);
+        // The multiset of frames is identical to the simulation's (same
+        // grouping, same codec), so frame and byte totals agree exactly even
+        // though the hop interleaving differs.
+        assert_eq!(report.broker_frames, reference.network.frames);
+        assert_eq!(report.bytes, reference.network.bytes);
         assert_eq!(network.deliveries(), reference.deliveries);
         assert_eq!(network.broker_messages(), reference.network.messages);
+        assert_eq!(network.wire_bytes(), reference.network.bytes);
         assert!(report.events_per_second() > 0.0);
     }
 
@@ -370,6 +420,7 @@ mod tests {
         let report = network.run(&events);
         assert_eq!(report.deliveries, reference.deliveries);
         assert_eq!(report.broker_messages, reference.network.messages);
+        assert_eq!(report.bytes, reference.network.bytes);
     }
 
     #[test]
@@ -385,6 +436,7 @@ mod tests {
         assert_eq!(first.deliveries, second.deliveries);
         assert_eq!(network.deliveries(), first.deliveries + second.deliveries);
         assert_eq!(network.network_stats().messages, network.broker_messages());
+        assert_eq!(network.network_stats().bytes, first.bytes + second.bytes);
     }
 
     #[test]
@@ -397,6 +449,7 @@ mod tests {
         let report = network.run(&[]);
         assert_eq!(report.events_published, 0);
         assert_eq!(report.deliveries, 0);
+        assert_eq!(report.bytes, 0);
         assert_eq!(report.events_per_second(), 0.0);
     }
 

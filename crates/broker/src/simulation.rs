@@ -1,14 +1,15 @@
 //! The deterministic, single-process simulation of the broker network.
 
-use crate::broker_node::Broker;
+use crate::broker_node::{Broker, MessageHandling};
 use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 use crate::topology::Topology;
+use crate::wire::{ChannelTransport, Codec, Transport, WireMessage};
 use filtering::{EngineKind, FilterStats};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Configuration of a [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,19 +59,32 @@ impl SimulationConfig {
 pub struct PublishOutcome {
     /// Notifications delivered to local subscribers, across all brokers.
     pub deliveries: Vec<(SubscriberId, SubscriptionId)>,
-    /// Number of inter-broker messages the event caused.
+    /// Number of inter-broker event copies the event caused.
     pub broker_messages: u64,
-    /// Estimated bytes carried by those messages.
+    /// Exact encoded bytes of the wire frames that carried those copies.
     pub bytes: u64,
 }
 
 /// A deterministic simulation of the distributed publish/subscribe network.
 ///
+/// Everything between brokers travels as **encoded wire frames**: the
+/// simulation owns a [`Transport`] (an in-memory [`ChannelTransport`] by
+/// default) and a [`Codec`], and every hop — link setup, subscription
+/// forwarding, event routing — is a [`WireMessage`] encoded into a frame,
+/// delivered over the transport, decoded, and handed to the addressed
+/// broker's [`handle_message`](Broker::handle_message) ingress. Byte
+/// accounting in [`NetworkStats`] is therefore *exact*: it sums the real
+/// encoded frame lengths, not per-event size estimates.
+///
 /// Subscriptions are assigned to home brokers by subscriber id (round-robin)
-/// and flooded through the acyclic topology as routing entries (subscription
-/// forwarding). Published events are routed hop-by-hop: each broker delivers
-/// to its matching local clients and forwards one copy per matching neighbor
-/// direction, never back over the link the event arrived on.
+/// and registered by injecting a [`Subscribe`](WireMessage::Subscribe) frame
+/// at the home broker; the brokers flood it through the acyclic topology
+/// themselves (subscription forwarding), each one recording the arrival link
+/// as the next hop towards the home broker. Published events are routed
+/// hop-by-hop as [`PublishBatch`](WireMessage::PublishBatch) frames: each
+/// broker delivers to its matching local clients and emits one regrouped
+/// frame per matching neighbor direction, never back over the link the
+/// events arrived on.
 #[derive(Debug)]
 pub struct Simulation {
     config: SimulationConfig,
@@ -79,14 +93,31 @@ pub struct Simulation {
     publish_counter: u64,
     events_published: u64,
     deliveries: u64,
-    /// Recycled hop batches for `publish_batch`, so routing a batch through
-    /// the network reuses the same arena allocations run after run.
+    /// Wire machinery: the codec and the frame transport, plus reusable
+    /// buffers so the steady-state hop loop re-decodes into the same batch
+    /// arena and re-encodes into the same frame buffer.
+    codec: Codec,
+    transport: Box<dyn Transport>,
+    recv_frame: Vec<u8>,
+    send_frame: Vec<u8>,
+    message: WireMessage,
+    handling: MessageHandling,
+    /// Recycled one-event batches for `publish_at`.
     batch_pool: Vec<EventBatch>,
 }
 
 impl Simulation {
-    /// Builds an empty simulation over the configured topology.
+    /// Builds an empty simulation over the configured topology, running on
+    /// an in-memory [`ChannelTransport`].
     pub fn new(config: SimulationConfig) -> Self {
+        Self::with_transport(config, Box::new(ChannelTransport::new()))
+    }
+
+    /// Builds an empty simulation that moves its frames over the given
+    /// transport. The transport must deliver frames FIFO per link and must
+    /// start empty; construction performs the `Hello`/`Ack` link handshake
+    /// over it (recorded as control traffic).
+    pub fn with_transport(config: SimulationConfig, transport: Box<dyn Transport>) -> Self {
         let brokers = config
             .topology
             .broker_ids()
@@ -97,15 +128,92 @@ impl Simulation {
                 )
             })
             .collect();
-        Self {
+        let mut sim = Self {
             config,
             brokers,
             network: NetworkStats::new(),
             publish_counter: 0,
             events_published: 0,
             deliveries: 0,
+            codec: Codec::new(),
+            transport,
+            recv_frame: Vec::new(),
+            send_frame: Vec::new(),
+            message: WireMessage::Ack {
+                broker: BrokerId::from_raw(0),
+            },
+            handling: MessageHandling::new(),
             batch_pool: Vec::new(),
+        };
+        sim.handshake();
+        sim
+    }
+
+    /// Brings every link up by exchanging `Hello`/`Ack` frames in both
+    /// directions.
+    fn handshake(&mut self) {
+        for (a, b) in self.config.topology.links() {
+            for (from, to) in [(a, b), (b, a)] {
+                self.send_frame.clear();
+                let len = self
+                    .codec
+                    .encode_into(&WireMessage::Hello { broker: from }, &mut self.send_frame);
+                self.network.record_control(len);
+                self.transport.send(Some(from), to, &self.send_frame);
+            }
         }
+        let _ = self.pump(&mut None);
+    }
+
+    /// Drains the transport: every in-flight frame is decoded, handled by
+    /// the addressed broker, and the broker's responses are encoded and sent
+    /// — recording data-plane frames (event copies + exact bytes) and
+    /// control frames as they hit the wire. Returns the number of
+    /// local-subscriber deliveries the drained frames caused (suppressing
+    /// origin deliveries when configured); each delivery is also appended to
+    /// `deliveries_out` when provided.
+    fn pump(
+        &mut self,
+        deliveries_out: &mut Option<&mut Vec<(SubscriberId, SubscriptionId)>>,
+    ) -> u64 {
+        let mut delivered = 0u64;
+        while let Some((from, to)) = self.transport.recv_into(&mut self.recv_frame) {
+            self.codec
+                .decode_into(&self.recv_frame, &mut self.message)
+                .expect("simulation frames are well-formed");
+            let broker = self
+                .brokers
+                .get_mut(&to)
+                .expect("frame addressed to a known broker");
+            broker.handle_message_into(&self.message, from, &mut self.handling);
+            if matches!(self.message, WireMessage::PublishBatch { .. }) {
+                let suppress = from.is_none() && !self.config.deliver_at_origin;
+                if !suppress {
+                    delivered += self.handling.deliveries.len() as u64;
+                    if let Some(out) = deliveries_out.as_deref_mut() {
+                        out.extend(
+                            self.handling
+                                .deliveries
+                                .iter()
+                                .map(|&(_, subscriber, id)| (subscriber, id)),
+                        );
+                    }
+                }
+            }
+            for (neighbor, response) in &self.handling.outgoing {
+                self.send_frame.clear();
+                let len = self.codec.encode_into(response, &mut self.send_frame);
+                match response {
+                    WireMessage::PublishBatch { events } => {
+                        self.network
+                            .record_frame(to, *neighbor, events.len() as u64, len);
+                    }
+                    _ => self.network.record_control(len),
+                }
+                self.transport.send(Some(to), *neighbor, &self.send_frame);
+            }
+        }
+        delivered
     }
 
     /// The simulation's configuration.
@@ -150,42 +258,42 @@ impl Simulation {
             .expect("index is within broker count")
     }
 
-    /// Registers a subscription: installs it as a local entry at the
-    /// subscriber's home broker and floods remote entries to every other
-    /// broker (subscription forwarding).
+    /// Registers a subscription: a [`Subscribe`](WireMessage::Subscribe)
+    /// frame is injected at the subscriber's home broker, and the brokers
+    /// flood it through the topology (subscription forwarding).
     pub fn register_subscription(&mut self, subscription: Subscription) {
         let home = self.home_broker_of(subscription.subscriber());
         self.register_subscription_at(subscription, home);
     }
 
     /// Registers a subscription with an explicit home broker.
+    ///
+    /// # Panics
+    /// Panics if `home` is not part of the topology, or if the subscription
+    /// tree is deeper than the wire protocol's
+    /// [`MAX_TREE_DEPTH`](crate::wire::MAX_TREE_DEPTH) — such a tree could
+    /// be encoded but would be rejected by every decoding broker.
     pub fn register_subscription_at(&mut self, subscription: Subscription, home: BrokerId) {
         assert!(
             self.brokers.contains_key(&home),
             "{home} is not part of the topology"
         );
-        self.brokers
-            .get_mut(&home)
-            .expect("home broker exists")
-            .register_local(subscription.clone());
-        // Flood routing entries: every other broker points towards its next
-        // hop on the unique path to the home broker.
-        let broker_ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
-        for broker_id in broker_ids {
-            if broker_id == home {
-                continue;
-            }
-            let path = self
-                .config
-                .topology
-                .path(broker_id, home)
-                .expect("topology is connected");
-            let next_hop = path[1];
-            self.brokers
-                .get_mut(&broker_id)
-                .expect("broker exists")
-                .register_remote(subscription.clone(), next_hop);
-        }
+        assert!(
+            subscription.tree().depth() <= crate::wire::MAX_TREE_DEPTH,
+            "subscription {} tree depth {} exceeds the wire protocol's MAX_TREE_DEPTH ({})",
+            subscription.id(),
+            subscription.tree().depth(),
+            crate::wire::MAX_TREE_DEPTH
+        );
+        self.send_frame.clear();
+        self.codec.encode_into(
+            &WireMessage::Subscribe { subscription },
+            &mut self.send_frame,
+        );
+        // Client injection: not inter-broker traffic, so not recorded. The
+        // flooding between brokers is recorded as control frames by `pump`.
+        self.transport.send(None, home, &self.send_frame);
+        let _ = self.pump(&mut None);
     }
 
     /// Registers many subscriptions.
@@ -193,6 +301,20 @@ impl Simulation {
         for s in subscriptions {
             self.register_subscription(s);
         }
+    }
+
+    /// Removes a subscription everywhere by flooding an
+    /// [`Unsubscribe`](WireMessage::Unsubscribe) frame from the given broker.
+    pub fn unregister_subscription(&mut self, id: SubscriptionId, at: BrokerId) {
+        assert!(
+            self.brokers.contains_key(&at),
+            "{at} is not part of the topology"
+        );
+        self.send_frame.clear();
+        self.codec
+            .encode_into(&WireMessage::Unsubscribe { id }, &mut self.send_frame);
+        self.transport.send(None, at, &self.send_frame);
+        let _ = self.pump(&mut None);
     }
 
     /// Publishes one event at its round-robin publisher broker.
@@ -203,64 +325,65 @@ impl Simulation {
     }
 
     /// Publishes one event at an explicit broker and routes it through the
-    /// network.
+    /// network as encoded single-event frames.
     pub fn publish_at(&mut self, event: EventMessage, origin: BrokerId) -> PublishOutcome {
         assert!(
             self.brokers.contains_key(&origin),
             "{origin} is not part of the topology"
         );
-        let mut outcome = PublishOutcome::default();
-        let event_bytes = event.size_bytes();
-        let mut queue: VecDeque<(BrokerId, Option<BrokerId>)> = VecDeque::new();
-        queue.push_back((origin, None));
-        while let Some((broker_id, from)) = queue.pop_front() {
-            let broker = self.brokers.get_mut(&broker_id).expect("broker exists");
-            let is_origin = from.is_none();
-            let handling = if is_origin && !self.config.deliver_at_origin {
-                // Forward-only handling at the origin (benchmark option).
-                let mut handling = broker.handle_event(&event, from);
-                handling.deliveries.clear();
-                handling
-            } else {
-                broker.handle_event(&event, from)
-            };
-            outcome.deliveries.extend(handling.deliveries);
-            for neighbor in handling.forward_to {
-                self.network.record(broker_id, neighbor, event_bytes);
-                outcome.broker_messages += 1;
-                outcome.bytes += event_bytes as u64;
-                queue.push_back((neighbor, Some(broker_id)));
-            }
+        let messages_before = self.network.messages;
+        let bytes_before = self.network.bytes;
+
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.clear();
+        batch.push(event);
+        self.send_frame.clear();
+        self.codec
+            .encode_publish_batch(&batch, &mut self.send_frame);
+        if self.batch_pool.len() < 4 {
+            self.batch_pool.push(batch);
         }
+        self.transport.send(None, origin, &self.send_frame);
+
+        let mut deliveries = Vec::new();
+        let delivered = self.pump(&mut Some(&mut deliveries));
         self.events_published += 1;
-        self.deliveries += outcome.deliveries.len() as u64;
-        outcome
+        self.deliveries += delivered;
+        PublishOutcome {
+            deliveries,
+            broker_messages: self.network.messages - messages_before,
+            bytes: self.network.bytes - bytes_before,
+        }
     }
 
     /// Publishes a batch of events (round-robin over publisher brokers) and
     /// returns a run report covering exactly this batch.
     ///
-    /// Compatibility wrapper over [`publish_batch`](Self::publish_batch):
-    /// the slice is collected into an [`EventBatch`] and routed batch-wise.
+    /// Compatibility wrapper over [`publish_batch`](Self::publish_batch).
     pub fn publish_all(&mut self, events: &[EventMessage]) -> RunReport {
-        let mut batch = self.take_batch();
+        let mut batch = self.batch_pool.pop().unwrap_or_default();
+        batch.clear();
         batch.extend(events.iter().cloned());
         let report = self.publish_batch(&batch);
-        self.recycle_batch(batch);
+        if self.batch_pool.len() < 4 {
+            self.batch_pool.push(batch);
+        }
         report
     }
 
     /// Publishes a whole [`EventBatch`] (round-robin over publisher brokers)
     /// and returns a run report covering exactly this batch.
     ///
-    /// This is the primary publishing path: events are grouped by origin
-    /// broker and routed through the network *as batches* — every broker a
-    /// sub-batch visits matches all of its events against the local and
-    /// per-neighbor engines in one `match_batch` call, and each link carries
-    /// one grouped hop per neighbor instead of one hop per event. Message
-    /// and byte accounting is identical to publishing the events one by one:
-    /// every event copy handed to a neighbor still counts as one message of
-    /// the event's estimated wire size.
+    /// This is the primary publishing path: the batch is grouped by origin
+    /// broker, each group is encoded **once** as a `PublishBatch` frame read
+    /// directly out of the batch arena, and the frames are routed hop by hop
+    /// — every broker a frame visits matches all of its events against the
+    /// local and per-neighbor engines in one `match_batch` call and emits
+    /// one regrouped frame per matching neighbor. Event-copy counts
+    /// (`messages`, `per_link`) are identical to publishing the events one
+    /// by one; `bytes` is the exact total of the encoded frame lengths, so
+    /// batched routing genuinely spends fewer bytes (and far fewer frames)
+    /// than per-event routing.
     pub fn publish_batch(&mut self, batch: &EventBatch) -> RunReport {
         let network_before = self.network.clone();
         let filter_before: BTreeMap<BrokerId, FilterStats> = self
@@ -269,87 +392,23 @@ impl Simulation {
             .map(|(id, b)| (*id, b.filter_stats()))
             .collect();
 
-        // Per-event wire sizes, computed once for the whole run.
-        let sizes: Vec<usize> = batch
-            .events()
-            .iter()
-            .map(EventMessage::size_bytes)
-            .collect();
-
         // Group the batch by origin broker, preserving the round-robin
-        // publisher assignment of the single-event path.
+        // publisher assignment of the single-event path, and inject one
+        // encoded frame per origin.
         let mut origin_groups: BTreeMap<BrokerId, Vec<usize>> = BTreeMap::new();
         for index in 0..batch.len() {
             let origin = self.publisher_broker(self.publish_counter + index as u64);
             origin_groups.entry(origin).or_default().push(index);
         }
         self.publish_counter += batch.len() as u64;
-
-        // Route sub-batches hop by hop. A queue entry carries the hop's
-        // events either as the whole original batch (matched by reference —
-        // no event is copied when a single origin covers everything, the
-        // centralized case) or as an owned sub-batch, plus the events'
-        // indexes into the original batch (for size accounting and for
-        // building further hops from the original, not hop-over-hop).
-        enum HopEvents {
-            Whole,
-            Owned(EventBatch),
-        }
-        let mut deliveries = 0u64;
-        let mut handling = crate::BatchHandling::default();
-        let mut queue: VecDeque<(BrokerId, Option<BrokerId>, HopEvents, Vec<usize>)> =
-            VecDeque::new();
-        for (origin, indexes) in origin_groups {
-            let hop = if indexes.len() == batch.len() {
-                HopEvents::Whole
-            } else {
-                let mut hop = self.take_batch();
-                hop.extend(indexes.iter().map(|&i| batch.event(i).clone()));
-                HopEvents::Owned(hop)
-            };
-            queue.push_back((origin, None, hop, indexes));
-        }
-        while let Some((broker_id, from, hop, indexes)) = queue.pop_front() {
-            let broker = self.brokers.get_mut(&broker_id).expect("broker exists");
-            let hop_batch = match &hop {
-                HopEvents::Whole => batch,
-                HopEvents::Owned(owned) => owned,
-            };
-            broker.handle_batch_into(hop_batch, from, &mut handling);
-            if from.is_some() || self.config.deliver_at_origin {
-                deliveries += handling.deliveries.len() as u64;
-            }
-            if let HopEvents::Owned(owned) = hop {
-                self.recycle_batch(owned);
-            }
-            // Group the forwarded events per neighbor into the next hop
-            // batches, cloning from the original batch.
-            let mut per_neighbor: BTreeMap<BrokerId, Vec<usize>> = BTreeMap::new();
-            for (hop_index, neighbors) in handling.forward_to.iter().enumerate() {
-                for &neighbor in neighbors {
-                    self.network
-                        .record(broker_id, neighbor, sizes[indexes[hop_index]]);
-                    per_neighbor
-                        .entry(neighbor)
-                        .or_default()
-                        .push(indexes[hop_index]);
-                }
-            }
-            for (neighbor, next_indexes) in per_neighbor {
-                // A hop that carries every event of the run (common on line
-                // topologies where all traffic flows one way) is routed by
-                // reference like the single-origin case.
-                let next_hop = if next_indexes.len() == batch.len() {
-                    HopEvents::Whole
-                } else {
-                    let mut hop = self.take_batch();
-                    hop.extend(next_indexes.iter().map(|&i| batch.event(i).clone()));
-                    HopEvents::Owned(hop)
-                };
-                queue.push_back((neighbor, Some(broker_id), next_hop, next_indexes));
-            }
+        for (origin, indexes) in &origin_groups {
+            self.send_frame.clear();
+            self.codec
+                .encode_publish_batch_indexes(batch, Some(indexes), &mut self.send_frame);
+            self.transport.send(None, *origin, &self.send_frame);
         }
 
+        let deliveries = self.pump(&mut None);
         self.events_published += batch.len() as u64;
         self.deliveries += deliveries;
 
@@ -370,33 +429,13 @@ impl Simulation {
             per_broker_filter.insert(*id, stats);
         }
         let mut network = self.network.clone();
-        network.messages -= network_before.messages;
-        network.bytes -= network_before.bytes;
-        for (link, count) in &network_before.per_link {
-            if let Some(current) = network.per_link.get_mut(link) {
-                *current -= count;
-            }
-        }
+        network.subtract(&network_before);
         RunReport {
             events_published: batch.len() as u64,
             deliveries,
             network,
             filter_stats,
             per_broker_filter,
-        }
-    }
-
-    /// Takes a cleared batch from the recycling pool (or a fresh one).
-    fn take_batch(&mut self) -> EventBatch {
-        let mut batch = self.batch_pool.pop().unwrap_or_default();
-        batch.clear();
-        batch
-    }
-
-    /// Returns a hop batch to the recycling pool.
-    fn recycle_batch(&mut self, batch: EventBatch) {
-        if self.batch_pool.len() < 16 {
-            self.batch_pool.push(batch);
         }
     }
 
@@ -516,8 +555,23 @@ mod tests {
     }
 
     #[test]
+    fn construction_handshakes_every_link() {
+        let sim = line_simulation();
+        // Two Hello + two Ack frames per link, all control traffic.
+        assert_eq!(sim.network_stats().control_frames, 4 * 4);
+        assert!(sim.network_stats().control_bytes > 0);
+        assert_eq!(sim.network_stats().messages, 0);
+        assert_eq!(sim.network_stats().frames, 0);
+        for (a, b) in sim.topology().links() {
+            assert!(sim.broker(a).unwrap().link_ready(b), "{a} -> {b}");
+            assert!(sim.broker(b).unwrap().link_ready(a), "{b} -> {a}");
+        }
+    }
+
+    #[test]
     fn subscription_forwarding_installs_entries_everywhere() {
         let mut sim = line_simulation();
+        let control_before = sim.network_stats().control_frames;
         // Subscriber 0 -> home broker 0.
         sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
         assert_eq!(sim.broker(b(0)).unwrap().local_subscriptions().len(), 1);
@@ -526,7 +580,8 @@ mod tests {
             let broker = sim.broker(b(i)).unwrap();
             assert_eq!(broker.remote_subscriptions().len(), 1, "broker {i}");
             assert!(broker.local_subscriptions().is_empty(), "broker {i}");
-            // The remote entry points towards broker 0, i.e. to neighbor i-1.
+            // The remote entry points towards broker 0, i.e. to the neighbor
+            // the Subscribe frame flooded in from.
             assert_eq!(
                 broker
                     .routing_table()
@@ -534,6 +589,23 @@ mod tests {
                 Some(b(i - 1))
             );
         }
+        // The flood crossed each of the four links once, as control frames —
+        // never as event messages.
+        assert_eq!(sim.network_stats().control_frames - control_before, 4);
+        assert_eq!(sim.network_stats().messages, 0);
+    }
+
+    #[test]
+    fn unsubscribe_floods_and_removes_everywhere() {
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+        sim.unregister_subscription(SubscriptionId::from_raw(1), b(0));
+        for i in 0..5u32 {
+            let broker = sim.broker(b(i)).unwrap();
+            assert!(broker.local_subscriptions().is_empty(), "broker {i}");
+            assert!(broker.remote_subscriptions().is_empty(), "broker {i}");
+        }
+        assert!(sim.publish_at(books(1), b(4)).deliveries.is_empty());
     }
 
     #[test]
@@ -544,6 +616,7 @@ mod tests {
         // Published at broker 4, the event must travel the whole line (4 hops).
         let outcome = sim.publish_at(books(5), b(4));
         assert_eq!(outcome.broker_messages, 4);
+        assert!(outcome.bytes > 0);
         assert_eq!(
             outcome.deliveries,
             vec![(SubscriberId::from_raw(0), SubscriptionId::from_raw(1))]
@@ -552,6 +625,7 @@ mod tests {
         // Published at broker 0 itself, no inter-broker traffic is needed.
         let outcome = sim.publish_at(books(5), b(0));
         assert_eq!(outcome.broker_messages, 0);
+        assert_eq!(outcome.bytes, 0);
         assert_eq!(outcome.deliveries.len(), 1);
 
         // A non-matching event generates no traffic and no deliveries.
@@ -650,6 +724,9 @@ mod tests {
         assert_eq!(report.events_published, 10);
         assert_eq!(report.deliveries, 10);
         assert!(report.network.messages > 0);
+        assert!(report.network.frames > 0);
+        assert!(report.network.bytes > 0);
+        assert_eq!(report.network.control_frames, 0);
         assert!(report.filter_stats.events_filtered > 0);
         assert_eq!(report.per_broker_filter.len(), 5);
         // Cumulative counters keep including the warm-up event.
@@ -659,8 +736,10 @@ mod tests {
 
     #[test]
     fn publish_batch_agrees_with_per_event_publishing() {
-        // The batch pipeline must produce exactly the deliveries, message
-        // counts, bytes, and per-link traffic of the per-event path.
+        // The batch pipeline must produce exactly the deliveries, event-copy
+        // counts, and per-link traffic of the per-event path. Bytes are
+        // exact encoded frame lengths now, so batching — which packs many
+        // copies into one frame — must spend *fewer* frames and bytes.
         let subs = vec![
             sub(1, 0, &Expr::eq("category", "books")),
             sub(
@@ -682,6 +761,7 @@ mod tests {
 
         let mut reference = line_simulation();
         reference.register_all(subs);
+        reference.reset_metrics();
         let mut expected_deliveries = 0u64;
         for event in &events {
             expected_deliveries += reference.publish(event.clone()).deliveries.len() as u64;
@@ -690,8 +770,10 @@ mod tests {
         assert_eq!(report.events_published, events.len() as u64);
         assert_eq!(report.deliveries, expected_deliveries);
         assert_eq!(report.network.messages, reference.network_stats().messages);
-        assert_eq!(report.network.bytes, reference.network_stats().bytes);
         assert_eq!(report.network.per_link, reference.network_stats().per_link);
+        assert!(report.network.frames < reference.network_stats().frames);
+        assert!(report.network.bytes < reference.network_stats().bytes);
+        assert!(report.network.bytes > 0);
         assert_eq!(batched.events_published(), reference.events_published());
         assert_eq!(batched.deliveries(), reference.deliveries());
         // Both paths filtered the same number of events; the batch path did
@@ -721,9 +803,9 @@ mod tests {
 
     #[test]
     fn sharded_engine_simulation_matches_counting_simulation() {
-        // The whole distributed pipeline — deliveries, message counts,
-        // bytes, per-link traffic — must be identical whether the brokers
-        // match with the single-threaded or the sharded engine.
+        // The whole distributed pipeline — deliveries, copy counts, exact
+        // frame bytes, per-link traffic — must be identical whether the
+        // brokers match with the single-threaded or the sharded engine.
         let subs = vec![
             sub(1, 0, &Expr::eq("category", "books")),
             sub(
@@ -755,6 +837,7 @@ mod tests {
 
         assert_eq!(report.deliveries, reference.deliveries);
         assert_eq!(report.network.messages, reference.network.messages);
+        assert_eq!(report.network.frames, reference.network.frames);
         assert_eq!(report.network.bytes, reference.network.bytes);
         assert_eq!(report.network.per_link, reference.network.per_link);
         assert_eq!(report.filter_stats.matches, reference.filter_stats.matches);
@@ -789,8 +872,10 @@ mod tests {
         sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
         let _ = sim.publish_at(books(1), b(4));
         assert!(sim.network_stats().messages > 0);
+        assert!(sim.network_stats().control_frames > 0);
         sim.reset_metrics();
         assert_eq!(sim.network_stats().messages, 0);
+        assert_eq!(sim.network_stats().control_frames, 0);
         assert_eq!(sim.events_published(), 0);
         assert_eq!(sim.filter_stats().events_filtered, 0);
         assert_eq!(sim.memory_report().remote_subscriptions, 4);
@@ -805,6 +890,21 @@ mod tests {
         assert_eq!(outcome.broker_messages, 0);
         assert_eq!(outcome.deliveries.len(), 1);
         assert_eq!(sim.memory_report().remote_subscriptions, 0);
+        assert_eq!(sim.network_stats().control_frames, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the wire protocol's MAX_TREE_DEPTH")]
+    fn over_deep_subscriptions_are_rejected_at_registration() {
+        // A tree the codec could encode but no broker could decode must be
+        // rejected up front with a clear message, not a decode panic
+        // mid-flood.
+        let mut expr = Expr::eq("a", 1i64);
+        for _ in 0..crate::wire::MAX_TREE_DEPTH {
+            expr = Expr::not(expr);
+        }
+        let mut sim = line_simulation();
+        sim.register_subscription(sub(1, 0, &expr));
     }
 
     #[test]

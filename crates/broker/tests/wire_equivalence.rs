@@ -1,0 +1,243 @@
+//! Equivalence of the wire-protocol simulation with the pre-wire
+//! direct-call semantics, plus exactness of the byte accounting.
+//!
+//! The pre-wire `Simulation` drove brokers through direct method calls and
+//! routed one event copy per matching neighbor direction; its behaviour is
+//! fully determined by the topology and the subscription set. This suite
+//! recomputes that behaviour from first principles (tree paths between
+//! origin and matching home brokers) and asserts the wire-driven simulation
+//! — frames over a `ChannelTransport` — reproduces it exactly: identical
+//! match sets and identical per-link message counts. Bytes are *not*
+//! compared for equality against the old `size_bytes()` estimates: they are
+//! now exact encoded frame lengths, so the suite asserts the monotone
+//! relation instead, and separately asserts that `NetworkStats::bytes`
+//! equals the sum of the actual data-plane frame lengths observed on the
+//! transport.
+
+use broker::wire::{frame_kind, ChannelTransport, Transport, WireKind};
+use broker::{BrokerId, Simulation, SimulationConfig, Topology};
+use pubsub_core::{EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use workload::{WorkloadConfig, WorkloadGenerator};
+
+/// A transport wrapper that tallies the exact bytes of every data-plane
+/// (`PublishBatch`) frame sent between brokers — the ground truth the
+/// simulation's `NetworkStats::bytes` must equal.
+#[derive(Debug)]
+struct MeteredTransport {
+    inner: ChannelTransport,
+    data_bytes: Arc<AtomicU64>,
+    data_frames: Arc<AtomicU64>,
+    control_bytes: Arc<AtomicU64>,
+}
+
+impl Transport for MeteredTransport {
+    fn send(&mut self, from: Option<BrokerId>, to: BrokerId, frame: &[u8]) {
+        // `from == None` marks client injection, which is not inter-broker
+        // traffic.
+        if from.is_some() {
+            match frame_kind(frame) {
+                Some(WireKind::PublishBatch) => {
+                    self.data_bytes
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    self.data_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    self.control_bytes
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner.send(from, to, frame);
+    }
+
+    fn recv_into(&mut self, frame: &mut Vec<u8>) -> Option<(Option<BrokerId>, BrokerId)> {
+        self.inner.recv_into(frame)
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inner.is_idle()
+    }
+}
+
+/// The pre-wire routing model, recomputed from first principles: an event
+/// published at `origin` is delivered to every matching subscription and
+/// crosses exactly the union of the links on the paths from `origin` to the
+/// home brokers of the matching subscribers.
+struct Expected {
+    deliveries: Vec<(SubscriberId, SubscriptionId)>,
+    per_link: BTreeMap<(BrokerId, BrokerId), u64>,
+    messages: u64,
+    /// The old estimated byte accounting: one `size_bytes()` charge per
+    /// event copy per link.
+    estimated_bytes: u64,
+}
+
+fn expected_routing(
+    sim: &Simulation,
+    topology: &Topology,
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+) -> Expected {
+    let broker_ids: Vec<BrokerId> = topology.broker_ids().collect();
+    let mut expected = Expected {
+        deliveries: Vec::new(),
+        per_link: BTreeMap::new(),
+        messages: 0,
+        estimated_bytes: 0,
+    };
+    for (i, event) in events.iter().enumerate() {
+        let origin = broker_ids[i % broker_ids.len()];
+        let mut links: std::collections::BTreeSet<(BrokerId, BrokerId)> =
+            std::collections::BTreeSet::new();
+        for sub in subscriptions {
+            if !sub.matches(event) {
+                continue;
+            }
+            expected.deliveries.push((sub.subscriber(), sub.id()));
+            let home = sim.home_broker_of(sub.subscriber());
+            let path = topology.path(origin, home).expect("connected topology");
+            for pair in path.windows(2) {
+                let link = if pair[0] < pair[1] {
+                    (pair[0], pair[1])
+                } else {
+                    (pair[1], pair[0])
+                };
+                links.insert(link);
+            }
+        }
+        for link in links {
+            *expected.per_link.entry(link).or_insert(0) += 1;
+            expected.messages += 1;
+            expected.estimated_bytes += event.size_bytes() as u64;
+        }
+    }
+    expected
+}
+
+fn sorted(
+    mut deliveries: Vec<(SubscriberId, SubscriptionId)>,
+) -> Vec<(SubscriberId, SubscriptionId)> {
+    deliveries.sort();
+    deliveries
+}
+
+/// Runs one workload through the wire simulation (per-event and batched)
+/// and checks match sets, per-link counts, and byte exactness against the
+/// model.
+fn check_topology(topology: Topology, seed: u64, event_count: usize) {
+    let mut generator = WorkloadConfig::small().with_seed(seed);
+    generator.subscriber_count = 50;
+    let mut generator = WorkloadGenerator::new(generator);
+    let subscriptions = generator.subscriptions(120);
+    let events = generator.events(event_count);
+
+    // Per-event publishing over a metered transport.
+    let data_bytes = Arc::new(AtomicU64::new(0));
+    let data_frames = Arc::new(AtomicU64::new(0));
+    let control_bytes = Arc::new(AtomicU64::new(0));
+    let transport = MeteredTransport {
+        inner: ChannelTransport::new(),
+        data_bytes: Arc::clone(&data_bytes),
+        data_frames: Arc::clone(&data_frames),
+        control_bytes: Arc::clone(&control_bytes),
+    };
+    let mut sim =
+        Simulation::with_transport(SimulationConfig::new(topology.clone()), Box::new(transport));
+    sim.register_all(subscriptions.iter().cloned());
+    let expected = expected_routing(&sim, &topology, &subscriptions, &events);
+
+    let mut per_event_deliveries = Vec::new();
+    for event in &events {
+        per_event_deliveries.extend(sim.publish(event.clone()).deliveries);
+    }
+
+    // Match sets: identical to the pre-wire direct-call semantics.
+    assert_eq!(
+        sorted(per_event_deliveries),
+        sorted(expected.deliveries.clone()),
+        "match-set divergence (per-event)"
+    );
+    // Per-link message counts: identical.
+    assert_eq!(sim.network_stats().per_link, expected.per_link);
+    assert_eq!(sim.network_stats().messages, expected.messages);
+
+    // Byte accounting: exactly the bytes that crossed the transport.
+    assert_eq!(
+        sim.network_stats().bytes,
+        data_bytes.load(Ordering::Relaxed),
+        "NetworkStats::bytes must equal the sum of encoded data frame lengths"
+    );
+    assert_eq!(
+        sim.network_stats().frames,
+        data_frames.load(Ordering::Relaxed)
+    );
+    assert_eq!(
+        sim.network_stats().control_bytes,
+        control_bytes.load(Ordering::Relaxed)
+    );
+
+    // The batched path produces the same match sets and per-link counts.
+    let mut batched = Simulation::new(SimulationConfig::new(topology.clone()));
+    batched.register_all(subscriptions.iter().cloned());
+    let batch: EventBatch = events.iter().cloned().collect();
+    let report = batched.publish_batch(&batch);
+    assert_eq!(report.deliveries, expected.deliveries.len() as u64);
+    assert_eq!(report.network.per_link, expected.per_link);
+    assert_eq!(report.network.messages, expected.messages);
+    // Batching packs copies into fewer frames, so its exact byte total can
+    // only be at or below the per-event path's.
+    assert!(report.network.bytes <= sim.network_stats().bytes);
+    if expected.messages > 0 {
+        assert!(report.network.bytes > 0);
+    }
+}
+
+#[test]
+fn wire_simulation_reproduces_direct_call_routing_on_a_line() {
+    check_topology(Topology::line(5), 7, 60);
+}
+
+#[test]
+fn wire_simulation_reproduces_direct_call_routing_on_a_star() {
+    check_topology(Topology::star(6), 11, 60);
+}
+
+#[test]
+fn wire_simulation_reproduces_direct_call_routing_on_a_tree() {
+    check_topology(Topology::balanced_tree(7, 2), 13, 50);
+}
+
+/// Exact bytes and the old estimates are different quantities, but they must
+/// move together: more routed traffic means more of both.
+#[test]
+fn exact_bytes_are_monotone_in_the_old_estimate() {
+    let topology = Topology::line(5);
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(3));
+    let subscriptions = generator.subscriptions(100);
+    let events = generator.events(80);
+
+    let mut totals = Vec::new();
+    for count in [20usize, 50, 80] {
+        let mut sim = Simulation::new(SimulationConfig::new(topology.clone()));
+        sim.register_all(subscriptions.iter().cloned());
+        let expected = expected_routing(&sim, &topology, &subscriptions, &events[..count]);
+        for event in &events[..count] {
+            let _ = sim.publish(event.clone());
+        }
+        totals.push((expected.estimated_bytes, sim.network_stats().bytes));
+    }
+    for pair in totals.windows(2) {
+        let (est_a, exact_a) = pair[0];
+        let (est_b, exact_b) = pair[1];
+        assert!(est_a < est_b, "estimate not increasing: {est_a} vs {est_b}");
+        assert!(
+            exact_a < exact_b,
+            "exact not increasing: {exact_a} vs {exact_b}"
+        );
+    }
+    let (est, exact) = totals[totals.len() - 1];
+    assert!(est > 0 && exact > 0);
+}

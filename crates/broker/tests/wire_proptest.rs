@@ -1,0 +1,210 @@
+//! Property tests for the wire codec: arbitrary `WireMessage`s — deep
+//! subscription trees, every `Value` variant including unicode strings,
+//! empty and large batches — must encode→decode to equality, and truncated
+//! or corrupted frames must fail with a `CodecError`, never a panic.
+
+use broker::wire::{Codec, WireMessage};
+use broker::BrokerId;
+use proptest::prelude::*;
+use pubsub_core::{
+    EventBatch, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,
+    SubscriptionId, Value,
+};
+
+/// Attribute names are drawn from a fixed pool: the process-global interner
+/// is append-only, so unbounded random names would grow it without bound.
+/// The pool mixes ASCII and multi-byte unicode names.
+const ATTR_POOL: &[&str] = &[
+    "wp_category",
+    "wp_price",
+    "wp_bids",
+    "wp_βeta",
+    "wp_東京",
+    "wp_🚀",
+    "a",
+];
+
+/// Alphabet for string values — ASCII, accented, CJK, and emoji code
+/// points, so multi-byte UTF-8 boundaries are exercised.
+const STR_ALPHABET: &[char] = &[
+    'a', 'b', 'z', ' ', 'é', 'λ', '東', '京', '🚀', 'Ω', '"', '\\',
+];
+
+fn string_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..STR_ALPHABET.len(), 0..=12)
+        .prop_map(|picks| picks.into_iter().map(|i| STR_ALPHABET[i]).collect())
+}
+
+fn value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        prop::bool::ANY.prop_map(Value::Bool).boxed(),
+        (i64::MIN..=i64::MAX).prop_map(Value::Int).boxed(),
+        (-1.0e12..1.0e12).prop_map(Value::Float).boxed(),
+        string_value().prop_map(Value::from).boxed(),
+    ]
+    .boxed()
+}
+
+fn attr_name() -> impl Strategy<Value = &'static str> {
+    (0usize..ATTR_POOL.len()).prop_map(|i| ATTR_POOL[i])
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    (attr_name(), 0usize..Operator::ALL.len(), value())
+        .prop_map(|(name, op, value)| Predicate::new(name, Operator::ALL[op], value))
+}
+
+fn expr() -> BoxedStrategy<Expr> {
+    predicate()
+        .prop_map(Expr::Pred)
+        .boxed()
+        .prop_recursive(5, 32, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..=3).prop_map(Expr::and),
+                prop::collection::vec(inner.clone(), 1..=3).prop_map(Expr::or),
+                inner.prop_map(Expr::not),
+            ]
+        })
+}
+
+fn event() -> impl Strategy<Value = EventMessage> {
+    (
+        0u64..=u64::MAX,
+        prop::collection::vec((attr_name(), value()), 0..=7),
+    )
+        .prop_map(|(id, pairs)| {
+            let mut builder = EventMessage::builder().id(id);
+            for (name, value) in pairs {
+                builder = builder.attr(name, value);
+            }
+            builder.build()
+        })
+}
+
+fn batch() -> impl Strategy<Value = EventBatch> {
+    prop::collection::vec(event(), 0..=16).prop_map(|events| events.into_iter().collect())
+}
+
+fn message() -> BoxedStrategy<WireMessage> {
+    prop_oneof![
+        (0u32..64)
+            .prop_map(|b| WireMessage::Hello {
+                broker: BrokerId::from_raw(b),
+            })
+            .boxed(),
+        (0u32..64)
+            .prop_map(|b| WireMessage::Ack {
+                broker: BrokerId::from_raw(b),
+            })
+            .boxed(),
+        (0u64..=u64::MAX, 0u64..=u64::MAX, expr())
+            .prop_map(|(id, subscriber, expr)| WireMessage::Subscribe {
+                subscription: Subscription::from_expr(
+                    SubscriptionId::from_raw(id),
+                    SubscriberId::from_raw(subscriber),
+                    &expr,
+                ),
+            })
+            .boxed(),
+        (0u64..=u64::MAX)
+            .prop_map(|id| WireMessage::Unsubscribe {
+                id: SubscriptionId::from_raw(id),
+            })
+            .boxed(),
+        batch()
+            .prop_map(|events| WireMessage::PublishBatch { events })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Encode→decode is the identity on arbitrary messages.
+    #[test]
+    fn arbitrary_messages_roundtrip(message in message()) {
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        let written = codec.encode_into(&message, &mut frame);
+        prop_assert_eq!(written, frame.len());
+        let (back, consumed) = codec.decode(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(&back, &message);
+        // A second roundtrip through a *different* codec (cold caches) must
+        // agree too — the frame carries names, not process-local state.
+        let mut fresh = Codec::new();
+        let (again, _) = fresh.decode(&frame)
+            .map_err(|e| TestCaseError::fail(format!("fresh decode failed: {e}")))?;
+        prop_assert_eq!(&again, &message);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with an error — the
+    /// decoder never panics or fabricates a message from a short buffer.
+    #[test]
+    fn truncated_frames_are_rejected(message in message()) {
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+        let step = (frame.len() / 37).max(1);
+        for cut in (0..frame.len()).step_by(step).chain([frame.len() - 1]) {
+            prop_assert!(
+                codec.decode(&frame[..cut]).is_err(),
+                "prefix of {} / {} bytes decoded", cut, frame.len()
+            );
+        }
+    }
+
+    /// Random garbage and single-byte corruptions never panic the decoder:
+    /// every outcome is a clean `Ok` or `CodecError`.
+    #[test]
+    fn garbage_never_panics(
+        garbage in prop::collection::vec(0u64..256, 0..=64),
+        message in message(),
+        flips in prop::collection::vec((0u64..=u64::MAX, 0u64..256), 1..=8),
+    ) {
+        let mut codec = Codec::new();
+        let garbage: Vec<u8> = garbage.into_iter().map(|b| b as u8).collect();
+        let _ = codec.decode(&garbage);
+
+        // Corrupt single bytes of a valid frame.
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+        let mut corrupted = frame.clone();
+        for (pos, byte) in flips {
+            let index = (pos % corrupted.len() as u64) as usize;
+            corrupted[index] = byte as u8;
+        }
+        let _ = codec.decode(&corrupted);
+    }
+}
+
+/// A deliberately large batch (beyond any strategy draw) roundtrips and the
+/// decoder reproduces it into a reused batch without growth on the second
+/// pass.
+#[test]
+fn large_batch_roundtrips() {
+    let events: EventBatch = (0..4_000u64)
+        .map(|i| {
+            EventMessage::builder()
+                .id(i)
+                .attr("wp_category", if i % 2 == 0 { "books" } else { "東京" })
+                .attr("wp_price", i as i64)
+                .attr("wp_βeta", (i as f64) / 3.0)
+                .build()
+        })
+        .collect();
+    let mut codec = Codec::new();
+    let mut frame = Vec::new();
+    codec.encode_publish_batch(&events, &mut frame);
+    let mut decoded = EventBatch::new();
+    codec
+        .decode_publish_batch_into(&frame, &mut decoded)
+        .unwrap();
+    assert_eq!(decoded, events);
+    let capacity = decoded.capacity();
+    codec
+        .decode_publish_batch_into(&frame, &mut decoded)
+        .unwrap();
+    assert_eq!(decoded, events);
+    assert_eq!(decoded.capacity(), capacity);
+}

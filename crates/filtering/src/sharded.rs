@@ -283,8 +283,22 @@ impl ShardedEngine {
         self.shards.iter().map(CountingEngine::scratch_grows).sum()
     }
 
+    /// The shard that owns the subscription with the given id, if it is
+    /// registered. Exposed so tests (and shard-layout debugging) can observe
+    /// the deterministic assignment.
+    pub fn shard_of(&self, id: SubscriptionId) -> Option<usize> {
+        self.owner.get(&id).map(|&shard| shard as usize)
+    }
+
     /// The shard that owns the next new subscription: fewest entries, ties
-    /// to the lowest index — deterministic and balanced under churn.
+    /// to the **lowest shard index**.
+    ///
+    /// The tie rule is a determinism guarantee, not an implementation
+    /// accident: replaying the same subscription stream (e.g. re-applying a
+    /// recorded sequence of wire `Subscribe`/`Unsubscribe` frames) must
+    /// reproduce the identical shard layout. The strict `<` below keeps the
+    /// first — lowest-indexed — shard among the least-loaded ones; a pinned
+    /// test (`tie_break_assigns_to_the_lowest_shard_index`) guards it.
     fn least_loaded_shard(&self) -> u32 {
         let mut best = 0u32;
         let mut best_len = usize::MAX;
@@ -501,6 +515,58 @@ mod tests {
         assert!(e.remove(SubscriptionId::from_raw(7)).is_some());
         assert!(e.remove(SubscriptionId::from_raw(7)).is_none());
         assert_eq!(e.len(), 9);
+    }
+
+    #[test]
+    fn tie_break_assigns_to_the_lowest_shard_index() {
+        // From an empty engine, every shard has the same load, so inserts
+        // must round-robin 0, 1, 2, 3 — each tie resolved to the lowest
+        // shard index.
+        let mut e = ShardedEngine::with_shards(4);
+        for i in 0..8u64 {
+            e.insert(sub(i, &Expr::eq("category", "books")));
+            assert_eq!(
+                e.shard_of(SubscriptionId::from_raw(i)),
+                Some((i % 4) as usize),
+                "insert {i}"
+            );
+        }
+        // After removing one subscription from shard 2, shard 2 is the
+        // unique least-loaded shard and must win outright...
+        assert!(e.remove(SubscriptionId::from_raw(2)).is_some());
+        e.insert(sub(100, &Expr::eq("category", "music")));
+        assert_eq!(e.shard_of(SubscriptionId::from_raw(100)), Some(2));
+        // ...and on the next full tie, assignment returns to shard 0.
+        e.insert(sub(101, &Expr::eq("category", "music")));
+        assert_eq!(e.shard_of(SubscriptionId::from_raw(101)), Some(0));
+        assert_eq!(e.shard_of(SubscriptionId::from_raw(999)), None);
+    }
+
+    #[test]
+    fn replayed_subscription_streams_reproduce_identical_layouts() {
+        // Wire-replayed registration (the broker's Subscribe/Unsubscribe
+        // frames) must land every subscription on the same shard on every
+        // replay, including under churn.
+        let build = || {
+            let mut e = ShardedEngine::with_shards(3);
+            for i in 0..40u64 {
+                e.insert(sub(i, &Expr::le("price", (i % 20) as i64)));
+            }
+            for i in (0..40u64).step_by(3) {
+                e.remove(SubscriptionId::from_raw(i));
+            }
+            for i in (0..40u64).step_by(6) {
+                e.insert(sub(i, &Expr::eq("category", "books")));
+            }
+            e
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.shard_lens(), b.shard_lens());
+        for i in 0..40u64 {
+            let id = SubscriptionId::from_raw(i);
+            assert_eq!(a.shard_of(id), b.shard_of(id), "subscription {i}");
+        }
     }
 
     #[test]

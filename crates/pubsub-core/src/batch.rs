@@ -40,7 +40,7 @@
 //! }
 //! ```
 
-use crate::{AttrId, EventMessage, Value};
+use crate::{AttrId, EventId, EventMessage, Value};
 
 /// A reusable, arena-backed collection of [`EventMessage`]s.
 ///
@@ -48,7 +48,7 @@ use crate::{AttrId, EventMessage, Value};
 /// is the unit the matching engines consume (`MatchingEngine::match_batch` in
 /// the `filtering` crate) and the unit the broker simulation routes between
 /// brokers.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct EventBatch {
     /// The owned event messages, in push order.
     events: Vec<EventMessage>,
@@ -56,6 +56,30 @@ pub struct EventBatch {
     arena: Vec<(AttrId, Value)>,
     /// Per-event `(start, len)` span into `arena`, parallel to `events`.
     spans: Vec<(u32, u32)>,
+    /// Recycled event shells parked by [`clear`](Self::clear), reused by
+    /// [`push_resolved`](Self::push_resolved) so decode-style refills (the
+    /// wire codec's `PublishBatch` hot path) build events without allocating.
+    /// Bounded by the largest batch ever cleared; excluded from equality and
+    /// clones.
+    spares: Vec<EventMessage>,
+}
+
+impl Clone for EventBatch {
+    fn clone(&self) -> Self {
+        Self {
+            events: self.events.clone(),
+            arena: self.arena.clone(),
+            spans: self.spans.clone(),
+            spares: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for EventBatch {
+    fn eq(&self, other: &Self) -> bool {
+        // The spare pool is scratch, not content.
+        self.events == other.events && self.arena == other.arena && self.spans == other.spans
+    }
 }
 
 impl EventBatch {
@@ -71,6 +95,7 @@ impl EventBatch {
             events: Vec::with_capacity(events),
             arena: Vec::with_capacity(events * width),
             spans: Vec::with_capacity(events),
+            spares: Vec::new(),
         }
     }
 
@@ -127,16 +152,65 @@ impl EventBatch {
     /// Panics if `index >= len()`.
     #[inline]
     pub fn resolved(&self, index: usize) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.resolved_pairs(index).iter().map(|(id, v)| (*id, v))
+    }
+
+    /// The arena slice holding the resolved pairs of the event at `index` —
+    /// the borrowed form [`push_resolved`](Self::push_resolved) and the wire
+    /// codec's encoder consume.
+    ///
+    /// # Panics
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn resolved_pairs(&self, index: usize) -> &[(AttrId, Value)] {
         let (start, len) = self.spans[index];
-        self.arena[start as usize..(start + len) as usize]
-            .iter()
-            .map(|(id, v)| (*id, v))
+        &self.arena[start as usize..(start + len) as usize]
+    }
+
+    /// Appends an event rebuilt from pre-resolved `(AttrId, Value)` pairs in
+    /// attribute-name order (unique attributes), reusing a recycled event
+    /// shell when one is available.
+    ///
+    /// This is the wire-decode hot path: the codec decodes a `PublishBatch`
+    /// frame pair by pair and pushes each event through this method, so a
+    /// batch that is cleared and re-decoded to a similar size allocates
+    /// nothing in steady state (string values are `Arc<str>`; copying a pair
+    /// is a refcount bump).
+    pub fn push_resolved(&mut self, id: EventId, pairs: &[(AttrId, Value)]) {
+        let start = u32::try_from(self.arena.len()).expect("batch arena exceeds u32 range");
+        self.arena.extend_from_slice(pairs);
+        let len = u32::try_from(pairs.len()).expect("event width exceeds u32 range");
+        self.spans.push((start, len));
+        let mut event = self.spares.pop().unwrap_or_default();
+        event.refill_resolved(id, pairs);
+        self.events.push(event);
+    }
+
+    /// Copies the event at `index` of another batch into this one, reusing a
+    /// recycled event shell. This is how brokers build per-neighbor forward
+    /// batches without cloning event allocations.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range for `source`.
+    pub fn push_from(&mut self, source: &EventBatch, index: usize) {
+        self.push_resolved(source.event(index).id(), source.resolved_pairs(index));
     }
 
     /// Removes all events while retaining the event, span, and arena
     /// allocations, so the batch can be refilled without reallocating.
+    ///
+    /// Cleared events are parked in an internal spare pool (bounded by one
+    /// batch's worth of shells) and reused by
+    /// [`push_resolved`](Self::push_resolved); their allocations — including
+    /// any `Arc<str>` value references — are retained until overwritten or
+    /// the batch is dropped.
     pub fn clear(&mut self) {
-        self.events.clear();
+        let cap = self.spares.capacity().max(self.events.len());
+        for event in self.events.drain(..) {
+            if self.spares.len() < cap {
+                self.spares.push(event);
+            }
+        }
         self.arena.clear();
         self.spans.clear();
     }
@@ -286,6 +360,64 @@ mod tests {
         let expected: usize = batch.events().iter().map(EventMessage::size_bytes).sum();
         assert_eq!(batch.size_bytes(), expected);
         assert_eq!(batch.into_events().len(), 4);
+    }
+
+    #[test]
+    fn push_resolved_rebuilds_equal_events_and_recycles_shells() {
+        let mut reference = EventBatch::new();
+        for i in 0..32 {
+            reference.push(ev(i, i as i64));
+        }
+        // Rebuild the same batch pair-by-pair from the reference arena.
+        let mut rebuilt = EventBatch::new();
+        for i in 0..reference.len() {
+            rebuilt.push_from(&reference, i);
+        }
+        assert_eq!(rebuilt, reference);
+
+        // Steady state: clear + refill through push_resolved reuses the
+        // recycled event shells and the arena — zero growth.
+        let capacity = rebuilt.capacity();
+        for _ in 0..4 {
+            rebuilt.clear();
+            for i in 0..reference.len() {
+                rebuilt.push_from(&reference, i);
+            }
+            assert_eq!(rebuilt, reference);
+            assert_eq!(rebuilt.capacity(), capacity, "refill reallocated");
+        }
+    }
+
+    #[test]
+    fn spare_pool_stays_bounded_under_push_refills() {
+        // Refilling through `push` (fresh events) must not let the spare
+        // pool of recycled shells grow without bound.
+        let mut batch = EventBatch::new();
+        for _ in 0..10 {
+            for i in 0..16 {
+                batch.push(ev(i, i as i64));
+            }
+            batch.clear();
+        }
+        assert!(
+            batch.spares.len() <= 16,
+            "spare pool grew to {}",
+            batch.spares.len()
+        );
+    }
+
+    #[test]
+    fn clones_and_equality_ignore_the_spare_pool() {
+        let mut a = EventBatch::new();
+        a.push(ev(1, 1));
+        a.clear(); // parks a spare shell
+        a.push(ev(2, 2));
+        let mut b = EventBatch::new();
+        b.push(ev(2, 2));
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(c, a);
+        assert!(c.spares.is_empty());
     }
 
     #[test]

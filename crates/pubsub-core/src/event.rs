@@ -173,6 +173,26 @@ impl EventMessage {
         }
     }
 
+    /// Clears this event and refills it from pre-resolved pairs that are
+    /// already in attribute-name order with unique attributes — the form the
+    /// wire codec decodes and the batch arena stores. Reuses the attribute
+    /// allocation, which is what makes recycled event shells
+    /// (`EventBatch::push_resolved`) allocation-free in steady state.
+    pub(crate) fn refill_resolved(&mut self, id: EventId, pairs: &[(AttrId, Value)]) {
+        debug_assert!(
+            {
+                let resolver = attr::resolver();
+                pairs
+                    .windows(2)
+                    .all(|w| resolver.name(w[0].0) < resolver.name(w[1].0))
+            },
+            "refill_resolved pairs must be name-sorted and deduplicated"
+        );
+        self.id = id;
+        self.attributes.clear();
+        self.attributes.extend_from_slice(pairs);
+    }
+
     /// Binary-searches the name-sorted entries for `id`, resolving all probe
     /// names under a single interner lock acquisition.
     fn position_of(&self, id: AttrId) -> Result<usize, usize> {

@@ -48,6 +48,23 @@ impl Operator {
         Operator::Contains,
     ];
 
+    /// The operator's stable wire tag: its index in [`Operator::ALL`].
+    ///
+    /// The binary wire codec stores operators as this single byte. The
+    /// mapping is part of the wire format and must never be reordered.
+    pub fn wire_tag(self) -> u8 {
+        Operator::ALL
+            .iter()
+            .position(|op| *op == self)
+            .expect("every operator is listed in ALL") as u8
+    }
+
+    /// Resolves a wire tag back to its operator, or `None` for tags no
+    /// operator uses (a malformed or newer-version frame).
+    pub fn from_wire_tag(tag: u8) -> Option<Operator> {
+        Operator::ALL.get(tag as usize).copied()
+    }
+
     /// Returns `true` for operators that only make sense on string values.
     pub fn is_string_operator(self) -> bool {
         matches!(
@@ -185,6 +202,16 @@ mod tests {
         assert!(Operator::Ge.is_ordering_operator());
         assert!(!Operator::Eq.is_ordering_operator());
         assert!(!Operator::Contains.is_ordering_operator());
+    }
+
+    #[test]
+    fn wire_tags_roundtrip_and_are_dense() {
+        for (i, op) in Operator::ALL.iter().enumerate() {
+            assert_eq!(op.wire_tag() as usize, i);
+            assert_eq!(Operator::from_wire_tag(op.wire_tag()), Some(*op));
+        }
+        assert_eq!(Operator::from_wire_tag(Operator::ALL.len() as u8), None);
+        assert_eq!(Operator::from_wire_tag(u8::MAX), None);
     }
 
     #[test]

@@ -119,8 +119,10 @@ impl EventGenerator {
     /// Clears `batch` and refills it with the next `count` events.
     ///
     /// Sustained-stream drivers keep one batch alive and refill it between
-    /// `match_batch` calls; the batch retains its arena allocation, so the
-    /// steady state allocates only the events themselves.
+    /// `match_batch` calls (or wire `encode_publish_batch` frames); the
+    /// batch retains its arena, span, and recycled event-shell allocations
+    /// across the clear, so the steady state allocates only the freshly
+    /// generated events themselves.
     pub fn fill_event_batch(&mut self, count: usize, batch: &mut EventBatch) {
         batch.clear();
         for _ in 0..count {

@@ -22,11 +22,21 @@ fn main() {
     let mut sim = Simulation::new(SimulationConfig::new(Topology::line(5)));
     sim.register_all(subscriptions.iter().cloned());
 
+    // Registration itself travelled the wire: Subscribe frames flooded
+    // through the line, counted as control-plane traffic.
+    println!(
+        "registration: {} control frames / {} control bytes on the wire",
+        sim.network_stats().control_frames,
+        sim.network_stats().control_bytes
+    );
+
     let baseline_memory = sim.memory_report();
     let baseline = sim.publish_all(&events);
     println!(
-        "unoptimized: {} broker messages, {} deliveries, {:.3} ms filter time/event, {} remote associations",
+        "unoptimized: {} broker messages in {} wire frames ({} exact encoded bytes), {} deliveries, {:.3} ms filter time/event, {} remote associations",
         baseline.network.messages,
+        baseline.network.frames,
+        baseline.network.bytes,
         baseline.deliveries,
         baseline.filter_time_per_event().as_secs_f64() * 1e3,
         baseline_memory.remote_associations

@@ -103,6 +103,8 @@ pub mod prelude {
         BrokerId, EventBatch, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,
         SubscriptionId, SubscriptionTree, Value,
     };
-    pub use crate::net::{Simulation, SimulationConfig, Topology};
+    pub use crate::net::{
+        ChannelTransport, Codec, Simulation, SimulationConfig, Topology, Transport, WireMessage,
+    };
     pub use crate::prune::{Dimension, Pruner, PrunerConfig, PruningPlan};
 }
