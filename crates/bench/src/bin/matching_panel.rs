@@ -31,6 +31,16 @@
 //! `codec_overhead_pct` field reports that overhead relative to pure match
 //! time at the largest batch, and CI bounds it.
 //!
+//! A `prefilter_results` series measures the staged pipeline's stage-0
+//! pre-filter: the uniform cell (the panel's own workload) and the skewed
+//! hot-key cell (`WorkloadConfig::hot_key`: Zipf ~1.6 title popularity,
+//! title-watcher-heavy subscriptions) are each matched with the pre-filter
+//! forced on (with a sampled discrimination hint installed) and forced off,
+//! at the largest subscription count. Each cell records the stage counters
+//! (`killed_by_prefilter`, `stage2_candidates`) alongside ns/event; the
+//! top-level `prefilter_speedup_hot_key` and `prefilter_overhead_uniform_pct`
+//! fields condense the two comparisons into the figures CI gates on.
+//!
 //! A third series (`sharded_results`) drives the same workload through
 //! `ShardedEngine` at shard counts 1/2/4/8 (large batches, so the fan-out
 //! amortizes): the 1-shard cell measures the sharding machinery's fixed
@@ -43,7 +53,10 @@
 
 use bench::narrow_events;
 use broker::wire::Codec;
-use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine, ShardedEngine};
+use filtering::{
+    CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine, NaiveEngine,
+    PrefilterMode, ShardedEngine,
+};
 use pubsub_core::{EventBatch, EventMessage, Subscription};
 use std::time::Instant;
 use workload::{WorkloadConfig, WorkloadGenerator};
@@ -92,6 +105,27 @@ struct WirePanelResult {
     /// Encode + decode only, per event (the codec overhead the wire adds on
     /// top of matching).
     codec_ns_per_event: f64,
+}
+
+/// One measured cell of the pre-filter panel: one workload cell matched
+/// with the stage-0 pre-filter forced on or off.
+struct PrefilterPanelResult {
+    /// Workload cell: `"uniform"` (the panel's own workload) or `"hot_key"`
+    /// (Zipf ~1.6 title popularity, title-watcher-heavy subscriptions).
+    workload: &'static str,
+    /// Pre-filter mode: `"on"` or `"off"`.
+    mode: &'static str,
+    subscriptions: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    /// Candidate emissions killed by stage 0 across the timed passes.
+    killed_by_prefilter: u64,
+    /// Subscriptions that reached stage-2 evaluation across the timed passes.
+    stage2_candidates: u64,
+    ns_per_event: f64,
+    events_per_sec: f64,
 }
 
 /// One measured cell of the sharded panel.
@@ -357,6 +391,69 @@ fn measure_wire(
     }
 }
 
+/// Measures one pre-filter cell: the counting engine with the stage-0
+/// pre-filter forced to `mode`, over pre-chunked batches. The `on` cells get
+/// a discrimination hint sampled from the workload's own events (the
+/// selectivity-driven configuration a broker would run with). Stage counters
+/// are reset after warm-up so they cover exactly the timed passes.
+fn measure_prefilter(
+    workload: &'static str,
+    mode: PrefilterMode,
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    batch_size: usize,
+    passes: usize,
+) -> PrefilterPanelResult {
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = CountingEngine::with_config_and_capacity(
+        EngineConfig::with_prefilter(mode),
+        subscriptions.len(),
+    );
+    if mode == PrefilterMode::On {
+        let sample = &events[..events.len().min(500)];
+        engine.set_discrimination_hint(Some(DiscriminationHint::from_events(sample)));
+    }
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let mut sink = CountSink::new();
+    for batch in &batches {
+        engine.match_batch(batch, &mut sink);
+    }
+    engine.reset_stats();
+    let total_events: usize = batches.iter().map(EventBatch::len).sum();
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for batch in &batches {
+            engine.match_batch(batch, &mut sink);
+            matches += sink.count() as usize;
+        }
+    }
+    let elapsed = start.elapsed();
+    let ns_per_event = elapsed.as_nanos() as f64 / (passes * total_events) as f64;
+    let stats = engine.stats();
+    PrefilterPanelResult {
+        workload,
+        mode: match mode {
+            PrefilterMode::On => "on",
+            _ => "off",
+        },
+        subscriptions: subscriptions.len(),
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass: matches / passes.max(1),
+        killed_by_prefilter: stats.killed_by_prefilter,
+        stage2_candidates: stats.stage2_candidates,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+    }
+}
+
 /// Measures the sharded engine over pre-chunked batches at one shard count.
 fn measure_sharded(
     subscriptions: &[Subscription],
@@ -473,6 +570,7 @@ fn render_json(
     batch_results: &[BatchPanelResult],
     wire_results: &[WirePanelResult],
     sharded_results: &[ShardedPanelResult],
+    prefilter_results: &[PrefilterPanelResult],
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
@@ -595,7 +693,59 @@ fn render_json(
             }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"prefilter_results\": [\n");
+    for (i, r) in prefilter_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", ",
+                "\"subscriptions\": {}, \"batch_size\": {}, \"events\": {}, ",
+                "\"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"killed_by_prefilter\": {}, \"stage2_candidates\": {}, ",
+                "\"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}}}{}\n"
+            ),
+            r.workload,
+            r.mode,
+            r.subscriptions,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.killed_by_prefilter,
+            r.stage2_candidates,
+            r.ns_per_event,
+            r.events_per_sec,
+            if i + 1 == prefilter_results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The two condensed pre-filter figures CI gates on: the on-vs-off
+    // speedup on the skewed hot-key cell (should be well above 1) and the
+    // on-vs-off overhead on the uniform cell (should stay near zero).
+    let cell = |workload: &str, mode: &str| {
+        prefilter_results
+            .iter()
+            .find(|r| r.workload == workload && r.mode == mode)
+    };
+    let speedup_hot_key = match (cell("hot_key", "on"), cell("hot_key", "off")) {
+        (Some(on), Some(off)) => off.ns_per_event / on.ns_per_event.max(1e-9),
+        _ => 0.0,
+    };
+    let overhead_uniform_pct = match (cell("uniform", "on"), cell("uniform", "off")) {
+        (Some(on), Some(off)) => 100.0 * (on.ns_per_event / off.ns_per_event.max(1e-9) - 1.0),
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "  \"prefilter_speedup_hot_key\": {speedup_hot_key:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"prefilter_overhead_uniform_pct\": {overhead_uniform_pct:.2}\n"
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -703,6 +853,35 @@ fn main() {
         sharded_results.push(r);
     }
 
+    // Pre-filter panel: the uniform cell reuses the panel's own workload at
+    // the largest subscription count; the hot-key cell draws the skewed
+    // workload (Zipf ~1.6 titles, title-watcher-heavy mix). Both are matched
+    // with the stage-0 pre-filter forced on (hint installed) and forced off.
+    let prefilter_batch = if config.quick { 16 } else { 256 };
+    let mut hot_generator =
+        WorkloadGenerator::new(WorkloadConfig::hot_key().with_seed(config.seed));
+    let hot_subs = hot_generator.subscriptions(max_subs);
+    let hot_events = hot_generator.events(event_count);
+    let mut prefilter_results = Vec::new();
+    for (workload, subs, events) in [
+        ("uniform", batch_subs, &full_events[..]),
+        ("hot_key", &hot_subs[..], &hot_events[..]),
+    ] {
+        for mode in [PrefilterMode::On, PrefilterMode::Off] {
+            let r = measure_prefilter(workload, mode, subs, events, prefilter_batch, passes);
+            eprintln!(
+                "prefilter {:<8} mode={:<3} subs={:<6} {:>11.0} ns/event (killed {} stage2 {})",
+                r.workload,
+                r.mode,
+                r.subscriptions,
+                r.ns_per_event,
+                r.killed_by_prefilter,
+                r.stage2_candidates
+            );
+            prefilter_results.push(r);
+        }
+    }
+
     print_comparison_table(&results, &batch_results, &wire_results, &sharded_results);
 
     let json = render_json(
@@ -711,6 +890,7 @@ fn main() {
         &batch_results,
         &wire_results,
         &sharded_results,
+        &prefilter_results,
     );
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);

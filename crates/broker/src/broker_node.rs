@@ -3,7 +3,7 @@
 use crate::metrics::RoutingMemoryReport;
 use crate::routing_table::RoutingTable;
 use crate::wire::WireMessage;
-use filtering::{EngineKind, FilterStats};
+use filtering::{EngineConfig, EngineKind, FilterStats};
 #[cfg(test)]
 use pubsub_core::EventMessage;
 use pubsub_core::{
@@ -102,10 +102,21 @@ impl Broker {
     /// [`EngineKind`] (e.g. `EngineKind::Sharded(4)` to match incoming
     /// batches on four cores).
     pub fn with_engine(id: BrokerId, neighbors: Vec<BrokerId>, engine: EngineKind) -> Self {
+        Self::with_engine_config(id, neighbors, engine, EngineConfig::default())
+    }
+
+    /// Creates a broker whose routing-table engines are built as the given
+    /// [`EngineKind`], all running the given staged-pipeline configuration.
+    pub fn with_engine_config(
+        id: BrokerId,
+        neighbors: Vec<BrokerId>,
+        engine: EngineKind,
+        config: EngineConfig,
+    ) -> Self {
         Self {
             id,
             neighbors,
-            table: RoutingTable::with_engine(engine),
+            table: RoutingTable::with_engine_config(engine, config),
             links_up: Vec::new(),
             batch_pool: Vec::new(),
             forward_scratch: Vec::new(),
@@ -115,6 +126,11 @@ impl Broker {
     /// The engine kind this broker's routing table uses.
     pub fn engine_kind(&self) -> EngineKind {
         self.table.engine_kind()
+    }
+
+    /// The staged-pipeline configuration this broker's engines run with.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.table.engine_config()
     }
 
     /// This broker's id.

@@ -69,7 +69,7 @@ pub mod wire;
 pub use broker_node::{Broker, Destination, MessageHandling};
 // Re-exported so configuring a simulation's engine does not require a
 // direct `filtering` dependency.
-pub use filtering::EngineKind;
+pub use filtering::{DiscriminationHint, EngineConfig, EngineKind, PrefilterMode};
 pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;

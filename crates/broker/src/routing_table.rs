@@ -2,7 +2,10 @@
 //! entries.
 
 use crate::metrics::RoutingMemoryReport;
-use filtering::{AnyEngine, EngineKind, FilterStats, MatchSink, MatchingEngine, VecSink};
+use filtering::{
+    AnyEngine, DiscriminationHint, EngineConfig, EngineKind, FilterStats, MatchSink,
+    MatchingEngine, VecSink,
+};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
@@ -48,6 +51,12 @@ impl MatchSink for AnyMatchSink {
 pub struct RoutingTable {
     /// The engine kind new per-destination engines are built as.
     engine_kind: EngineKind,
+    /// The staged-pipeline configuration every destination engine runs with
+    /// (applied to lazily-built per-neighbor engines too).
+    engine_config: EngineConfig,
+    /// Selectivity hint handed to every destination engine, including ones
+    /// built after the hint was installed.
+    hint: Option<DiscriminationHint>,
     local: AnyEngine,
     per_neighbor: BTreeMap<BrokerId, AnyEngine>,
     /// Where each remote entry currently lives (subscription id → neighbor).
@@ -74,11 +83,21 @@ impl RoutingTable {
     }
 
     /// Creates an empty routing table whose local and per-neighbor engines
-    /// are built as the given [`EngineKind`].
+    /// are built as the given [`EngineKind`] with the default pipeline
+    /// configuration.
     pub fn with_engine(kind: EngineKind) -> Self {
+        Self::with_engine_config(kind, EngineConfig::default())
+    }
+
+    /// Creates an empty routing table whose local and per-neighbor engines
+    /// are built as the given [`EngineKind`], all running the given
+    /// staged-pipeline configuration — including per-neighbor engines built
+    /// lazily when the first remote entry towards that neighbor arrives.
+    pub fn with_engine_config(kind: EngineKind, config: EngineConfig) -> Self {
         Self {
             engine_kind: kind,
-            local: kind.build(),
+            engine_config: config,
+            local: kind.build_with_config(config),
             ..Self::default()
         }
     }
@@ -86,6 +105,32 @@ impl RoutingTable {
     /// The engine kind this table builds its destination engines as.
     pub fn engine_kind(&self) -> EngineKind {
         self.engine_kind
+    }
+
+    /// The staged-pipeline configuration this table's engines run with.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.engine_config
+    }
+
+    /// Replaces the staged-pipeline configuration on every existing
+    /// destination engine and for every engine built afterwards.
+    pub fn set_engine_config(&mut self, config: EngineConfig) {
+        self.engine_config = config;
+        self.local.set_config(config);
+        for engine in self.per_neighbor.values_mut() {
+            engine.set_config(config);
+        }
+    }
+
+    /// Installs (or clears) the selectivity hint steering each engine's
+    /// stage-0 discrimination choice. Every destination engine — current and
+    /// future — receives its own copy.
+    pub fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        self.local.set_discrimination_hint(hint.clone());
+        for engine in self.per_neighbor.values_mut() {
+            engine.set_discrimination_hint(hint.clone());
+        }
+        self.hint = hint;
     }
 
     /// Registers a local-client subscription.
@@ -98,9 +143,17 @@ impl RoutingTable {
     pub fn add_remote(&mut self, subscription: Subscription, toward: BrokerId) {
         self.remote_destination.insert(subscription.id(), toward);
         let kind = self.engine_kind;
+        let config = self.engine_config;
+        let hint = &self.hint;
         self.per_neighbor
             .entry(toward)
-            .or_insert_with(|| kind.build())
+            .or_insert_with(|| {
+                let mut engine = kind.build_with_config(config);
+                if hint.is_some() {
+                    engine.set_discrimination_hint(hint.clone());
+                }
+                engine
+            })
             .insert(subscription);
     }
 
@@ -538,6 +591,44 @@ mod tests {
         assert!(sharded.remove(SubscriptionId::from_raw(3)).is_some());
         assert_eq!(sharded.remote_len(), 1);
         assert_eq!(sharded.local_subscriptions().len(), 2);
+    }
+
+    #[test]
+    fn engine_config_reaches_every_destination_engine() {
+        use filtering::PrefilterMode;
+        let mut table = RoutingTable::with_engine_config(
+            EngineKind::Counting,
+            EngineConfig::with_prefilter(PrefilterMode::On),
+        );
+        assert_eq!(table.engine_config().prefilter, PrefilterMode::On);
+        let conjunction = Expr::and(vec![
+            Expr::eq("category", "books"),
+            Expr::le("price", 10i64),
+        ]);
+        table.add_local(sub(1, 10, &conjunction));
+        // Neighbor engines are built lazily *after* construction and must
+        // still pick up the configured mode (and hint, were one installed).
+        table.set_discrimination_hint(None);
+        table.add_remote(sub(2, 20, &conjunction), b(1));
+        // A partial match — the category predicate fires but the required
+        // `price` attribute is absent — is killed by stage 0 on both the
+        // local and the per-neighbor engine, and the stage counters must
+        // surface in the merged stats.
+        let no_price = EventMessage::builder().attr("category", "books").build();
+        assert!(table.match_local(&no_price).is_empty());
+        assert!(table.neighbors_to_forward(&no_price, None).is_empty());
+        let stats = table.filter_stats();
+        assert_eq!(stats.killed_by_prefilter, 2);
+        assert_eq!(stats.stage2_candidates, 0);
+        // Switching the mode off propagates to existing engines: the same
+        // event now reaches stage 2 (and is rejected there by pmin counting).
+        table.set_engine_config(EngineConfig::with_prefilter(PrefilterMode::Off));
+        assert_eq!(table.engine_config().prefilter, PrefilterMode::Off);
+        assert!(table.match_local(&no_price).is_empty());
+        assert!(table.neighbors_to_forward(&no_price, None).is_empty());
+        let stats = table.filter_stats();
+        assert_eq!(stats.killed_by_prefilter, 2, "stage 0 no longer killing");
+        assert_eq!(stats.stage2_candidates, 2);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::broker_node::{Broker, MessageHandling};
 use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 use crate::topology::Topology;
 use crate::wire::{ChannelTransport, Codec, Transport, WireMessage};
-use filtering::{EngineKind, FilterStats};
+use filtering::{EngineConfig, EngineKind, FilterStats};
 use pubsub_core::{
     BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
@@ -25,6 +25,9 @@ pub struct SimulationConfig {
     /// ([`EngineKind::Counting`] by default; `EngineKind::Sharded(n)`
     /// matches each hop's batch on `n` cores).
     pub engine: EngineKind,
+    /// The staged-pipeline configuration (stage-0 pre-filter mode) every
+    /// broker's destination engines run with.
+    pub engine_config: EngineConfig,
 }
 
 impl SimulationConfig {
@@ -34,12 +37,20 @@ impl SimulationConfig {
             topology,
             deliver_at_origin: true,
             engine: EngineKind::Counting,
+            engine_config: EngineConfig::default(),
         }
     }
 
     /// Selects the matching-engine kind the brokers use.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the staged-pipeline configuration the brokers' engines run
+    /// with (e.g. forcing the stage-0 pre-filter on or off).
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine_config = config;
         self
     }
 
@@ -124,7 +135,12 @@ impl Simulation {
             .map(|id| {
                 (
                     id,
-                    Broker::with_engine(id, config.topology.neighbors(id), config.engine),
+                    Broker::with_engine_config(
+                        id,
+                        config.topology.neighbors(id),
+                        config.engine,
+                        config.engine_config,
+                    ),
                 )
             })
             .collect();

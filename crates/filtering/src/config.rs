@@ -1,0 +1,64 @@
+//! Engine configuration: staged-pipeline knobs.
+
+/// When the stage-0 pre-filter is active.
+///
+/// The pre-filter (see [`PreFilter`](crate::PreFilter)) kills candidate
+/// subscriptions before any counting, using an attribute-presence bitmask
+/// and one discrimination-equality test per subscription. It pays off when
+/// the subscription population is large and equality-constrained; on tiny
+/// or constraint-free populations the fingerprinting overhead buys nothing,
+/// which is what the `Auto` heuristic accounts for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PrefilterMode {
+    /// Always pre-filter, regardless of engine size.
+    On,
+    /// Never pre-filter (stage 0 is a no-op; stages 1–2 run unchanged).
+    Off,
+    /// Pre-filter when it is likely to pay: at least 32 registered
+    /// subscriptions of which at least half carry a stage-0 constraint.
+    /// Decided at pre-filter rebuild time, i.e. whenever the subscription
+    /// set changes.
+    #[default]
+    Auto,
+}
+
+/// Configuration of a matching engine's staged pipeline.
+///
+/// Passed at construction time (`CountingEngine::with_config`,
+/// `EngineKind::build_with_config`) or updated later via `set_config`; every
+/// setting is semantics-preserving — match output is byte-identical across
+/// all configurations, only the work done to produce it changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EngineConfig {
+    /// When the stage-0 pre-filter is active.
+    pub prefilter: PrefilterMode,
+}
+
+impl EngineConfig {
+    /// The default configuration (`prefilter: Auto`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A configuration with the given pre-filter mode.
+    pub fn with_prefilter(prefilter: PrefilterMode) -> Self {
+        Self { prefilter }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_auto() {
+        assert_eq!(EngineConfig::default().prefilter, PrefilterMode::Auto);
+        assert_eq!(EngineConfig::new(), EngineConfig::default());
+        assert_eq!(
+            EngineConfig::with_prefilter(PrefilterMode::On).prefilter,
+            PrefilterMode::On
+        );
+    }
+}

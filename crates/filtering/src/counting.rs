@@ -1,11 +1,28 @@
 //! The counting matcher with per-attribute predicate indexes and the `pmin`
-//! shortcut.
+//! shortcut, organised as a staged pipeline:
+//!
+//! * **Stage 0 — pre-filter** ([`PreFilter`]): candidate subscriptions that
+//!   provably cannot match (required attribute absent, or discrimination
+//!   equality key mismatched) are killed before any counting.
+//! * **Stage 1 — index probing**: fulfilled predicates are resolved through
+//!   the [`AttributeIndex`] — per event on the single-event path, per
+//!   *attribute group* across a whole batch via [`ProbePlan`].
+//! * **Stage 2 — counting/evaluation**: surviving fulfilled predicates are
+//!   counted per slot, and only subscriptions reaching their tree's `pmin`
+//!   are evaluated against the leaf mask.
+//!
+//! Every stage is semantics-preserving: match output is byte-identical with
+//! any [`EngineConfig`], stages only change how much work it takes.
 
+use crate::config::EngineConfig;
 use crate::index::{AttributeIndex, PredicateKey, SubSlot};
+use crate::prefilter::PreFilter;
+use crate::probe::ProbePlan;
 use crate::{EngineReport, FilterStats, MatchSink, MatchingEngine};
 use pubsub_core::{
     AttrId, EventBatch, EventMessage, LeafMask, Subscription, SubscriptionId, Value,
 };
+use selectivity::DiscriminationHint;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -41,6 +58,13 @@ struct MatchScratch {
     /// Reusable per-event match buffer used by `match_batch` to sort each
     /// event's matches before emitting them to the sink.
     match_buf: Vec<SubscriptionId>,
+    /// Generation stamp per slot recording "killed by the stage-0 pre-filter
+    /// for the current event", so the kill test runs once per touched slot on
+    /// the single-event path and later emissions take one branch.
+    dead_gen: Vec<u32>,
+    /// Stage-0 fingerprint keys of the event being matched (single-event
+    /// path; the batch path keeps per-event fingerprints in the probe plan).
+    fp_keys: Vec<u32>,
     /// Number of times any scratch buffer had to grow (reallocate). Stable
     /// across calls in steady state; tests assert on it.
     grows: u64,
@@ -56,12 +80,14 @@ impl MatchScratch {
             // is never counted twice.
             self.counts.resize(slots, 0);
             self.gen.resize(slots, 0);
+            self.dead_gen.resize(slots, 0);
         }
         self.current_gen = self.current_gen.wrapping_add(1);
         if self.current_gen == 0 {
             // Generation wrap (once per 2³² events): physically reset the
             // stamps so ancient generations cannot alias the new one.
             self.gen.fill(0);
+            self.dead_gen.fill(0);
             self.current_gen = 1;
         }
         self.touched.clear();
@@ -73,6 +99,8 @@ impl MatchScratch {
             + self.gen.capacity()
             + self.touched.capacity()
             + self.match_buf.capacity()
+            + self.dead_gen.capacity()
+            + self.fp_keys.capacity()
     }
 }
 
@@ -125,26 +153,105 @@ pub struct CountingEngine {
     index: AttributeIndex,
     scratch: MatchScratch,
     stats: FilterStats,
+    /// Staged-pipeline configuration (stage-0 mode).
+    config: EngineConfig,
+    /// Sampled discrimination hint guiding stage-0 key selection, if any.
+    hint: Option<DiscriminationHint>,
+    /// Compiled stage-0 pre-filter, rebuilt lazily when `prefilter_dirty`.
+    prefilter: PreFilter,
+    /// Set by any mutation of the subscription set, the configuration, or
+    /// the hint; cleared by [`refresh_prefilter`](Self::refresh_prefilter)
+    /// at the start of the next match.
+    prefilter_dirty: bool,
+    /// Batch-probing scratch (stage 1 of `match_batch`).
+    probe: ProbePlan,
 }
 
 impl CountingEngine {
-    /// Creates an empty engine.
+    /// Creates an empty engine with the default configuration.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Creates an empty engine with capacity for roughly `n` subscriptions.
     pub fn with_capacity(n: usize) -> Self {
+        Self::with_config_and_capacity(EngineConfig::default(), n)
+    }
+
+    /// Creates an empty engine with the given staged-pipeline configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self::with_config_and_capacity(config, 0)
+    }
+
+    /// Creates an empty engine with the given configuration and capacity for
+    /// roughly `n` subscriptions.
+    pub fn with_config_and_capacity(config: EngineConfig, n: usize) -> Self {
         Self {
             slots: Vec::with_capacity(n),
-            free_slots: Vec::new(),
             id_to_slot: HashMap::with_capacity(n),
-            zero_pmin: Vec::new(),
-            zero_pmin_pos: Vec::new(),
-            index: AttributeIndex::new(),
-            scratch: MatchScratch::default(),
-            stats: FilterStats::new(),
+            config,
+            // A non-default mode must be compiled before the first match (or
+            // `prefilter_enabled` probe) even if no mutation happens first.
+            prefilter_dirty: true,
+            ..Self::default()
         }
+    }
+
+    /// The engine's staged-pipeline configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replaces the staged-pipeline configuration. Takes effect at the next
+    /// match call; match output is unaffected (only the work done changes).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        if self.config != config {
+            self.config = config;
+            self.prefilter_dirty = true;
+        }
+    }
+
+    /// Installs (or clears) the sampled discrimination hint that guides the
+    /// stage-0 pre-filter's choice of equality kill keys. Without a hint the
+    /// pre-filter falls back to local equality-index cardinalities.
+    pub fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        self.hint = hint;
+        self.prefilter_dirty = true;
+    }
+
+    /// Whether the stage-0 pre-filter is currently active (after resolving
+    /// [`PrefilterMode::Auto`](crate::PrefilterMode::Auto) against the
+    /// registered population).
+    pub fn prefilter_enabled(&mut self) -> bool {
+        self.refresh_prefilter();
+        self.prefilter.enabled()
+    }
+
+    /// Recompiles the stage-0 pre-filter if the subscription set, the
+    /// configuration, or the hint changed since the last match.
+    fn refresh_prefilter(&mut self) {
+        if !self.prefilter_dirty {
+            return;
+        }
+        self.prefilter_dirty = false;
+        let Self {
+            slots,
+            index,
+            prefilter,
+            hint,
+            config,
+            ..
+        } = self;
+        prefilter.rebuild(
+            slots.len(),
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, entry)| entry.as_ref().map(|e| (slot as u32, &e.subscription))),
+            index,
+            hint.as_ref(),
+            config.prefilter,
+        );
     }
 
     /// Iterates over the registered subscriptions in slot order.
@@ -158,11 +265,12 @@ impl CountingEngine {
         &self.index
     }
 
-    /// Number of reusable scratch elements currently allocated for the
-    /// per-event match state. Constant across `match_event` calls once the
+    /// Size of the reusable scratch currently allocated for the per-event
+    /// and per-batch match state (per-slot elements plus batch-probe bytes;
+    /// an opaque grow-only figure). Constant across match calls once the
     /// engine has warmed up (no subscriptions added in between).
     pub fn scratch_capacity(&self) -> usize {
-        self.scratch.capacity()
+        self.scratch.capacity() + self.probe.capacity_bytes()
     }
 
     /// Number of times the per-event scratch had to grow since construction.
@@ -208,30 +316,102 @@ impl CountingEngine {
     /// Matches one event — given as a stream of resolved `(AttrId, &Value)`
     /// pairs — into `matches` (replacing its contents, id-sorted).
     ///
-    /// This is the per-event core shared by `match_batch` and the
-    /// single-event compatibility path; it takes the engine's fields
-    /// piecewise so the batch loop can hold the borrows across events.
+    /// This is the per-event core of the single-event path (and of
+    /// single-event batches); it takes the engine's fields piecewise so a
+    /// caller loop can hold the borrows across events. The stage-0 kill is
+    /// applied inline: the event is fingerprinted once up front (hence the
+    /// `Clone` pairs), and each slot's kill verdict is memoised in a
+    /// generation-stamped array so it costs one branch after first touch.
+    #[allow(clippy::too_many_arguments)] // engine fields passed piecewise, see above
     fn match_one<'a>(
         slots: &mut [Option<SlotEntry>],
         zero_pmin: &[u32],
         index: &AttributeIndex,
         scratch: &mut MatchScratch,
         stats: &mut FilterStats,
-        pairs: impl Iterator<Item = (AttrId, &'a Value)>,
+        prefilter: &PreFilter,
+        pairs: impl Iterator<Item = (AttrId, &'a Value)> + Clone,
         matches: &mut Vec<SubscriptionId>,
     ) {
         matches.clear();
 
-        // Phase 1: resolve fulfilled predicates through the index, counting
-        // fulfilled leaves per slot in flat generation-stamped arrays and
-        // marking them in the subscription's reusable leaf mask.
+        // Stage 0: fingerprint the event once; the kill test itself runs
+        // lazily per touched slot inside the probe callback below.
+        scratch.advance(slots.len());
+        let MatchScratch {
+            counts,
+            gen,
+            current_gen,
+            touched,
+            dead_gen,
+            fp_keys,
+            ..
+        } = scratch;
+        let current_gen = *current_gen;
+        let pf_on = prefilter.enabled();
+        let ev_mask = if pf_on {
+            prefilter.fingerprint(pairs.clone(), fp_keys)
+        } else {
+            0
+        };
+
+        // Stage 1: resolve fulfilled predicates through the index, counting
+        // surviving fulfilled leaves per slot in flat generation-stamped
+        // arrays and marking them in the subscription's reusable leaf mask.
+        let mut fulfilled_count = 0u64;
+        let mut killed_count = 0u64;
+        index.fulfilled_pairs(pairs, |key: PredicateKey| {
+            let s = key.slot.index();
+            if pf_on {
+                if dead_gen[s] == current_gen {
+                    killed_count += 1;
+                    return;
+                }
+                if gen[s] != current_gen && prefilter.kills(s, ev_mask, fp_keys) {
+                    dead_gen[s] = current_gen;
+                    killed_count += 1;
+                    return;
+                }
+            }
+            let Some(entry) = slots.get_mut(s).and_then(|e| e.as_mut()) else {
+                return;
+            };
+            if gen[s] != current_gen {
+                gen[s] = current_gen;
+                counts[s] = 0;
+                entry.mask.clear();
+                touched.push(key.slot.0);
+            }
+            if !entry.mask.contains(key.node) {
+                entry.mask.set(key.node);
+                counts[s] += 1;
+                fulfilled_count += 1;
+            }
+        });
+        stats.predicates_fulfilled += fulfilled_count;
+        stats.killed_by_prefilter += killed_count;
+
+        Self::finish_event(slots, zero_pmin, scratch, stats, matches);
+    }
+
+    /// Matches one event whose fulfilled predicate keys were already probed
+    /// (and stage-0-filtered) by a [`ProbePlan`] — the batch path's stage 2.
+    fn match_keys(
+        slots: &mut [Option<SlotEntry>],
+        zero_pmin: &[u32],
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+        keys: &[PredicateKey],
+        matches: &mut Vec<SubscriptionId>,
+    ) {
+        matches.clear();
         scratch.advance(slots.len());
         let current_gen = scratch.current_gen;
         let mut fulfilled_count = 0u64;
-        index.fulfilled_pairs(pairs, |key: PredicateKey| {
+        for &key in keys {
             let s = key.slot.index();
             let Some(entry) = slots.get_mut(s).and_then(|e| e.as_mut()) else {
-                return;
+                continue;
             };
             if scratch.gen[s] != current_gen {
                 scratch.gen[s] = current_gen;
@@ -244,12 +424,24 @@ impl CountingEngine {
                 scratch.counts[s] += 1;
                 fulfilled_count += 1;
             }
-        });
+        }
         stats.predicates_fulfilled += fulfilled_count;
 
-        // Phase 2: evaluate only the candidate subscriptions — those with at
-        // least one fulfilled predicate whose fulfilled-leaf count reaches
-        // the tree's pmin.
+        Self::finish_event(slots, zero_pmin, scratch, stats, matches);
+    }
+
+    /// Stage 2, shared by every probe front-end: evaluate the candidate
+    /// subscriptions (touched slots reaching their `pmin`), always-evaluated
+    /// zero-`pmin` subscriptions, and emit id-sorted matches.
+    fn finish_event(
+        slots: &[Option<SlotEntry>],
+        zero_pmin: &[u32],
+        scratch: &mut MatchScratch,
+        stats: &mut FilterStats,
+        matches: &mut Vec<SubscriptionId>,
+    ) {
+        let current_gen = scratch.current_gen;
+        stats.stage2_candidates += scratch.touched.len() as u64;
         for &slot in &scratch.touched {
             let entry = slots[slot as usize]
                 .as_ref()
@@ -267,7 +459,8 @@ impl CountingEngine {
         // evaluated for every event, because they can match an event that
         // fulfils none of their predicates. Slots already touched above were
         // evaluated with their real mask (pmin 0 always passes the count
-        // check); the rest see the all-false mask.
+        // check); the rest see the all-false mask. (They are also never
+        // killed by stage 0: a required leaf implies pmin ≥ 1.)
         for &slot in zero_pmin.iter() {
             if scratch.gen[slot as usize] == current_gen {
                 continue;
@@ -286,7 +479,8 @@ impl CountingEngine {
         }
 
         // Deterministic output: emit in subscription-id order, independent of
-        // slot assignment and index iteration order.
+        // slot assignment and probe emission order — this is what makes the
+        // staged batch path byte-identical to the per-event path.
         matches.sort_unstable();
         stats.matches += matches.len() as u64;
     }
@@ -336,6 +530,7 @@ impl MatchingEngine for CountingEngine {
             pmin,
             mask,
         });
+        self.prefilter_dirty = true;
     }
 
     fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
@@ -346,6 +541,7 @@ impl MatchingEngine for CountingEngine {
         Self::unregister_predicates(&mut self.index, slot, &entry.subscription);
         self.zero_pmin_remove(slot);
         self.free_slots.push(slot);
+        self.prefilter_dirty = true;
         Some(entry.subscription)
     }
 
@@ -360,9 +556,11 @@ impl MatchingEngine for CountingEngine {
         let start = Instant::now();
         sink.begin_batch(batch.len());
         // Close the mutation epoch: rebuild any stale flat interval arrays
-        // once, so every probe of the batch takes the sorted fast path.
+        // once, so every probe of the batch takes the sorted fast path, and
+        // recompile the stage-0 pre-filter if anything changed.
         self.index.ensure_built();
-        let scratch_capacity_before = self.scratch.capacity();
+        self.refresh_prefilter();
+        let scratch_capacity_before = self.scratch.capacity() + self.probe.capacity_bytes();
 
         // The match buffer is taken out of the scratch so the remaining
         // scratch can be borrowed mutably alongside it; it is restored (with
@@ -375,30 +573,56 @@ impl MatchingEngine for CountingEngine {
                 index,
                 scratch,
                 stats,
+                prefilter,
+                probe,
                 ..
             } = self;
-            // One generation bump per event; every other piece of scratch —
-            // counters, stamps, touch list, leaf masks, match buffer — stays
-            // hot across the whole batch, so a warmed-up batch allocates
-            // nothing.
-            for index_in_batch in 0..batch.len() {
-                Self::match_one(
-                    slots,
-                    zero_pmin,
-                    index,
-                    scratch,
-                    stats,
-                    batch.resolved(index_in_batch),
-                    &mut buf,
-                );
-                for &id in buf.iter() {
-                    sink.on_match(index_in_batch, id);
+            if batch.len() >= 2 {
+                // Staged batch path: probe the whole batch attribute-group
+                // by attribute-group (stage 1, with the stage-0 kill applied
+                // at emission time), then run stage 2 per event over the
+                // plan's CSR slices.
+                let mut killed = 0u64;
+                probe.run(batch, index, prefilter, &mut killed);
+                stats.killed_by_prefilter += killed;
+                for index_in_batch in 0..batch.len() {
+                    Self::match_keys(
+                        slots,
+                        zero_pmin,
+                        scratch,
+                        stats,
+                        probe.emitted(index_in_batch),
+                        &mut buf,
+                    );
+                    for &id in buf.iter() {
+                        sink.on_match(index_in_batch, id);
+                    }
+                }
+            } else {
+                // One generation bump per event; every other piece of
+                // scratch — counters, stamps, touch list, leaf masks, match
+                // buffer — stays hot across the whole batch, so a warmed-up
+                // batch allocates nothing.
+                for index_in_batch in 0..batch.len() {
+                    Self::match_one(
+                        slots,
+                        zero_pmin,
+                        index,
+                        scratch,
+                        stats,
+                        prefilter,
+                        batch.resolved(index_in_batch),
+                        &mut buf,
+                    );
+                    for &id in buf.iter() {
+                        sink.on_match(index_in_batch, id);
+                    }
                 }
             }
         }
         self.scratch.match_buf = buf;
 
-        if self.scratch.capacity() > scratch_capacity_before {
+        if self.scratch.capacity() + self.probe.capacity_bytes() > scratch_capacity_before {
             self.scratch.grows += 1;
         }
         self.stats.batches_filtered += 1;
@@ -409,6 +633,7 @@ impl MatchingEngine for CountingEngine {
     fn match_event_into(&mut self, event: &EventMessage, matches: &mut Vec<SubscriptionId>) {
         let start = Instant::now();
         self.index.ensure_built();
+        self.refresh_prefilter();
         let scratch_capacity_before = self.scratch.capacity();
 
         let Self {
@@ -417,6 +642,7 @@ impl MatchingEngine for CountingEngine {
             index,
             scratch,
             stats,
+            prefilter,
             ..
         } = self;
         Self::match_one(
@@ -425,6 +651,7 @@ impl MatchingEngine for CountingEngine {
             index,
             scratch,
             stats,
+            prefilter,
             event.iter_resolved(),
             matches,
         );

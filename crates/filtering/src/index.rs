@@ -86,8 +86,12 @@ impl PredicateKey {
 }
 
 /// Key for the equality hash index.
+///
+/// Crate-visible because the stage-0 pre-filter and the batch probe plan
+/// must intern event values with **exactly** these semantics (including the
+/// `Int -> Float` widening) to stay byte-identical with the per-event probe.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum EqKey {
+pub(crate) enum EqKey {
     Bool(bool),
     /// Numeric constants are normalized to their bit pattern after an
     /// `Int -> Float` widening so that `= 3` and `= 3.0` share a bucket.
@@ -97,7 +101,7 @@ enum EqKey {
 }
 
 impl EqKey {
-    fn from_value(v: &Value) -> Option<EqKey> {
+    pub(crate) fn from_value(v: &Value) -> Option<EqKey> {
         match v {
             Value::Bool(b) => Some(EqKey::Bool(*b)),
             Value::Int(i) => Some(EqKey::Num((*i as f64).to_bits())),
@@ -112,7 +116,7 @@ impl EqKey {
 /// `≤ t` predicates, …): an unsorted mutation-side array plus a flat sorted
 /// mirror rebuilt lazily.
 #[derive(Debug, Default)]
-struct IntervalClass {
+pub(crate) struct IntervalClass {
     /// Source of truth, in mutation order. `insert` pushes, `remove`
     /// swap-removes; neither touches the sorted mirror.
     entries: Vec<(f64, PredicateKey)>,
@@ -185,28 +189,40 @@ impl IntervalClass {
 
     /// Index of the first sorted threshold for which `pred` is false.
     #[inline]
-    fn partition(&self, pred: impl Fn(f64) -> bool) -> usize {
+    pub(crate) fn partition(&self, pred: impl Fn(f64) -> bool) -> usize {
         self.sorted_thresholds.partition_point(|&t| pred(t))
+    }
+
+    /// The keys in threshold order. Only meaningful after
+    /// [`AttributeIndex::ensure_built`]; the batch probe plan slices this
+    /// directly to emit a whole run of events against one partition point.
+    #[inline]
+    pub(crate) fn sorted_keys(&self) -> &[PredicateKey] {
+        &self.sorted_keys
     }
 }
 
 /// The per-attribute sub-indexes.
+///
+/// Crate-visible so the batch probe plan ([`crate::probe`]) can walk one
+/// attribute's sub-indexes for a whole batch at a time instead of going
+/// through the per-event [`AttributeIndex::fulfilled_pairs`] entry point.
 #[derive(Debug, Default)]
-struct AttributeBuckets {
+pub(crate) struct AttributeBuckets {
     /// `attribute = constant` predicates, keyed by the constant.
-    equality: HashMap<EqKey, Vec<PredicateKey>>,
+    pub(crate) equality: HashMap<EqKey, Vec<PredicateKey>>,
     /// `attribute < t` predicates: fulfilled by event values strictly below
     /// the threshold (suffix of the sorted thresholds).
-    lt: IntervalClass,
+    pub(crate) lt: IntervalClass,
     /// `attribute <= t` predicates (suffix).
-    le: IntervalClass,
+    pub(crate) le: IntervalClass,
     /// `attribute > t` predicates: fulfilled by event values strictly above
     /// the threshold (prefix of the sorted thresholds).
-    gt: IntervalClass,
+    pub(crate) gt: IntervalClass,
     /// `attribute >= t` predicates (prefix).
-    ge: IntervalClass,
+    pub(crate) ge: IntervalClass,
     /// Everything else, checked by direct evaluation against the event value.
-    scan: Vec<(Predicate, PredicateKey)>,
+    pub(crate) scan: Vec<(Predicate, PredicateKey)>,
     /// Set when an interval class mutated since the last rebuild; probes on a
     /// dirty attribute fall back to scanning the source entries.
     interval_dirty: bool,
@@ -260,8 +276,18 @@ impl AttributeIndex {
         entry.as_mut().expect("just populated")
     }
 
-    fn buckets(&self, id: AttrId) -> Option<&AttributeBuckets> {
+    pub(crate) fn buckets(&self, id: AttrId) -> Option<&AttributeBuckets> {
         self.attributes.get(id.index())?.as_deref()
+    }
+
+    /// Number of distinct equality constants registered for the attribute.
+    ///
+    /// Used by the stage-0 pre-filter as a local discrimination proxy when no
+    /// sampled [`DiscriminationHint`](selectivity::DiscriminationHint) covers
+    /// the attribute: more distinct constants means a random event key kills
+    /// a larger fraction of candidates.
+    pub(crate) fn equality_cardinality(&self, id: AttrId) -> usize {
+        self.buckets(id).map_or(0, |b| b.equality.len())
     }
 
     /// Registers a predicate under the given key.

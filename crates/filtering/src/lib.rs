@@ -66,18 +66,28 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod config;
 mod counting;
 mod engine;
 mod index;
 mod naive;
+mod prefilter;
+mod probe;
 mod sharded;
 mod sink;
 mod stats;
 
+pub use config::{EngineConfig, PrefilterMode};
 pub use counting::CountingEngine;
 pub use engine::{EngineReport, MatchingEngine};
 pub use index::{AttributeIndex, PredicateKey, SubSlot};
 pub use naive::NaiveEngine;
+pub use prefilter::PreFilter;
+pub use probe::ProbePlan;
 pub use sharded::{AnyEngine, EngineKind, ShardedEngine};
 pub use sink::{CountSink, MatchSink, PerEventSink, VecSink};
 pub use stats::FilterStats;
+
+// Re-exported so engine callers can build hints without depending on the
+// `selectivity` crate directly.
+pub use selectivity::DiscriminationHint;

@@ -1,6 +1,6 @@
 //! Brute-force baseline matcher.
 
-use crate::{EngineReport, FilterStats, MatchSink, MatchingEngine};
+use crate::{EngineConfig, EngineReport, FilterStats, MatchSink, MatchingEngine};
 use pubsub_core::{EventBatch, EventMessage, Subscription, SubscriptionId};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -15,6 +15,7 @@ use std::time::Instant;
 #[derive(Debug, Default)]
 pub struct NaiveEngine {
     subscriptions: BTreeMap<SubscriptionId, Subscription>,
+    config: EngineConfig,
     stats: FilterStats,
 }
 
@@ -22,6 +23,32 @@ impl NaiveEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty engine carrying the given pipeline configuration.
+    ///
+    /// The naive engine is the **null pipeline**: it records the
+    /// configuration (so differential harnesses can construct every engine
+    /// kind uniformly) but never pre-filters, probes in batches, or skips an
+    /// evaluation — every registered tree is evaluated against every event
+    /// regardless of `config`. That is exactly what makes it the reference
+    /// oracle for the staged engines.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The pipeline configuration this engine carries (and ignores).
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replaces the carried pipeline configuration. Has no effect on
+    /// matching: the naive engine evaluates every tree unconditionally.
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
     }
 
     /// Iterates over the registered subscriptions in id order.
@@ -172,6 +199,23 @@ mod tests {
         assert!(removed.is_some());
         assert!(e.is_empty());
         assert!(e.remove(SubscriptionId::from_raw(1)).is_none());
+    }
+
+    #[test]
+    fn config_is_carried_but_never_prunes() {
+        use crate::PrefilterMode;
+        let mut e = NaiveEngine::with_config(EngineConfig::with_prefilter(PrefilterMode::On));
+        assert_eq!(e.config().prefilter, PrefilterMode::On);
+        e.insert(sub(1, &Expr::eq("category", "books")));
+        e.insert(sub(2, &Expr::eq("category", "music")));
+        // An event without `category` would be killed by a real pre-filter;
+        // the null pipeline still evaluates both trees.
+        let ev = EventMessage::builder().attr("price", 1i64).build();
+        assert!(e.match_event(&ev).is_empty());
+        assert_eq!(e.stats().trees_evaluated, 2);
+        assert_eq!(e.stats().killed_by_prefilter, 0);
+        e.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
+        assert_eq!(e.config().prefilter, PrefilterMode::Off);
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! allocation on any shard.
 
 use crate::sink::VecSink;
-use crate::{CountingEngine, EngineReport, FilterStats, MatchSink, MatchingEngine};
+use crate::{CountingEngine, EngineConfig, EngineReport, FilterStats, MatchSink, MatchingEngine};
 use pubsub_core::{EventBatch, Subscription, SubscriptionId};
+use selectivity::DiscriminationHint;
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -55,15 +56,31 @@ impl EngineKind {
     /// Builds an empty engine of this kind with capacity for roughly `n`
     /// subscriptions.
     pub fn build_with_capacity(self, n: usize) -> AnyEngine {
+        self.build_with_config_and_capacity(EngineConfig::default(), n)
+    }
+
+    /// Builds an empty engine of this kind with the given pipeline
+    /// configuration.
+    pub fn build_with_config(self, config: EngineConfig) -> AnyEngine {
+        self.build_with_config_and_capacity(config, 0)
+    }
+
+    /// Builds an empty engine of this kind with the given pipeline
+    /// configuration and capacity for roughly `n` subscriptions.
+    pub fn build_with_config_and_capacity(self, config: EngineConfig, n: usize) -> AnyEngine {
         match self {
-            EngineKind::Counting => AnyEngine::Counting(CountingEngine::with_capacity(n)),
+            EngineKind::Counting => {
+                AnyEngine::Counting(CountingEngine::with_config_and_capacity(config, n))
+            }
             EngineKind::Sharded(shards) => {
                 let shards = if shards == 0 {
                     default_shards()
                 } else {
                     shards
                 };
-                AnyEngine::Sharded(ShardedEngine::with_shards_and_capacity(shards, n))
+                AnyEngine::Sharded(ShardedEngine::with_config_shards_and_capacity(
+                    config, shards, n,
+                ))
             }
         }
     }
@@ -98,6 +115,15 @@ impl Default for AnyEngine {
     }
 }
 
+macro_rules! delegate {
+    ($self:ident, $e:ident => $body:expr) => {
+        match $self {
+            AnyEngine::Counting($e) => $body,
+            AnyEngine::Sharded($e) => $body,
+        }
+    };
+}
+
 impl AnyEngine {
     /// The kind this engine was built as.
     pub fn kind(&self) -> EngineKind {
@@ -115,15 +141,30 @@ impl AnyEngine {
             AnyEngine::Sharded(e) => Box::new(e.subscriptions()),
         }
     }
-}
 
-macro_rules! delegate {
-    ($self:ident, $e:ident => $body:expr) => {
-        match $self {
-            AnyEngine::Counting($e) => $body,
-            AnyEngine::Sharded($e) => $body,
-        }
-    };
+    /// The pipeline configuration the engine is running with.
+    pub fn config(&self) -> EngineConfig {
+        delegate!(self, e => e.config())
+    }
+
+    /// Replaces the pipeline configuration (applied to every shard on the
+    /// sharded arm).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        delegate!(self, e => e.set_config(config))
+    }
+
+    /// Installs (or clears) the selectivity hint that steers stage-0
+    /// discrimination-attribute choice.
+    pub fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        delegate!(self, e => e.set_discrimination_hint(hint))
+    }
+
+    /// Whether the stage-0 pre-filter is active for the current
+    /// configuration and subscription population (any shard, for the
+    /// sharded arm).
+    pub fn prefilter_enabled(&mut self) -> bool {
+        delegate!(self, e => e.prefilter_enabled())
+    }
 }
 
 impl MatchingEngine for AnyEngine {
@@ -222,17 +263,60 @@ impl ShardedEngine {
     /// Creates an engine with `shards` shards and capacity for roughly `n`
     /// subscriptions in total.
     pub fn with_shards_and_capacity(shards: usize, n: usize) -> Self {
+        Self::with_config_shards_and_capacity(EngineConfig::default(), shards, n)
+    }
+
+    /// Creates an engine with one shard per available core, every shard
+    /// running the given pipeline configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self::with_config_shards_and_capacity(config, default_shards(), 0)
+    }
+
+    /// Creates an engine with `shards` shards (clamped to at least one) and
+    /// capacity for roughly `n` subscriptions in total, every shard running
+    /// the given pipeline configuration.
+    pub fn with_config_shards_and_capacity(config: EngineConfig, shards: usize, n: usize) -> Self {
         let shards = shards.max(1);
         let per_shard = n / shards;
         Self {
             shards: (0..shards)
-                .map(|_| CountingEngine::with_capacity(per_shard))
+                .map(|_| CountingEngine::with_config_and_capacity(config, per_shard))
                 .collect(),
             shard_sinks: (0..shards).map(|_| VecSink::new()).collect(),
             owner: HashMap::with_capacity(n),
             event_scratch: Vec::new(),
             stats: FilterStats::new(),
         }
+    }
+
+    /// The pipeline configuration every shard runs with.
+    pub fn config(&self) -> EngineConfig {
+        self.shards[0].config()
+    }
+
+    /// Replaces the pipeline configuration on every shard.
+    pub fn set_config(&mut self, config: EngineConfig) {
+        for shard in &mut self.shards {
+            shard.set_config(config);
+        }
+    }
+
+    /// Installs (or clears) the selectivity hint on every shard. Each shard
+    /// keeps its own copy so workers stay free of shared state.
+    pub fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        for shard in &mut self.shards {
+            shard.set_discrimination_hint(hint.clone());
+        }
+    }
+
+    /// Whether the stage-0 pre-filter is active on any shard for the
+    /// current configuration and subscription population. Under
+    /// [`PrefilterMode::Auto`](crate::PrefilterMode::Auto) shards can
+    /// disagree — each gates on its own slot population.
+    pub fn prefilter_enabled(&mut self) -> bool {
+        self.shards
+            .iter_mut()
+            .any(CountingEngine::prefilter_enabled)
     }
 
     /// Number of shards the subscription set is partitioned into.
@@ -320,15 +404,21 @@ impl ShardedEngine {
         let mut trees = 0;
         let mut skipped = 0;
         let mut fulfilled = 0;
+        let mut killed = 0;
+        let mut candidates = 0;
         for shard in &self.shards {
             let s = shard.stats();
             trees += s.trees_evaluated;
             skipped += s.skipped_by_pmin;
             fulfilled += s.predicates_fulfilled;
+            killed += s.killed_by_prefilter;
+            candidates += s.stage2_candidates;
         }
         self.stats.trees_evaluated = trees;
         self.stats.skipped_by_pmin = skipped;
         self.stats.predicates_fulfilled = fulfilled;
+        self.stats.killed_by_prefilter = killed;
+        self.stats.stage2_candidates = candidates;
     }
 }
 
@@ -706,6 +796,28 @@ mod tests {
         match engine.kind() {
             EngineKind::Sharded(n) => assert!(n >= 1),
             other => panic!("expected sharded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_and_hint_propagate_to_every_shard() {
+        use crate::PrefilterMode;
+        let config = EngineConfig::with_prefilter(PrefilterMode::On);
+        let mut e = ShardedEngine::with_config_shards_and_capacity(config, 3, 0);
+        assert_eq!(e.config().prefilter, PrefilterMode::On);
+        // Forced on: active on every shard even while empty.
+        assert!(e.prefilter_enabled());
+        e.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
+        assert_eq!(e.config().prefilter, PrefilterMode::Off);
+        assert!(!e.prefilter_enabled());
+        // The kind-level constructor forwards the config too, on both arms.
+        for kind in [EngineKind::Counting, EngineKind::Sharded(2)] {
+            let mut any = kind.build_with_config(config);
+            assert_eq!(any.config().prefilter, PrefilterMode::On);
+            assert!(any.prefilter_enabled());
+            any.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
+            assert!(!any.prefilter_enabled());
+            any.set_discrimination_hint(None);
         }
     }
 

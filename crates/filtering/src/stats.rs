@@ -28,6 +28,14 @@ pub struct FilterStats {
     pub skipped_by_pmin: u64,
     /// Number of fulfilled predicate instances reported by the indexes.
     pub predicates_fulfilled: u64,
+    /// Number of fulfilled-predicate emissions suppressed by the stage-0
+    /// pre-filter before reaching the counting arrays. Zero when the
+    /// pre-filter is off.
+    pub killed_by_prefilter: u64,
+    /// Number of candidate subscriptions that survived into stage 2 (the
+    /// counting/evaluation phase) — i.e. subscriptions with at least one
+    /// surviving fulfilled predicate for some event.
+    pub stage2_candidates: u64,
     /// Total wall-clock time spent inside `match_event`.
     ///
     /// With a plain `serde` feature the real serde's built-in `Duration`
@@ -106,6 +114,8 @@ impl FilterStats {
         self.trees_evaluated += other.trees_evaluated;
         self.skipped_by_pmin += other.skipped_by_pmin;
         self.predicates_fulfilled += other.predicates_fulfilled;
+        self.killed_by_prefilter += other.killed_by_prefilter;
+        self.stage2_candidates += other.stage2_candidates;
         self.filter_time += other.filter_time;
     }
 }
@@ -131,6 +141,8 @@ mod tests {
             trees_evaluated: 12,
             skipped_by_pmin: 2,
             predicates_fulfilled: 20,
+            killed_by_prefilter: 6,
+            stage2_candidates: 14,
             filter_time: Duration::from_millis(40),
         };
         assert_eq!(s.avg_matches_per_event(), 2.0);
@@ -149,6 +161,8 @@ mod tests {
             trees_evaluated: 3,
             skipped_by_pmin: 4,
             predicates_fulfilled: 5,
+            killed_by_prefilter: 6,
+            stage2_candidates: 7,
             filter_time: Duration::from_micros(10),
         };
         let b = a;
@@ -159,6 +173,8 @@ mod tests {
         assert_eq!(a.trees_evaluated, 6);
         assert_eq!(a.skipped_by_pmin, 8);
         assert_eq!(a.predicates_fulfilled, 10);
+        assert_eq!(a.killed_by_prefilter, 12);
+        assert_eq!(a.stage2_candidates, 14);
         assert_eq!(a.filter_time, Duration::from_micros(20));
     }
 

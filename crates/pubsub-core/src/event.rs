@@ -145,7 +145,7 @@ impl EventMessage {
     /// This is what the filtering indexes consume: the ids were resolved when
     /// the event was built, so the whole matching path is string-free.
     #[inline]
-    pub fn iter_resolved(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+    pub fn iter_resolved(&self) -> impl Iterator<Item = (AttrId, &Value)> + Clone {
         self.attributes.iter().map(|(id, v)| (*id, v))
     }
 

@@ -64,7 +64,7 @@ mod tree;
 mod value;
 
 pub use attr::AttrId;
-pub use batch::{EventBatch, EventBatchBuilder};
+pub use batch::{AttrGroups, EventBatch, EventBatchBuilder};
 pub use error::CoreError;
 pub use event::{EventBuilder, EventMessage};
 pub use expr::Expr;

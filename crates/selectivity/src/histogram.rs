@@ -152,6 +152,35 @@ impl NumericHistogram {
         (1.0 - self.fraction_below(threshold, !inclusive)).clamp(0.0, 1.0)
     }
 
+    /// Probability that two independently drawn observations are equal —
+    /// the Simpson index of the observed value distribution.
+    ///
+    /// This is the expected selectivity of an equality predicate whose
+    /// constant is itself drawn from the event stream, which makes it the
+    /// natural score for ranking *discrimination* attributes: a low
+    /// collision probability means an equality test on this attribute
+    /// separates events well. Computed exactly (`Σ (c/total)²`) while the
+    /// exact value table is intact; after overflow it falls back to the
+    /// bucket counts, which upper-bounds the true probability.
+    pub fn collision_probability(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        let sum_sq: f64 = if self.exact_overflow {
+            self.buckets
+                .iter()
+                .map(|&c| (c as f64 / total).powi(2))
+                .sum()
+        } else {
+            self.exact
+                .values()
+                .map(|&c| (c as f64 / total).powi(2))
+                .sum()
+        };
+        sum_sq.clamp(0.0, 1.0)
+    }
+
     /// Fraction of observations exactly equal to the constant.
     pub fn fraction_eq(&self, constant: f64) -> f64 {
         if self.total == 0 {
@@ -211,6 +240,22 @@ impl CategoricalStats {
     /// Number of distinct observed values.
     pub fn distinct(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Probability that two independently drawn observations are equal (the
+    /// Simpson index, `Σ (c/total)²`). See
+    /// [`NumericHistogram::collision_probability`] for why this scores
+    /// discrimination attributes.
+    pub fn collision_probability(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let total = self.total as f64;
+        self.counts
+            .values()
+            .map(|&c| (c as f64 / total).powi(2))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
     }
 
     /// Fraction of observations equal to the constant.
@@ -324,6 +369,35 @@ mod tests {
                 below + above
             );
         }
+    }
+
+    #[test]
+    fn collision_probability_ranks_discrimination() {
+        // 100 distinct values: collision probability 1/100.
+        let spread = uniform_0_99();
+        assert!((spread.collision_probability() - 0.01).abs() < 1e-9);
+        // One repeated value: certain collision.
+        let point = NumericHistogram::from_values(&[5.0; 20]);
+        assert_eq!(point.collision_probability(), 1.0);
+        // Empty: zero.
+        assert_eq!(
+            NumericHistogram::from_values(&[]).collision_probability(),
+            0.0
+        );
+        // Skewed beats nothing, spread beats skewed.
+        let skewed = NumericHistogram::from_values(
+            &(0..100)
+                .map(|i| if i < 90 { 1.0 } else { i as f64 })
+                .collect::<Vec<_>>(),
+        );
+        assert!(skewed.collision_probability() > spread.collision_probability());
+        assert!(skewed.collision_probability() < point.collision_probability());
+
+        let cats = CategoricalStats::from_values(&["a", "a", "b", "b"]);
+        assert!((cats.collision_probability() - 0.5).abs() < 1e-9);
+        assert_eq!(CategoricalStats::new().collision_probability(), 0.0);
+        let uniform_cats = CategoricalStats::from_values(&["a", "b", "c", "d"]);
+        assert!(uniform_cats.collision_probability() < cats.collision_probability());
     }
 
     #[test]

@@ -50,10 +50,12 @@
 
 mod estimate;
 mod estimator;
+mod hint;
 mod histogram;
 mod stats;
 
 pub use estimate::SelectivityEstimate;
 pub use estimator::{measured_selectivity, SelectivityEstimator};
+pub use hint::DiscriminationHint;
 pub use histogram::{CategoricalStats, NumericHistogram};
 pub use stats::{AttributeStatistics, EventStatistics};

@@ -114,6 +114,17 @@ impl EventStatistics {
         self.attributes_observed
     }
 
+    /// Iterates over the observed attributes as `(AttrId::index(), stats)`
+    /// pairs, in dense id order. Consumers that build per-attribute tables
+    /// (e.g. [`DiscriminationHint`](crate::DiscriminationHint)) walk this
+    /// instead of probing every interned id individually.
+    pub fn iter_attributes(&self) -> impl Iterator<Item = (usize, &AttributeStatistics)> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter_map(|(index, stats)| stats.as_ref().map(|s| (index, s)))
+    }
+
     /// Statistics for one attribute by its interned id — the hot-path
     /// accessor: a flat `Vec` index, no hashing.
     #[inline]

@@ -40,6 +40,20 @@ impl WorkloadConfig {
         }
     }
 
+    /// The skewed hot-key configuration: the paper-sized catalog with Zipf
+    /// popularity pushed to ~1.6 ([`AuctionSchema::hot_key`]) and a
+    /// title-watcher-heavy subscription mix ([`ClassMix::title_heavy`]).
+    /// Most events then carry one of a few hot title keys — the cell where
+    /// the stage-0 pre-filter's discrimination key pays off most.
+    pub fn hot_key() -> Self {
+        Self {
+            seed: 42,
+            schema: AuctionSchema::hot_key(),
+            mix: ClassMix::title_heavy(),
+            subscriber_count: 10_000,
+        }
+    }
+
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -198,6 +212,37 @@ mod tests {
         assert!(
             matched_subs > subs.len() / 20,
             "at least a few percent of subscriptions should ever match ({matched_subs})"
+        );
+    }
+
+    #[test]
+    fn hot_key_workload_concentrates_title_popularity() {
+        use std::collections::HashMap;
+        let share_of_top_title = |config: WorkloadConfig| {
+            let mut g = WorkloadGenerator::new(config);
+            let events = g.events(2_000);
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            for event in &events {
+                if let Some(pubsub_core::Value::Str(title)) = event.get(crate::attributes::TITLE) {
+                    *counts.entry(title.to_string()).or_insert(0) += 1;
+                }
+            }
+            let total: usize = counts.values().sum();
+            let top = counts.values().copied().max().unwrap_or(0);
+            assert!(total > 0, "events must carry titles");
+            top as f64 / total as f64
+        };
+        let hot = share_of_top_title(WorkloadConfig::hot_key());
+        let uniform = share_of_top_title(WorkloadConfig::paper());
+        // The Zipf exponent of 1.6 must make the hottest title clearly
+        // dominant compared to the paper's 1.1 over the same catalog.
+        assert!(
+            hot > 2.0 * uniform,
+            "expected hot-key concentration: hot={hot:.4}, paper={uniform:.4}"
+        );
+        assert!(
+            hot > 0.1,
+            "hottest title should carry >10% of events ({hot:.4})"
         );
     }
 

@@ -46,6 +46,19 @@ impl ScenarioConfig {
         }
     }
 
+    /// The skewed hot-key centralized cell used by the staged-matching
+    /// benchmarks: 10,000 subscriptions drawn title-watcher-heavy from the
+    /// hot-key catalog ([`WorkloadConfig::hot_key`]), one broker.
+    pub fn hot_key_centralized() -> Self {
+        Self {
+            workload: WorkloadConfig::hot_key(),
+            subscription_count: 10_000,
+            event_count: 5_000,
+            broker_count: 1,
+            stats_sample: 2_000,
+        }
+    }
+
     /// A laptop-scale centralized scenario.
     pub fn small_centralized() -> Self {
         Self {
@@ -106,6 +119,15 @@ mod tests {
         assert!(c.event_count <= 10_000);
         let d = ScenarioConfig::small_distributed();
         assert_eq!(d.broker_count, 5);
+    }
+
+    #[test]
+    fn hot_key_preset_is_centralized_and_skewed() {
+        let c = ScenarioConfig::hot_key_centralized();
+        assert!(c.is_centralized());
+        assert_eq!(c.subscription_count, 10_000);
+        assert!(c.workload.schema.popularity_skew >= 1.5);
+        assert!(c.workload.mix.title_watcher > c.workload.mix.category_browser);
     }
 
     #[test]

@@ -127,6 +127,21 @@ impl AuctionSchema {
         }
     }
 
+    /// A hot-key catalog: the paper-sized catalog with the popularity Zipf
+    /// exponents pushed to ~1.6, so a handful of titles (and their authors)
+    /// dominate both the event stream and the equality predicates of the
+    /// subscriptions drawn from it. This is the adversarially *skewed* cell
+    /// of the staged-matching benchmarks: most events carry one of a few hot
+    /// keys, and the stage-0 discrimination key separates the few
+    /// subscriptions watching that key from the long tail watching others.
+    pub fn hot_key() -> Self {
+        Self {
+            popularity_skew: 1.6,
+            category_skew: 1.2,
+            ..Self::paper()
+        }
+    }
+
     /// A smaller catalog for unit tests and quick experiments.
     pub fn small() -> Self {
         Self {
@@ -163,6 +178,10 @@ mod tests {
         assert!(paper.popularity_skew > 0.0);
         assert!(paper.median_price > 0.0);
         assert_eq!(AuctionSchema::default(), small);
+        let hot = AuctionSchema::hot_key();
+        assert_eq!(hot.title_count, paper.title_count);
+        assert!(hot.popularity_skew > paper.popularity_skew);
+        assert!(hot.category_skew > paper.category_skew);
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl ClassMix {
         }
     }
 
+    /// A title-watcher-heavy mix (60 % / 20 % / 20 %): most subscriptions
+    /// carry an equality predicate on the Zipf-distributed `title` key. Used
+    /// by the hot-key workload, where title popularity skew concentrates both
+    /// events and subscriptions on a few hot titles.
+    pub fn title_heavy() -> Self {
+        Self {
+            title_watcher: 0.60,
+            category_browser: 0.20,
+            bargain_hunter: 0.20,
+        }
+    }
+
     /// A mix consisting of a single class (useful in tests and ablations).
     pub fn only(class: SubscriptionClass) -> Self {
         let mut mix = Self {
