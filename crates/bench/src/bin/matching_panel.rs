@@ -31,6 +31,18 @@
 //! `codec_overhead_pct` field reports that overhead relative to pure match
 //! time at the largest batch, and CI bounds it.
 //!
+//! A `reliable_results` series re-runs the wire cells with the reliable-link
+//! layer wrapping every frame (sequence number, FNV checksum, cumulative ack
+//! fed back to the sender). On a clean link nothing retransmits, so the cells
+//! measure the fault-free cost of reliability; the top-level
+//! `reliability_overhead_pct` reports the framing+codec cost relative to pure
+//! match time at the largest batch, and CI bounds it alongside the codec
+//! gate. A small lossy crash/restart probe also runs once and its
+//! `NetworkStats` counters (`retransmits`, `dup_suppressed`,
+//! `corrupt_dropped`, `resyncs`, `decode_errors`, `queue_drops`) are embedded
+//! as `reliability_stats`, so CI can validate the observability fields carry
+//! real values.
+//!
 //! A `prefilter_results` series measures the staged pipeline's stage-0
 //! pre-filter: the uniform cell (the panel's own workload) and the skewed
 //! hot-key cell (`WorkloadConfig::hot_key`: Zipf ~1.6 title popularity,
@@ -53,6 +65,10 @@
 
 use bench::narrow_events;
 use broker::wire::Codec;
+use broker::{
+    BrokerId, ChannelTransport, FaultPlan, FaultyTransport, NetworkStats, ReliableSession,
+    SendOutcome, Simulation, SimulationConfig, Topology,
+};
 use filtering::{
     CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine, NaiveEngine,
     PrefilterMode, ShardedEngine,
@@ -105,6 +121,30 @@ struct WirePanelResult {
     /// Encode + decode only, per event (the codec overhead the wire adds on
     /// top of matching).
     codec_ns_per_event: f64,
+}
+
+/// The reliable-wire series plus the lossy-probe counters, grouped so the
+/// JSON renderer takes one reliability argument.
+struct ReliablePanel {
+    results: Vec<ReliableWireResult>,
+    /// `NetworkStats` from the lossy crash/restart probe.
+    probe: NetworkStats,
+}
+
+/// One measured cell of the reliable wire panel: the wire pipeline with the
+/// reliable-link layer in the loop, on a clean (fault-free) link.
+struct ReliableWireResult {
+    subscriptions: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    /// Encode + wrap + unwrap + ack + decode + match, per event.
+    ns_per_event: f64,
+    events_per_sec: f64,
+    /// Encode + wrap + unwrap + ack + decode only (no matching), per event —
+    /// the codec cost plus everything reliability adds on a clean link.
+    framing_ns_per_event: f64,
 }
 
 /// One measured cell of the pre-filter panel: one workload cell matched
@@ -391,6 +431,163 @@ fn measure_wire(
     }
 }
 
+/// Measures the wire pipeline with the reliable-link layer in the loop:
+/// each timed step encodes the batch, wraps it in a sequenced+checksummed
+/// data frame (`wrap_send`), unwraps it on the receiving side (`recv`),
+/// feeds the cumulative ack back to the sender, decodes the delivered inner
+/// frame, and matches. The link is clean, so nothing retransmits and the
+/// session never ticks: this is the pure fault-free cost of reliability. A
+/// second timed loop drops the matching step to isolate the framing+codec
+/// cost.
+fn measure_reliable_wire(
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    batch_size: usize,
+    passes: usize,
+) -> ReliableWireResult {
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let sender = BrokerId::from_raw(0);
+    let receiver = BrokerId::from_raw(1);
+    let mut session = ReliableSession::new();
+    let mut stats = NetworkStats::default();
+    let mut codec = Codec::new();
+    let mut frame = Vec::new();
+    let mut outer = Vec::new();
+    let mut delivered: Vec<Vec<u8>> = Vec::new();
+    let mut acks: Vec<(BrokerId, BrokerId, Vec<u8>)> = Vec::new();
+    let mut ack_delivered: Vec<Vec<u8>> = Vec::new();
+    let mut ack_acks: Vec<(BrokerId, BrokerId, Vec<u8>)> = Vec::new();
+    let mut decoded = EventBatch::new();
+    let mut sink = CountSink::new();
+    let total_events: usize = batches.iter().map(EventBatch::len).sum();
+
+    // One hop: encode → wrap → unwrap → process the ack → decode. Returns
+    // with `decoded` holding the batch the receiving broker would match.
+    macro_rules! hop {
+        ($batch:expr) => {{
+            frame.clear();
+            codec.encode_publish_batch($batch, &mut frame);
+            let outcome = session.wrap_send(sender, receiver, &frame, &mut outer, &mut stats);
+            assert!(
+                matches!(outcome, SendOutcome::Sent(_)),
+                "a clean link always sends immediately"
+            );
+            delivered.clear();
+            acks.clear();
+            session.recv(
+                sender,
+                receiver,
+                &outer,
+                &mut delivered,
+                &mut acks,
+                &mut stats,
+            );
+            for (from, to, ack) in acks.drain(..) {
+                session.recv(
+                    from,
+                    to,
+                    &ack,
+                    &mut ack_delivered,
+                    &mut ack_acks,
+                    &mut stats,
+                );
+            }
+            for inner in &delivered {
+                codec
+                    .decode_publish_batch_into(inner, &mut decoded)
+                    .expect("panel frames are well-formed");
+            }
+        }};
+    }
+
+    // Warm-up: size the buffers and caches.
+    for batch in &batches {
+        hop!(batch);
+        engine.match_batch(&decoded, &mut sink);
+    }
+
+    // Full pipeline: reliable hop + match.
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for batch in &batches {
+            hop!(batch);
+            engine.match_batch(&decoded, &mut sink);
+            matches += sink.count() as usize;
+        }
+    }
+    let pipeline = start.elapsed();
+
+    // Framing only: the reliable hop without matching.
+    let start = Instant::now();
+    for _ in 0..passes {
+        for batch in &batches {
+            hop!(batch);
+        }
+    }
+    let framing = start.elapsed();
+
+    assert!(
+        !session.has_unacked() && stats.retransmits == 0,
+        "the clean measurement link must stay fully acked"
+    );
+    let denom = (passes * total_events) as f64;
+    let ns_per_event = pipeline.as_nanos() as f64 / denom;
+    ReliableWireResult {
+        subscriptions: subscriptions.len(),
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass: matches / passes.max(1),
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+        framing_ns_per_event: framing.as_nanos() as f64 / denom,
+    }
+}
+
+/// Drives a small lossy line topology — 20% drop, 10% duplication, 10%
+/// corruption, reordering — with a mid-run crash/restart of the middle
+/// broker through the reliable simulation, and returns its `NetworkStats`.
+/// The JSON embeds these counters as `reliability_stats` so CI can validate
+/// that the observability fields exist *and* carry real non-zero values.
+fn reliability_probe(seed: u64) -> NetworkStats {
+    let topology = Topology::line(3);
+    let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+    for (a, b) in topology.links() {
+        transport.set_link_plan(
+            a,
+            b,
+            FaultPlan::new(seed ^ ((a.raw() as u64) << 16) ^ b.raw() as u64)
+                .with_drop(0.2)
+                .with_duplicate(0.1)
+                .with_corrupt(0.1)
+                .with_reorder(4),
+        );
+    }
+    let config = SimulationConfig::new(topology).with_reliability(true);
+    let mut sim = Simulation::with_transport(config, Box::new(transport));
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+    sim.register_all(generator.subscriptions(32));
+    let events = generator.events(192);
+    let batches: Vec<EventBatch> = events
+        .chunks(64)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let _ = sim.publish_batch(&batches[0]);
+    sim.crash_broker(BrokerId::from_raw(1));
+    let _ = sim.publish_batch(&batches[1]);
+    sim.restart_broker(BrokerId::from_raw(1));
+    let _ = sim.publish_batch(&batches[2]);
+    sim.network_stats().clone()
+}
+
 /// Measures one pre-filter cell: the counting engine with the stage-0
 /// pre-filter forced to `mode`, over pre-chunked batches. The `on` cells get
 /// a discrimination hint sampled from the workload's own events (the
@@ -569,6 +766,7 @@ fn render_json(
     results: &[PanelResult],
     batch_results: &[BatchPanelResult],
     wire_results: &[WirePanelResult],
+    reliable: &ReliablePanel,
     sharded_results: &[ShardedPanelResult],
     prefilter_results: &[PrefilterPanelResult],
 ) -> String {
@@ -667,6 +865,67 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    // The fault-free reliability overhead at the largest reliable batch: the
+    // framing figure (codec plus everything the reliable layer adds on a
+    // clean link) as a percentage of the pure-match time of the batch cell
+    // with the same batch size — the same denominator as
+    // `codec_overhead_pct`, so the two gates are directly comparable.
+    let reliability_overhead_pct = reliable
+        .results
+        .iter()
+        .max_by_key(|r| r.batch_size)
+        .and_then(|cell| {
+            batch_results
+                .iter()
+                .find(|b| b.batch_size == cell.batch_size && b.subscriptions == cell.subscriptions)
+                .map(|b| 100.0 * cell.framing_ns_per_event / b.ns_per_event.max(1e-9))
+        })
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "  \"reliability_overhead_pct\": {reliability_overhead_pct:.2},\n"
+    ));
+    out.push_str("  \"reliable_results\": [\n");
+    for (i, r) in reliable.results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"subscriptions\": {}, \"batch_size\": {}, ",
+                "\"events\": {}, \"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"ns_per_event\": {:.1}, \"events_per_sec\": {:.1}, ",
+                "\"framing_ns_per_event\": {:.1}}}{}\n"
+            ),
+            r.subscriptions,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            r.framing_ns_per_event,
+            if i + 1 == reliable.results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Counters from the lossy crash/restart probe — CI checks both the key
+    // names (the `NetworkStats` observability surface) and that the fault
+    // plan actually exercised them.
+    out.push_str(&format!(
+        concat!(
+            "  \"reliability_stats\": {{\"frames\": {}, \"retransmits\": {}, ",
+            "\"dup_suppressed\": {}, \"corrupt_dropped\": {}, \"resyncs\": {}, ",
+            "\"decode_errors\": {}, \"queue_drops\": {}}},\n"
+        ),
+        reliable.probe.frames,
+        reliable.probe.retransmits,
+        reliable.probe.dup_suppressed,
+        reliable.probe.corrupt_dropped,
+        reliable.probe.resyncs,
+        reliable.probe.decode_errors,
+        reliable.probe.queue_drops,
+    ));
     out.push_str("  \"sharded_results\": [\n");
     for (i, r) in sharded_results.iter().enumerate() {
         out.push_str(&format!(
@@ -832,6 +1091,36 @@ fn main() {
         wire_results.push(r);
     }
 
+    // Reliable-wire panel: the wire cells again with the reliable-link
+    // layer wrapping every frame. On a clean link this measures the pure
+    // fault-free overhead of reliability, which CI gates the same way as
+    // the codec overhead.
+    let mut reliable_results = Vec::new();
+    for &batch_size in batch_sizes {
+        let r = measure_reliable_wire(batch_subs, &full_events, batch_size, passes);
+        eprintln!(
+            "reliable subs={:<6} batch={:<4} {:>12.0} ns/event {:>12.0} events/s (framing {:.0} ns/event)",
+            r.subscriptions, r.batch_size, r.ns_per_event, r.events_per_sec, r.framing_ns_per_event
+        );
+        reliable_results.push(r);
+    }
+
+    // One lossy crash/restart probe; its counters land in the JSON so CI
+    // can validate the reliability observability fields end to end.
+    let reliable = ReliablePanel {
+        results: reliable_results,
+        probe: reliability_probe(config.seed),
+    };
+    eprintln!(
+        "reliability probe: retransmits={} dup_suppressed={} corrupt_dropped={} resyncs={} decode_errors={} queue_drops={}",
+        reliable.probe.retransmits,
+        reliable.probe.dup_suppressed,
+        reliable.probe.corrupt_dropped,
+        reliable.probe.resyncs,
+        reliable.probe.decode_errors,
+        reliable.probe.queue_drops,
+    );
+
     // Sharded panel: the same workload through `ShardedEngine` at rising
     // shard counts, chunked into large batches so the per-batch fan-out
     // amortizes. The 1-shard cell is the sharding machinery's overhead
@@ -889,6 +1178,7 @@ fn main() {
         &results,
         &batch_results,
         &wire_results,
+        &reliable,
         &sharded_results,
         &prefilter_results,
     );

@@ -332,6 +332,44 @@ impl Broker {
                 }
                 self.forward_scratch = forward;
             }
+            WireMessage::SyncRequest { broker } => {
+                // A restarted neighbor asking to re-learn its routing state.
+                // Reply with every subscription this broker would have
+                // flooded toward it: all local-client entries plus every
+                // remote entry whose next hop is NOT the requester (entries
+                // pointing at the requester describe *its* side of the tree
+                // and would create a routing loop if reflected back).
+                let Some(from) = from else {
+                    return;
+                };
+                if *broker != from {
+                    return;
+                }
+                let mut subscriptions = self.table.local_subscriptions();
+                subscriptions.extend(
+                    self.table
+                        .remote_subscriptions()
+                        .into_iter()
+                        .filter(|sub| self.table.remote_destination(sub.id()) != Some(from)),
+                );
+                subscriptions.sort_by_key(Subscription::id);
+                handling
+                    .outgoing
+                    .push((from, WireMessage::SyncState { subscriptions }));
+            }
+            WireMessage::SyncState { subscriptions } => {
+                // Recovery state from a neighbor: install each entry as a
+                // remote subscription routed back over the arrival link.
+                // Unlike `Subscribe`, sync state is NOT flooded onward — the
+                // restarted broker asks every neighbor itself, and each
+                // answer already summarizes that neighbor's whole subtree.
+                let Some(from) = from else {
+                    return;
+                };
+                for subscription in subscriptions {
+                    self.register_remote(subscription.clone(), from);
+                }
+            }
         }
     }
 
@@ -742,6 +780,77 @@ mod tests {
         assert_eq!(memory.local_subscriptions, 1);
         assert_eq!(memory.remote_subscriptions, 1);
         assert_eq!(broker.routing_table().local_len(), 1);
+    }
+
+    #[test]
+    fn sync_request_reports_everything_except_the_requesters_side() {
+        // Broker 1 (neighbors 0 and 2) holds: a local client sub, a remote
+        // sub routed toward 0, and a remote sub routed toward 2. A restarted
+        // broker 0 asking for sync state must get the local sub and the one
+        // routed toward 2 — but never the one routed toward itself.
+        let mut broker = broker();
+        broker.register_local(sub(1, 10, &Expr::eq("category", "books")));
+        broker.register_remote(sub(2, 20, &Expr::eq("category", "music")), b(0));
+        broker.register_remote(sub(3, 30, &Expr::eq("category", "tools")), b(2));
+
+        let handling =
+            broker.handle_message(&WireMessage::SyncRequest { broker: b(0) }, Some(b(0)));
+        assert!(handling.deliveries.is_empty());
+        assert_eq!(handling.outgoing.len(), 1);
+        let (to, message) = &handling.outgoing[0];
+        assert_eq!(*to, b(0));
+        let WireMessage::SyncState { subscriptions } = message else {
+            panic!("expected SyncState, got {message:?}");
+        };
+        let ids: Vec<u64> = subscriptions.iter().map(|s| s.id().raw()).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn sync_request_with_mismatched_origin_is_dropped() {
+        // A SyncRequest naming a broker other than the sender smells like a
+        // routing error; it must not leak another link's state.
+        let mut broker = broker();
+        broker.register_local(sub(1, 10, &Expr::eq("category", "books")));
+        let handling =
+            broker.handle_message(&WireMessage::SyncRequest { broker: b(2) }, Some(b(0)));
+        assert!(handling.outgoing.is_empty());
+        // Client-injected sync requests are equally meaningless.
+        let handling = broker.handle_message(&WireMessage::SyncRequest { broker: b(1) }, None);
+        assert!(handling.outgoing.is_empty());
+    }
+
+    #[test]
+    fn sync_state_installs_remote_entries_without_reflooding() {
+        let mut broker = broker();
+        let handling = broker.handle_message(
+            &WireMessage::SyncState {
+                subscriptions: vec![
+                    sub(7, 70, &Expr::eq("category", "books")),
+                    sub(8, 80, &Expr::eq("category", "music")),
+                ],
+            },
+            Some(b(2)),
+        );
+        // Sync answers terminate at the requester: no onward flooding.
+        assert!(handling.outgoing.is_empty());
+        let remote = broker.remote_subscriptions();
+        assert_eq!(remote.len(), 2);
+        assert_eq!(
+            broker
+                .routing_table()
+                .remote_destination(SubscriptionId::from_raw(7)),
+            Some(b(2))
+        );
+        // Re-delivering the same state is idempotent.
+        let handling = broker.handle_message(
+            &WireMessage::SyncState {
+                subscriptions: vec![sub(7, 70, &Expr::eq("category", "books"))],
+            },
+            Some(b(2)),
+        );
+        assert!(handling.outgoing.is_empty());
+        assert_eq!(broker.remote_subscriptions().len(), 2);
     }
 
     #[cfg(feature = "serde-json-tests")]

@@ -1,0 +1,366 @@
+//! Deterministic fault injection for [`Transport`]s.
+//!
+//! [`FaultyTransport`] decorates any inner transport and perturbs the frames
+//! of selected directed links according to per-link [`FaultPlan`]s: frames
+//! are dropped, duplicated, delayed, reordered within a bounded window, or
+//! byte-corrupted — all driven by a seeded per-link RNG, so every run with
+//! the same seeds replays the same fault schedule. This is the adversary the
+//! reliable-link layer ([`crate::reliable`]) is tested against.
+//!
+//! Frames on links without a plan, and frames injected by local clients
+//! (`from == None`), pass through the inner transport untouched.
+//!
+//! The decorator honors the [`Transport`] quiescence contract: frames it is
+//! holding back for delayed or reordered delivery count as in-flight, so
+//! [`Transport::is_idle`] stays `false` until they have all been handed out.
+
+use crate::wire::Transport;
+use pubsub_core::BrokerId;
+use rand::{Rng, SeedableRng, StdRng};
+use std::collections::BTreeMap;
+
+/// The fault profile of one directed link.
+///
+/// Rates are probabilities in `[0, 1]`, rolled independently per frame from
+/// the link's seeded RNG. A dropped frame is gone (the drop roll wins over
+/// duplication); a duplicated frame is delivered twice; every surviving copy
+/// rolls corruption (one random bit flipped) and picks a delivery slot
+/// `arrival + delay + jitter(0..=reorder_window)`, so a later frame with a
+/// smaller slot overtakes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability one random bit of a delivered copy is flipped.
+    pub corrupt: f64,
+    /// Maximum delivery jitter in arrival slots; `0` preserves FIFO order.
+    pub reorder_window: u64,
+    /// Fixed delivery delay in arrival slots added to every frame.
+    pub delay: u64,
+    /// Seed of this link's private RNG.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan (still routed through the held-frame queue) with
+    /// the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            reorder_window: 0,
+            delay: 0,
+            seed,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the reorder window (maximum delivery jitter in slots).
+    pub fn with_reorder(mut self, window: u64) -> Self {
+        self.reorder_window = window;
+        self
+    }
+
+    /// Sets the fixed delivery delay in slots.
+    pub fn with_delay(mut self, slots: u64) -> Self {
+        self.delay = slots;
+        self
+    }
+}
+
+/// What a [`FaultyTransport`] did to the traffic so far, for assertions in
+/// fault-injection tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames delivered twice (counts the extra copy once).
+    pub duplicated: u64,
+    /// Delivered copies with one bit flipped.
+    pub corrupted: u64,
+    /// Copies that left the held queue towards a receiver.
+    pub delivered: u64,
+    /// Frames passed through the inner transport untouched (client
+    /// injections and plan-less links).
+    pub passed_through: u64,
+}
+
+/// A [`Transport`] decorator injecting deterministic, seeded faults per
+/// directed link. See the [module docs](self) for the fault model.
+#[derive(Debug)]
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    plans: BTreeMap<(BrokerId, BrokerId), (FaultPlan, StdRng)>,
+    /// Frames awaiting delivery, ordered by `(delivery slot, tiebreak)`.
+    /// The tiebreak is a monotone counter, so equal slots stay FIFO.
+    held: BTreeMap<(u64, u64), (BrokerId, BrokerId, Vec<u8>)>,
+    arrivals: u64,
+    tiebreak: u64,
+    stats: FaultStats,
+}
+
+impl FaultyTransport {
+    /// Wraps an inner transport with no fault plans (pure pass-through until
+    /// plans are added).
+    pub fn new(inner: Box<dyn Transport>) -> Self {
+        Self {
+            inner,
+            plans: BTreeMap::new(),
+            held: BTreeMap::new(),
+            arrivals: 0,
+            tiebreak: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Installs a fault plan for the directed link `from → to`.
+    pub fn set_plan(&mut self, from: BrokerId, to: BrokerId, plan: FaultPlan) {
+        self.plans
+            .insert((from, to), (plan, StdRng::seed_from_u64(plan.seed)));
+    }
+
+    /// Builder form of [`set_plan`](Self::set_plan).
+    pub fn with_plan(mut self, from: BrokerId, to: BrokerId, plan: FaultPlan) -> Self {
+        self.set_plan(from, to, plan);
+        self
+    }
+
+    /// Installs the same fault profile on both directions of the undirected
+    /// link `a — b`, with direction-distinct RNG seeds derived from the
+    /// plan's seed.
+    pub fn set_link_plan(&mut self, a: BrokerId, b: BrokerId, plan: FaultPlan) {
+        let mut forward = plan;
+        forward.seed = plan.seed.wrapping_mul(2).wrapping_add(1);
+        let mut backward = plan;
+        backward.seed = plan.seed.wrapping_mul(2).wrapping_add(2);
+        self.set_plan(a, b, forward);
+        self.set_plan(b, a, backward);
+    }
+
+    /// The fault counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Number of frames currently held for delayed/reordered delivery (not
+    /// counting frames queued in the inner transport).
+    pub fn held_frames(&self) -> usize {
+        self.held.len()
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, from: Option<BrokerId>, to: BrokerId, frame: &[u8]) {
+        let plan_rng = from.and_then(|src| self.plans.get_mut(&(src, to)));
+        let Some((plan, rng)) = plan_rng else {
+            self.stats.passed_through += 1;
+            self.inner.send(from, to, frame);
+            return;
+        };
+        let src = from.expect("plans only exist for broker links");
+        self.arrivals += 1;
+        if plan.drop > 0.0 && rng.gen_bool(plan.drop) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let copies = if plan.duplicate > 0.0 && rng.gen_bool(plan.duplicate) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let base_slot = self.arrivals + plan.delay;
+        for _ in 0..copies {
+            let mut bytes = frame.to_vec();
+            if plan.corrupt > 0.0 && !bytes.is_empty() && rng.gen_bool(plan.corrupt) {
+                let index = rng.gen_range(0..bytes.len());
+                let bit = 1u8 << rng.gen_range(0..8u32);
+                bytes[index] ^= bit;
+                self.stats.corrupted += 1;
+            }
+            let jitter = if plan.reorder_window > 0 {
+                rng.gen_range(0..=plan.reorder_window)
+            } else {
+                0
+            };
+            self.tiebreak += 1;
+            self.held
+                .insert((base_slot + jitter, self.tiebreak), (src, to, bytes));
+        }
+    }
+
+    fn recv_into(&mut self, frame: &mut Vec<u8>) -> Option<(Option<BrokerId>, BrokerId)> {
+        // Pass-through frames (client injections) first, then held frames in
+        // delivery-slot order. Both orders are fully deterministic.
+        if let Some(link) = self.inner.recv_into(frame) {
+            return Some(link);
+        }
+        let key = *self.held.keys().next()?;
+        let (from, to, bytes) = self.held.remove(&key).expect("key just observed");
+        frame.clear();
+        frame.extend_from_slice(&bytes);
+        self.stats.delivered += 1;
+        Some((Some(from), to))
+    }
+
+    fn is_idle(&self) -> bool {
+        // Quiescence contract: held frames are in flight.
+        self.inner.is_idle() && self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ChannelTransport;
+
+    fn b(i: u32) -> BrokerId {
+        BrokerId::from_raw(i)
+    }
+
+    fn faulty(plan: FaultPlan) -> FaultyTransport {
+        FaultyTransport::new(Box::new(ChannelTransport::new())).with_plan(b(0), b(1), plan)
+    }
+
+    fn drain(transport: &mut FaultyTransport) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        let mut buf = Vec::new();
+        while transport.recv_into(&mut buf).is_some() {
+            frames.push(buf.clone());
+        }
+        frames
+    }
+
+    #[test]
+    fn clean_plan_preserves_fifo_delivery() {
+        let mut transport = faulty(FaultPlan::new(7));
+        for i in 0..10u8 {
+            transport.send(Some(b(0)), b(1), &[i]);
+        }
+        assert!(!transport.is_idle());
+        let frames = drain(&mut transport);
+        assert_eq!(frames, (0..10u8).map(|i| vec![i]).collect::<Vec<_>>());
+        assert!(transport.is_idle());
+        assert_eq!(transport.stats().delivered, 10);
+        assert_eq!(transport.stats().dropped, 0);
+    }
+
+    #[test]
+    fn client_and_planless_frames_pass_through() {
+        let mut transport = faulty(FaultPlan::new(7).with_drop(1.0));
+        // Client injection and the un-planned reverse direction are immune.
+        transport.send(None, b(1), &[1]);
+        transport.send(Some(b(1)), b(0), &[2]);
+        // The planned direction drops everything.
+        transport.send(Some(b(0)), b(1), &[3]);
+        let frames = drain(&mut transport);
+        assert_eq!(frames, vec![vec![1], vec![2]]);
+        assert_eq!(transport.stats().passed_through, 2);
+        assert_eq!(transport.stats().dropped, 1);
+        assert!(transport.is_idle());
+    }
+
+    #[test]
+    fn drop_rate_one_drops_everything() {
+        let mut transport = faulty(FaultPlan::new(3).with_drop(1.0));
+        for i in 0..32u8 {
+            transport.send(Some(b(0)), b(1), &[i]);
+        }
+        assert!(transport.is_idle());
+        assert!(drain(&mut transport).is_empty());
+        assert_eq!(transport.stats().dropped, 32);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut transport = faulty(FaultPlan::new(3).with_duplicate(1.0));
+        transport.send(Some(b(0)), b(1), &[9]);
+        let frames = drain(&mut transport);
+        assert_eq!(frames, vec![vec![9], vec![9]]);
+        assert_eq!(transport.stats().duplicated, 1);
+        assert_eq!(transport.stats().delivered, 2);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut transport = faulty(FaultPlan::new(5).with_corrupt(1.0));
+        let original = [0u8; 8];
+        transport.send(Some(b(0)), b(1), &original);
+        let frames = drain(&mut transport);
+        assert_eq!(frames.len(), 1);
+        let differing_bits: u32 = frames[0]
+            .iter()
+            .zip(&original)
+            .map(|(a, c)| (a ^ c).count_ones())
+            .sum();
+        assert_eq!(differing_bits, 1);
+        assert_eq!(transport.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn reordering_is_deterministic_and_complete() {
+        let send_all = |seed: u64| {
+            let mut transport = faulty(FaultPlan::new(seed).with_reorder(8));
+            for i in 0..32u8 {
+                transport.send(Some(b(0)), b(1), &[i]);
+            }
+            drain(&mut transport)
+        };
+        let first = send_all(11);
+        let second = send_all(11);
+        // Same seed → identical schedule; everything delivered exactly once.
+        assert_eq!(first, second);
+        let mut sorted = first.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..32u8).map(|i| vec![i]).collect::<Vec<_>>());
+        // With a 32-frame burst and window 8, some frame must overtake
+        // another.
+        assert_ne!(first, sorted.clone());
+        // A different seed produces a different schedule.
+        assert_ne!(send_all(12), first);
+    }
+
+    #[test]
+    fn delay_holds_frames_but_never_loses_them() {
+        let mut transport = faulty(FaultPlan::new(2).with_delay(100));
+        transport.send(Some(b(0)), b(1), &[1]);
+        assert_eq!(transport.held_frames(), 1);
+        assert!(!transport.is_idle(), "delayed frames are in flight");
+        assert_eq!(drain(&mut transport), vec![vec![1]]);
+        assert!(transport.is_idle());
+    }
+
+    #[test]
+    fn link_plan_covers_both_directions_with_distinct_streams() {
+        let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+        transport.set_link_plan(b(0), b(1), FaultPlan::new(9).with_drop(0.5));
+        for i in 0..64u8 {
+            transport.send(Some(b(0)), b(1), &[i]);
+            transport.send(Some(b(1)), b(0), &[i]);
+        }
+        let stats = transport.stats();
+        assert!(stats.dropped > 0 && stats.dropped < 128);
+        // Both directions are planned: nothing passed through.
+        assert_eq!(stats.passed_through, 0);
+    }
+}

@@ -59,20 +59,24 @@
 #![warn(missing_debug_implementations)]
 
 mod broker_node;
+pub mod fault;
 mod metrics;
 mod parallel;
+pub mod reliable;
 mod routing_table;
 mod simulation;
 mod topology;
 pub mod wire;
 
 pub use broker_node::{Broker, Destination, MessageHandling};
+pub use fault::{FaultPlan, FaultStats, FaultyTransport};
 // Re-exported so configuring a simulation's engine does not require a
 // direct `filtering` dependency.
 pub use filtering::{DiscriminationHint, EngineConfig, EngineKind, PrefilterMode};
 pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;
+pub use reliable::{ReliableConfig, ReliableSession, SendOutcome};
 pub use routing_table::RoutingTable;
 pub use simulation::{PublishOutcome, Simulation, SimulationConfig};
 pub use topology::Topology;

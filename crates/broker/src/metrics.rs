@@ -30,6 +30,28 @@ pub struct NetworkStats {
     pub control_frames: u64,
     /// Exact encoded bytes of the control-plane frames.
     pub control_bytes: u64,
+    /// Frames retransmitted by the reliable-link layer after a timeout.
+    /// Retransmitted copies are *not* re-counted in `frames`/`bytes`; this
+    /// counter is the observable cost of loss on the wire.
+    pub retransmits: u64,
+    /// Frames the reliable-link layer received more than once (duplicated by
+    /// the transport, or retransmitted because an ack was lost) and
+    /// suppressed instead of delivering twice.
+    pub dup_suppressed: u64,
+    /// Frames the reliable-link layer dropped because their checksum did not
+    /// match (byte corruption in transit). Retransmission heals them.
+    pub corrupt_dropped: u64,
+    /// Broker crash/recovery cycles that re-synchronized routing state from
+    /// neighbors (`SyncRequest`/`SyncState`).
+    pub resyncs: u64,
+    /// Frames the simulation received but could not decode (a
+    /// [`CodecError`](crate::wire::CodecError)); each one was dropped, not
+    /// delivered.
+    pub decode_errors: u64,
+    /// Frames dropped because a down link's bounded pending queue
+    /// overflowed — the graceful-degradation signal of an outage outlasting
+    /// the buffer budget.
+    pub queue_drops: u64,
     /// Event-copy counts per undirected link.
     pub per_link: BTreeMap<(BrokerId, BrokerId), u64>,
 }
@@ -83,6 +105,12 @@ impl NetworkStats {
         self.bytes += other.bytes;
         self.control_frames += other.control_frames;
         self.control_bytes += other.control_bytes;
+        self.retransmits += other.retransmits;
+        self.dup_suppressed += other.dup_suppressed;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.resyncs += other.resyncs;
+        self.decode_errors += other.decode_errors;
+        self.queue_drops += other.queue_drops;
         for (link, count) in &other.per_link {
             *self.per_link.entry(*link).or_insert(0) += count;
         }
@@ -96,6 +124,12 @@ impl NetworkStats {
         self.bytes -= snapshot.bytes;
         self.control_frames -= snapshot.control_frames;
         self.control_bytes -= snapshot.control_bytes;
+        self.retransmits -= snapshot.retransmits;
+        self.dup_suppressed -= snapshot.dup_suppressed;
+        self.corrupt_dropped -= snapshot.corrupt_dropped;
+        self.resyncs -= snapshot.resyncs;
+        self.decode_errors -= snapshot.decode_errors;
+        self.queue_drops -= snapshot.queue_drops;
         for (link, count) in &snapshot.per_link {
             if let Some(current) = self.per_link.get_mut(link) {
                 *current -= count;
@@ -270,6 +304,30 @@ mod tests {
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 60);
         assert_eq!(a.link_messages(b(0), b(1)), 2);
+    }
+
+    #[test]
+    fn reliability_counters_merge_and_subtract() {
+        let faults = NetworkStats {
+            retransmits: 5,
+            dup_suppressed: 4,
+            corrupt_dropped: 3,
+            resyncs: 2,
+            decode_errors: 1,
+            queue_drops: 6,
+            ..NetworkStats::new()
+        };
+        let mut total = NetworkStats::new();
+        total.merge(&faults);
+        total.merge(&faults);
+        assert_eq!(total.retransmits, 10);
+        assert_eq!(total.dup_suppressed, 8);
+        assert_eq!(total.corrupt_dropped, 6);
+        assert_eq!(total.resyncs, 4);
+        assert_eq!(total.decode_errors, 2);
+        assert_eq!(total.queue_drops, 12);
+        total.subtract(&faults);
+        assert_eq!(total, faults);
     }
 
     #[test]

@@ -17,6 +17,16 @@
 //! responses for its neighbors. A shared atomic in-flight counter detects
 //! quiescence so [`ParallelNetwork::run`] can return once every event has
 //! been fully routed.
+//!
+//! The in-flight counter is this executor's version of the quiescence
+//! contract documented on [`Transport`](crate::wire::Transport): a frame is
+//! counted *before* it is handed to a channel and uncounted only after the
+//! receiving worker has fully processed it, so "counter == 0" has the same
+//! meaning as `is_idle()` — no frame buffered or being handled anywhere.
+//! Any transport-like layer inserted here (delay queues, fault injectors
+//! such as [`FaultyTransport`](crate::fault::FaultyTransport)) must
+//! preserve that invariant or `run` would return with events still in
+//! flight.
 
 use crate::broker_node::{Broker, MessageHandling};
 use crate::metrics::NetworkStats;
@@ -285,6 +295,12 @@ impl ParallelNetwork {
             bytes: self.wire_bytes(),
             control_frames: 0,
             control_bytes: 0,
+            retransmits: 0,
+            dup_suppressed: 0,
+            corrupt_dropped: 0,
+            resyncs: 0,
+            decode_errors: 0,
+            queue_drops: 0,
             per_link: BTreeMap::new(),
         }
     }

@@ -2,14 +2,15 @@
 
 use crate::broker_node::{Broker, MessageHandling};
 use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
+use crate::reliable::{ReliableSession, SendOutcome};
 use crate::topology::Topology;
 use crate::wire::{ChannelTransport, Codec, Transport, WireMessage};
 use filtering::{EngineConfig, EngineKind, FilterStats};
 use pubsub_core::{
-    BrokerId, EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId,
+    BrokerId, EventBatch, EventId, EventMessage, SubscriberId, Subscription, SubscriptionId,
     SubscriptionTree,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of a [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +29,14 @@ pub struct SimulationConfig {
     /// The staged-pipeline configuration (stage-0 pre-filter mode) every
     /// broker's destination engines run with.
     pub engine_config: EngineConfig,
+    /// Runs every broker→broker frame over the reliable-link protocol
+    /// ([`crate::reliable`]): sequence numbers, cumulative acks,
+    /// retransmission with backoff, duplicate suppression. Off by default —
+    /// the in-memory transport is lossless, so plain frames suffice — and
+    /// required for fault injection ([`crate::fault`]) and for
+    /// [`crash_broker`](Simulation::crash_broker) /
+    /// [`restart_broker`](Simulation::restart_broker).
+    pub reliability: bool,
 }
 
 impl SimulationConfig {
@@ -38,7 +47,15 @@ impl SimulationConfig {
             deliver_at_origin: true,
             engine: EngineKind::Counting,
             engine_config: EngineConfig::default(),
+            reliability: false,
         }
+    }
+
+    /// Enables (or disables) the reliable-link protocol on every
+    /// broker→broker link.
+    pub fn with_reliability(mut self, enabled: bool) -> Self {
+        self.reliability = enabled;
+        self
     }
 
     /// Selects the matching-engine kind the brokers use.
@@ -115,6 +132,20 @@ pub struct Simulation {
     handling: MessageHandling,
     /// Recycled one-event batches for `publish_at`.
     batch_pool: Vec<EventBatch>,
+    /// The reliable-link protocol state (`Some` when
+    /// [`SimulationConfig::reliability`] is on) and its outer-frame scratch
+    /// buffer.
+    reliable: Option<ReliableSession>,
+    wrap_frame: Vec<u8>,
+    /// Brokers currently crashed: frames addressed to them vanish, live
+    /// neighbors queue traffic for them on the down links.
+    crashed: BTreeSet<BrokerId>,
+    /// Client subscriptions by home broker, re-injected after a restart.
+    /// Only tracked under reliability — recovery is meaningless without it.
+    client_subs: BTreeMap<BrokerId, Vec<Subscription>>,
+    /// When enabled, every local delivery as `(event, subscriber,
+    /// subscription)` — the ground truth for fault-equivalence checks.
+    delivery_log: Option<Vec<(EventId, SubscriberId, SubscriptionId)>>,
 }
 
 impl Simulation {
@@ -160,7 +191,15 @@ impl Simulation {
             },
             handling: MessageHandling::new(),
             batch_pool: Vec::new(),
+            reliable: None,
+            wrap_frame: Vec::new(),
+            crashed: BTreeSet::new(),
+            client_subs: BTreeMap::new(),
+            delivery_log: None,
         };
+        if sim.config.reliability {
+            sim.reliable = Some(ReliableSession::new());
+        }
         sim.handshake();
         sim
     }
@@ -171,64 +210,193 @@ impl Simulation {
         for (a, b) in self.config.topology.links() {
             for (from, to) in [(a, b), (b, a)] {
                 self.send_frame.clear();
-                let len = self
-                    .codec
+                self.codec
                     .encode_into(&WireMessage::Hello { broker: from }, &mut self.send_frame);
-                self.network.record_control(len);
-                self.transport.send(Some(from), to, &self.send_frame);
+                let wire = self.transmit(from, to);
+                self.network.record_control(wire);
             }
         }
         let _ = self.pump(&mut None);
     }
 
+    /// Puts the inner frame currently in `send_frame` on the wire for the
+    /// directed link `from → to`, wrapping it into a reliable outer frame
+    /// when the protocol is on. Returns the number of bytes that hit (or,
+    /// for a down link, will eventually hit) the wire — `0` when the frame
+    /// was dropped by a full pending queue.
+    fn transmit(&mut self, from: BrokerId, to: BrokerId) -> usize {
+        match self.reliable.as_mut() {
+            Some(session) => match session.wrap_send(
+                from,
+                to,
+                &self.send_frame,
+                &mut self.wrap_frame,
+                &mut self.network,
+            ) {
+                SendOutcome::Sent(len) => {
+                    self.transport.send(Some(from), to, &self.wrap_frame);
+                    len
+                }
+                // Queued for the post-restart flush: account for it now, at
+                // the length it will occupy on the wire, so per-batch byte
+                // deltas see mid-outage traffic when it is caused.
+                SendOutcome::Queued(len) => len,
+                SendOutcome::Dropped => 0,
+            },
+            None => {
+                self.transport.send(Some(from), to, &self.send_frame);
+                self.send_frame.len()
+            }
+        }
+    }
+
     /// Drains the transport: every in-flight frame is decoded, handled by
     /// the addressed broker, and the broker's responses are encoded and sent
     /// — recording data-plane frames (event copies + exact bytes) and
-    /// control frames as they hit the wire. Returns the number of
-    /// local-subscriber deliveries the drained frames caused (suppressing
-    /// origin deliveries when configured); each delivery is also appended to
-    /// `deliveries_out` when provided.
+    /// control frames as they hit the wire. Under reliability the drain
+    /// alternates with virtual-time ticks until every live link's
+    /// retransmission queue is empty, so a single call still runs the
+    /// network to quiescence even when the transport injects faults.
+    /// Returns the number of local-subscriber deliveries the drained frames
+    /// caused (suppressing origin deliveries when configured); each delivery
+    /// is also appended to `deliveries_out` when provided.
     fn pump(
         &mut self,
         deliveries_out: &mut Option<&mut Vec<(SubscriberId, SubscriptionId)>>,
     ) -> u64 {
         let mut delivered = 0u64;
-        while let Some((from, to)) = self.transport.recv_into(&mut self.recv_frame) {
-            self.codec
-                .decode_into(&self.recv_frame, &mut self.message)
-                .expect("simulation frames are well-formed");
-            let broker = self
-                .brokers
-                .get_mut(&to)
-                .expect("frame addressed to a known broker");
-            broker.handle_message_into(&self.message, from, &mut self.handling);
-            if matches!(self.message, WireMessage::PublishBatch { .. }) {
-                let suppress = from.is_none() && !self.config.deliver_at_origin;
-                if !suppress {
-                    delivered += self.handling.deliveries.len() as u64;
-                    if let Some(out) = deliveries_out.as_deref_mut() {
-                        out.extend(
-                            self.handling
-                                .deliveries
-                                .iter()
-                                .map(|&(_, subscriber, id)| (subscriber, id)),
+        let mut ticks = 0u64;
+        let mut inner_frames = Vec::new();
+        let mut acks = Vec::new();
+        let mut retransmit = Vec::new();
+        loop {
+            while let Some((from, to)) = self.transport.recv_into(&mut self.recv_frame) {
+                // A crashed broker neither receives nor sends: frames
+                // addressed to it die with it, frames claiming to come from
+                // it are stale remnants of the lost incarnation.
+                if self.crashed.contains(&to)
+                    || from.is_some_and(|from| self.crashed.contains(&from))
+                {
+                    continue;
+                }
+                match (from, self.reliable.as_mut()) {
+                    (Some(from), Some(session)) => {
+                        // Broker→broker under reliability: an outer frame.
+                        // Unwrap it (dup suppression, reordering, corruption
+                        // detection), answer with the cumulative ack, and
+                        // handle whatever inner frames came in sequence.
+                        session.recv(
+                            from,
+                            to,
+                            &self.recv_frame,
+                            &mut inner_frames,
+                            &mut acks,
+                            &mut self.network,
                         );
+                        for (ack_from, ack_to, frame) in acks.drain(..) {
+                            self.network.record_control(frame.len());
+                            self.transport.send(Some(ack_from), ack_to, &frame);
+                        }
+                        for inner in inner_frames.drain(..) {
+                            self.recv_frame.clear();
+                            self.recv_frame.extend_from_slice(&inner);
+                            delivered += self.handle_frame(Some(from), to, deliveries_out);
+                        }
                     }
+                    // Client injections (and everything when reliability is
+                    // off) are bare codec frames.
+                    _ => delivered += self.handle_frame(from, to, deliveries_out),
                 }
             }
-            for (neighbor, response) in &self.handling.outgoing {
-                self.send_frame.clear();
-                let len = self.codec.encode_into(response, &mut self.send_frame);
-                match response {
-                    WireMessage::PublishBatch { events } => {
-                        self.network
-                            .record_frame(to, *neighbor, events.len() as u64, len);
-                    }
-                    _ => self.network.record_control(len),
-                }
-                self.transport.send(Some(to), *neighbor, &self.send_frame);
+            // Transport drained. Under reliability, lost frames may still be
+            // owed: advance virtual time until retransmissions come due, put
+            // them back on the wire, and drain again.
+            let Some(session) = self.reliable.as_mut() else {
+                break;
+            };
+            if !session.has_unacked() {
+                break;
+            }
+            ticks += 1;
+            assert!(
+                ticks < 1_000_000,
+                "reliable drain did not converge: a link is dropping every \
+                 retransmission (drop rate 1.0 on a live link?)"
+            );
+            session.tick(&mut retransmit, &mut self.network);
+            for (from, to, frame) in retransmit.drain(..) {
+                // Retransmissions are not new traffic: `retransmits` counts
+                // them, `frames`/`bytes` keep reflecting the fault-free cost.
+                self.transport.send(Some(from), to, &frame);
             }
         }
+        delivered
+    }
+
+    /// Decodes and handles the inner frame in `recv_frame`, addressed to
+    /// broker `to` over the link from `from`, and puts the broker's
+    /// responses on the wire. A frame the codec rejects is counted in
+    /// [`NetworkStats::decode_errors`] and dropped — corruption must never
+    /// take the simulation down. Returns the local deliveries caused.
+    fn handle_frame(
+        &mut self,
+        from: Option<BrokerId>,
+        to: BrokerId,
+        deliveries_out: &mut Option<&mut Vec<(SubscriberId, SubscriptionId)>>,
+    ) -> u64 {
+        if self
+            .codec
+            .decode_into(&self.recv_frame, &mut self.message)
+            .is_err()
+        {
+            self.network.decode_errors += 1;
+            return 0;
+        }
+        let broker = self
+            .brokers
+            .get_mut(&to)
+            .expect("frame addressed to a known broker");
+        let mut handling = std::mem::take(&mut self.handling);
+        broker.handle_message_into(&self.message, from, &mut handling);
+        let mut delivered = 0u64;
+        if let WireMessage::PublishBatch { events } = &self.message {
+            let suppress = from.is_none() && !self.config.deliver_at_origin;
+            if !suppress {
+                delivered += handling.deliveries.len() as u64;
+                if let Some(out) = deliveries_out.as_deref_mut() {
+                    out.extend(
+                        handling
+                            .deliveries
+                            .iter()
+                            .map(|&(_, subscriber, id)| (subscriber, id)),
+                    );
+                }
+                if let Some(log) = self.delivery_log.as_mut() {
+                    log.extend(handling.deliveries.iter().map(|&(index, subscriber, id)| {
+                        (events.event(index).id(), subscriber, id)
+                    }));
+                }
+            }
+        }
+        for index in 0..handling.outgoing.len() {
+            let (neighbor, response) = &handling.outgoing[index];
+            let neighbor = *neighbor;
+            self.send_frame.clear();
+            self.codec.encode_into(response, &mut self.send_frame);
+            let events = match response {
+                WireMessage::PublishBatch { events } => Some(events.len() as u64),
+                _ => None,
+            };
+            let wire = self.transmit(to, neighbor);
+            if wire == 0 {
+                continue; // dropped by a full pending queue — already counted
+            }
+            match events {
+                Some(events) => self.network.record_frame(to, neighbor, events, wire),
+                None => self.network.record_control(wire),
+            }
+        }
+        self.handling = handling;
         delivered
     }
 
@@ -301,6 +469,18 @@ impl Simulation {
             subscription.tree().depth(),
             crate::wire::MAX_TREE_DEPTH
         );
+        assert!(
+            !self.crashed.contains(&home),
+            "{home} is crashed; clients cannot subscribe at a dead broker"
+        );
+        if self.reliable.is_some() {
+            // Remember the client's subscription so a crash of its home
+            // broker can re-install it after the restart.
+            self.client_subs
+                .entry(home)
+                .or_default()
+                .push(subscription.clone());
+        }
         self.send_frame.clear();
         self.codec.encode_into(
             &WireMessage::Subscribe { subscription },
@@ -326,6 +506,9 @@ impl Simulation {
             self.brokers.contains_key(&at),
             "{at} is not part of the topology"
         );
+        for subs in self.client_subs.values_mut() {
+            subs.retain(|s| s.id() != id);
+        }
         self.send_frame.clear();
         self.codec
             .encode_into(&WireMessage::Unsubscribe { id }, &mut self.send_frame);
@@ -347,6 +530,7 @@ impl Simulation {
             self.brokers.contains_key(&origin),
             "{origin} is not part of the topology"
         );
+        let origin = self.live_origin(origin);
         let messages_before = self.network.messages;
         let bytes_before = self.network.bytes;
 
@@ -414,6 +598,9 @@ impl Simulation {
         let mut origin_groups: BTreeMap<BrokerId, Vec<usize>> = BTreeMap::new();
         for index in 0..batch.len() {
             let origin = self.publisher_broker(self.publish_counter + index as u64);
+            // Publisher failover: a client whose round-robin broker is
+            // crashed connects to the next live one instead.
+            let origin = self.live_origin(origin);
             origin_groups.entry(origin).or_default().push(index);
         }
         self.publish_counter += batch.len() as u64;
@@ -528,6 +715,173 @@ impl Simulation {
             .get_mut(&broker)
             .map(|b| b.install_remote_tree(id, tree))
             .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: crash, recovery, delivery ground truth
+    // ------------------------------------------------------------------
+
+    /// Starts recording every local delivery as `(event, subscriber,
+    /// subscription)` — the ground truth that fault-injection runs are
+    /// compared against. Idempotent; an existing log is kept.
+    pub fn enable_delivery_log(&mut self) {
+        self.delivery_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes the recorded deliveries (the log keeps recording afterwards,
+    /// empty again). Order is arrival order; sort before comparing runs —
+    /// faults legitimately reorder deliveries, they must never change the
+    /// set.
+    pub fn take_delivery_log(&mut self) -> Vec<(EventId, SubscriberId, SubscriptionId)> {
+        match self.delivery_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether a broker is currently crashed.
+    pub fn is_crashed(&self, broker: BrokerId) -> bool {
+        self.crashed.contains(&broker)
+    }
+
+    /// The next live broker at or after `origin` in broker-id order
+    /// (wrapping) — where a publisher whose broker crashed reconnects.
+    fn live_origin(&self, origin: BrokerId) -> BrokerId {
+        if !self.crashed.contains(&origin) {
+            return origin;
+        }
+        let ids: Vec<BrokerId> = self.config.topology.broker_ids().collect();
+        let start = ids
+            .iter()
+            .position(|&id| id == origin)
+            .expect("origin is part of the topology");
+        for offset in 1..ids.len() {
+            let candidate = ids[(start + offset) % ids.len()];
+            if !self.crashed.contains(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("every broker in the topology is crashed");
+    }
+
+    /// Crashes a broker: its volatile state (routing table, filter engines,
+    /// link state) is lost, frames addressed to it vanish, and every live
+    /// neighbor marks its link down — traffic toward the crashed broker is
+    /// queued at the link (bounded; overflow counts
+    /// [`NetworkStats::queue_drops`]) until
+    /// [`restart_broker`](Self::restart_broker).
+    ///
+    /// # Panics
+    /// Panics if the broker is unknown, already crashed, or if the
+    /// simulation runs without [`SimulationConfig::reliability`] — without
+    /// sequenced links and retransmission a crash would silently lose
+    /// events, so the simulation refuses to model one.
+    pub fn crash_broker(&mut self, broker: BrokerId) {
+        assert!(
+            self.brokers.contains_key(&broker),
+            "{broker} is not part of the topology"
+        );
+        assert!(
+            self.reliable.is_some(),
+            "crash_broker requires SimulationConfig::reliability"
+        );
+        assert!(self.crashed.insert(broker), "{broker} is already crashed");
+        let session = self.reliable.as_mut().expect("asserted above");
+        for neighbor in self.config.topology.neighbors(broker) {
+            // The live neighbor holds on to everything it has not seen
+            // acked; the crashed side's own protocol state is gone.
+            session.peer_crashed(neighbor, broker);
+            session.crash_link(broker, neighbor);
+        }
+    }
+
+    /// Restarts a crashed broker and runs the recovery protocol:
+    ///
+    /// 1. a fresh broker instance comes up with empty routing state and
+    ///    re-establishes its links (`Hello`/`Ack`, sequence numbers reset);
+    /// 2. it sends a [`SyncRequest`](WireMessage::SyncRequest) to every
+    ///    neighbor; each answers with a
+    ///    [`SyncState`](WireMessage::SyncState) summarizing the
+    ///    subscriptions reachable through *its* side of the tree, which the
+    ///    restarted broker installs as remote entries;
+    /// 3. the subscriptions of the broker's own local clients are
+    ///    re-injected and re-flooded (registration is idempotent at every
+    ///    broker that still remembers them);
+    /// 4. only then is each neighbor's pending queue flushed — events
+    ///    published mid-outage — so everything queued is routable on
+    ///    arrival.
+    ///
+    /// Counts one [`NetworkStats::resyncs`]; the sync and re-subscription
+    /// frames are recorded as control traffic.
+    ///
+    /// # Panics
+    /// Panics if the broker is not currently crashed.
+    pub fn restart_broker(&mut self, broker: BrokerId) {
+        assert!(
+            self.crashed.remove(&broker),
+            "{broker} is not crashed; nothing to restart"
+        );
+        self.network.resyncs += 1;
+        // A fresh instance: everything volatile is gone.
+        self.brokers.insert(
+            broker,
+            Broker::with_engine_config(
+                broker,
+                self.config.topology.neighbors(broker),
+                self.config.engine,
+                self.config.engine_config,
+            ),
+        );
+        let neighbors: Vec<BrokerId> = self.config.topology.neighbors(broker);
+        let session = self.reliable.as_mut().expect("crash required reliability");
+        for &neighbor in &neighbors {
+            session.reset_link(broker, neighbor);
+            session.reset_link(neighbor, broker);
+        }
+        // 1. Links back up.
+        for &neighbor in &neighbors {
+            self.send_frame.clear();
+            self.codec
+                .encode_into(&WireMessage::Hello { broker }, &mut self.send_frame);
+            let wire = self.transmit(broker, neighbor);
+            self.network.record_control(wire);
+        }
+        let _ = self.pump(&mut None);
+        // 2. Re-learn the rest of the network from the neighbors.
+        for &neighbor in &neighbors {
+            self.send_frame.clear();
+            self.codec
+                .encode_into(&WireMessage::SyncRequest { broker }, &mut self.send_frame);
+            let wire = self.transmit(broker, neighbor);
+            self.network.record_control(wire);
+        }
+        let _ = self.pump(&mut None);
+        // 3. Local clients reconnect and re-subscribe.
+        let resubscribe = self.client_subs.get(&broker).cloned().unwrap_or_default();
+        for subscription in resubscribe {
+            self.send_frame.clear();
+            self.codec.encode_into(
+                &WireMessage::Subscribe { subscription },
+                &mut self.send_frame,
+            );
+            self.transport.send(None, broker, &self.send_frame);
+        }
+        let _ = self.pump(&mut None);
+        // 4. Release the mid-outage traffic the neighbors queued — the
+        //    restarted broker can route it now. Bytes and event copies were
+        //    recorded when the frames were queued.
+        let mut flushed = Vec::new();
+        let session = self.reliable.as_mut().expect("crash required reliability");
+        for &neighbor in &neighbors {
+            session.flush_pending(neighbor, broker, &mut flushed, &mut self.network);
+        }
+        for (from, to, frame) in flushed {
+            self.transport.send(Some(from), to, &frame);
+        }
+        // Mid-outage events delivered now belong to the cumulative totals
+        // just like deliveries at publish time.
+        let delivered = self.pump(&mut None);
+        self.deliveries += delivered;
     }
 }
 
@@ -937,5 +1291,264 @@ mod tests {
         assert!(config.deliver_at_origin);
         let config = SimulationConfig::centralized();
         assert_eq!(config.topology.len(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Reliability and fault tolerance
+    // ------------------------------------------------------------------
+
+    use crate::fault::{FaultPlan, FaultyTransport};
+
+    fn id_books(id: u64, price: i64) -> EventMessage {
+        EventMessage::builder()
+            .id(EventId::from_raw(id))
+            .attr("category", "books")
+            .attr("price", price)
+            .build()
+    }
+
+    fn test_subs() -> Vec<Subscription> {
+        vec![
+            sub(1, 0, &Expr::eq("category", "books")),
+            sub(
+                2,
+                3,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
+            ),
+            sub(3, 9, &Expr::gt("price", 40i64)),
+        ]
+    }
+
+    fn test_events(n: u64) -> Vec<EventMessage> {
+        (0..n).map(|i| id_books(i, ((i * 5) % 60) as i64)).collect()
+    }
+
+    fn sorted_log(sim: &mut Simulation) -> Vec<(EventId, SubscriberId, SubscriptionId)> {
+        let mut log = sim.take_delivery_log();
+        log.sort();
+        log
+    }
+
+    fn baseline_log(
+        topology: Topology,
+        subs: &[Subscription],
+        events: &[EventMessage],
+    ) -> Vec<(EventId, SubscriberId, SubscriptionId)> {
+        let mut sim = Simulation::new(SimulationConfig::new(topology));
+        sim.enable_delivery_log();
+        sim.register_all(subs.to_vec());
+        let batch: EventBatch = events.iter().cloned().collect();
+        let _ = sim.publish_batch(&batch);
+        sorted_log(&mut sim)
+    }
+
+    #[test]
+    fn reliability_on_a_clean_transport_is_transparent() {
+        // Same deliveries and event-copy counts; only the frame framing
+        // (and so the byte totals) differs.
+        let subs = test_subs();
+        let events = test_events(24);
+        let batch: EventBatch = events.iter().cloned().collect();
+
+        let mut plain = line_simulation();
+        plain.enable_delivery_log();
+        plain.register_all(subs.clone());
+        let plain_report = plain.publish_batch(&batch);
+
+        let config = SimulationConfig::new(Topology::line(5)).with_reliability(true);
+        let mut reliable = Simulation::new(config);
+        reliable.enable_delivery_log();
+        reliable.register_all(subs);
+        let report = reliable.publish_batch(&batch);
+
+        assert_eq!(sorted_log(&mut reliable), sorted_log(&mut plain));
+        assert_eq!(report.deliveries, plain_report.deliveries);
+        assert_eq!(report.network.messages, plain_report.network.messages);
+        assert_eq!(report.network.frames, plain_report.network.frames);
+        assert_eq!(report.network.per_link, plain_report.network.per_link);
+        // The outer framing costs exactly RELIABLE_OVERHEAD - 4 extra bytes
+        // per frame (its own length prefix replaces none) plus the acks, all
+        // of which are control traffic.
+        assert!(report.network.bytes > plain_report.network.bytes);
+        assert_eq!(report.network.retransmits, 0);
+        assert_eq!(report.network.dup_suppressed, 0);
+        assert_eq!(report.network.corrupt_dropped, 0);
+        assert_eq!(report.network.decode_errors, 0);
+    }
+
+    #[test]
+    fn reliable_links_heal_drop_duplicate_and_reorder() {
+        let subs = test_subs();
+        let events = test_events(40);
+        let expected = baseline_log(Topology::line(3), &subs, &events);
+
+        let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+        let topology = Topology::line(3);
+        for (a, b) in topology.links() {
+            transport.set_link_plan(
+                a,
+                b,
+                FaultPlan::new(7 + a.raw() as u64)
+                    .with_drop(0.2)
+                    .with_duplicate(0.1)
+                    .with_reorder(4),
+            );
+        }
+        let config = SimulationConfig::new(topology).with_reliability(true);
+        let mut sim = Simulation::with_transport(config, Box::new(transport));
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+        let batch: EventBatch = events.iter().cloned().collect();
+        let _ = sim.publish_batch(&batch);
+
+        assert_eq!(sorted_log(&mut sim), expected);
+        let stats = sim.network_stats();
+        assert!(stats.retransmits > 0, "drops must force retransmissions");
+        assert!(stats.dup_suppressed > 0, "duplicates must be suppressed");
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn corruption_is_dropped_and_healed_by_retransmission() {
+        let subs = test_subs();
+        let events = test_events(20);
+        let expected = baseline_log(Topology::line(3), &subs, &events);
+
+        let topology = Topology::line(3);
+        let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+        for (a, b) in topology.links() {
+            transport.set_link_plan(a, b, FaultPlan::new(3).with_corrupt(0.15));
+        }
+        let config = SimulationConfig::new(topology).with_reliability(true);
+        let mut sim = Simulation::with_transport(config, Box::new(transport));
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+        let batch: EventBatch = events.iter().cloned().collect();
+        let _ = sim.publish_batch(&batch);
+
+        assert_eq!(sorted_log(&mut sim), expected);
+        let stats = sim.network_stats();
+        assert!(stats.corrupt_dropped > 0, "corruption must be detected");
+        assert!(stats.retransmits > 0, "corrupted frames must be resent");
+        // The checksum catches damage before the codec ever sees it.
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn crash_and_restart_preserves_the_delivery_set() {
+        let subs = test_subs();
+        let events = test_events(30);
+        let expected = baseline_log(Topology::line(3), &subs, &events);
+
+        let config = SimulationConfig::new(Topology::line(3)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+
+        // Phase 1 normally, phase 2 with the middle broker down (its
+        // neighbors queue traffic for it; publishers fail over), phase 3
+        // after recovery.
+        let phases: Vec<EventBatch> = events
+            .chunks(10)
+            .map(|chunk| chunk.iter().cloned().collect())
+            .collect();
+        let _ = sim.publish_batch(&phases[0]);
+        sim.crash_broker(b(1));
+        assert!(sim.is_crashed(b(1)));
+        let _ = sim.publish_batch(&phases[1]);
+        sim.restart_broker(b(1));
+        assert!(!sim.is_crashed(b(1)));
+        let _ = sim.publish_batch(&phases[2]);
+
+        assert_eq!(sorted_log(&mut sim), expected);
+        assert_eq!(sim.network_stats().resyncs, 1);
+        assert_eq!(sim.network_stats().queue_drops, 0);
+        // The restarted broker re-learned exactly the routing state an
+        // uncrashed run would hold.
+        let mut reference = Simulation::new(SimulationConfig::new(Topology::line(3)));
+        reference.register_all(test_subs());
+        let mut recovered: Vec<SubscriptionId> = sim
+            .broker(b(1))
+            .unwrap()
+            .remote_subscriptions()
+            .iter()
+            .map(Subscription::id)
+            .collect();
+        recovered.sort();
+        let mut expected_remote: Vec<SubscriptionId> = reference
+            .broker(b(1))
+            .unwrap()
+            .remote_subscriptions()
+            .iter()
+            .map(Subscription::id)
+            .collect();
+        expected_remote.sort();
+        assert_eq!(recovered, expected_remote);
+    }
+
+    #[test]
+    fn crash_of_a_leaf_with_local_subscribers_recovers_them() {
+        // Subscriber 0 lives at broker 0 (a leaf of the line). Crash and
+        // restart broker 0: its client re-subscribes, and events published
+        // at the far end are delivered again.
+        let config = SimulationConfig::new(Topology::line(3)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.register_subscription(sub(1, 0, &Expr::eq("category", "books")));
+
+        sim.crash_broker(b(0));
+        // Mid-outage: the event is routed toward broker 0 and queued at the
+        // link by broker 1.
+        let outcome = sim.publish_at(id_books(1, 5), b(2));
+        assert!(outcome.deliveries.is_empty(), "crashed broker delivered");
+        sim.restart_broker(b(0));
+        // The queued event arrived after recovery.
+        assert_eq!(sim.deliveries(), 1);
+        // New traffic flows normally.
+        let outcome = sim.publish_at(id_books(2, 5), b(2));
+        assert_eq!(outcome.deliveries.len(), 1);
+    }
+
+    #[test]
+    fn decode_errors_are_counted_not_fatal() {
+        // Without the reliable layer, corruption reaches the codec: the
+        // simulation must count the rejects and keep running, not panic.
+        let topology = Topology::line(3);
+        let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+        for (a, b) in topology.links() {
+            transport.set_link_plan(a, b, FaultPlan::new(99).with_corrupt(1.0));
+        }
+        let config = SimulationConfig::new(topology);
+        let mut sim = Simulation::with_transport(config, Box::new(transport));
+        sim.register_all(test_subs());
+        for event in test_events(20) {
+            let _ = sim.publish(event);
+        }
+        assert!(
+            sim.network_stats().decode_errors > 0,
+            "every inter-broker frame was corrupted; some must fail decoding"
+        );
+    }
+
+    #[test]
+    fn crash_without_reliability_is_refused() {
+        let mut sim = line_simulation();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.crash_broker(b(1));
+        }));
+        assert!(result.is_err(), "crash must require reliability");
+    }
+
+    #[test]
+    fn publisher_failover_skips_crashed_brokers() {
+        let config = SimulationConfig::new(Topology::line(3)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.crash_broker(b(0));
+        assert_eq!(sim.live_origin(b(0)), b(1));
+        assert_eq!(sim.live_origin(b(2)), b(2));
+        sim.crash_broker(b(1));
+        assert_eq!(sim.live_origin(b(0)), b(2));
     }
 }

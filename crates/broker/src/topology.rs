@@ -174,6 +174,34 @@ impl Topology {
         self.path(from, to).map(|p| p.len() - 1)
     }
 
+    /// The connected components that remain when one broker crashes, each
+    /// sorted ascending, ordered by their smallest member. In a tree,
+    /// removing a broker of degree `d` leaves exactly `d` components — the
+    /// partitions an outage splits the network into. Unknown brokers yield
+    /// the whole topology as one component.
+    pub fn components_without(&self, broker: BrokerId) -> Vec<Vec<BrokerId>> {
+        let mut components = Vec::new();
+        let mut visited: BTreeSet<BrokerId> = BTreeSet::from([broker]);
+        for start in self.broker_ids() {
+            if !visited.insert(start) {
+                continue;
+            }
+            let mut component = vec![start];
+            let mut queue = VecDeque::from([start]);
+            while let Some(current) = queue.pop_front() {
+                for next in self.neighbors(current) {
+                    if next != broker && visited.insert(next) {
+                        component.push(next);
+                        queue.push_back(next);
+                    }
+                }
+            }
+            component.sort();
+            components.push(component);
+        }
+        components
+    }
+
     fn is_connected(&self) -> bool {
         let Some(start) = self.adjacency.keys().next().copied() else {
             return false;
@@ -277,6 +305,34 @@ mod tests {
     #[should_panic(expected = "at least one broker")]
     fn empty_topology_is_rejected() {
         let _ = Topology::line(0);
+    }
+
+    #[test]
+    fn components_without_splits_the_tree_at_the_removed_broker() {
+        // line 0-1-2-3-4: removing broker 2 leaves {0,1} and {3,4}.
+        let line = Topology::line(5);
+        assert_eq!(
+            line.components_without(b(2)),
+            vec![vec![b(0), b(1)], vec![b(3), b(4)]]
+        );
+        // Removing a leaf leaves one component.
+        assert_eq!(
+            line.components_without(b(0)),
+            vec![vec![b(1), b(2), b(3), b(4)]]
+        );
+        // balanced_tree(7, 2): removing the root (degree 2) gives the two
+        // subtrees; removing internal broker 1 gives {root side} + 2 leaves.
+        let tree = Topology::balanced_tree(7, 2);
+        assert_eq!(
+            tree.components_without(b(0)),
+            vec![vec![b(1), b(3), b(4)], vec![b(2), b(5), b(6)]]
+        );
+        assert_eq!(
+            tree.components_without(b(1)),
+            vec![vec![b(0), b(2), b(5), b(6)], vec![b(3)], vec![b(4)]]
+        );
+        // A single broker: removing it leaves nothing.
+        assert!(Topology::single().components_without(b(0)).is_empty());
     }
 
     #[cfg(feature = "serde-json-tests")]

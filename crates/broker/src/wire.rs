@@ -38,6 +38,8 @@
 //! 2 Subscribe     id: u64, subscriber: u64, tree
 //! 3 Unsubscribe   id: u64
 //! 4 PublishBatch  count: u32, count * event
+//! 5 SyncRequest   broker: u32
+//! 6 SyncState     count: u32, count * (id: u64, subscriber: u64, tree)
 //!
 //! event  := id: u64, pairs: u16, pairs * (name: str16, value)
 //! str16  := len: u16, utf-8 bytes          (attribute names)
@@ -106,6 +108,23 @@ pub enum WireMessage {
         /// The events carried by this frame.
         events: EventBatch,
     },
+    /// Recovery: a restarted broker asks a neighbor to replay the
+    /// subscription state it should route towards that neighbor's side of
+    /// the network. The neighbor answers with a
+    /// [`SyncState`](WireMessage::SyncState).
+    SyncRequest {
+        /// The requesting (restarted) broker.
+        broker: BrokerId,
+    },
+    /// Recovery: a neighbor's reply to a
+    /// [`SyncRequest`](WireMessage::SyncRequest) — every subscription the
+    /// requester must install as a remote entry pointing back over the
+    /// arrival link. Registered without onward flooding (the rest of the
+    /// network already has this state).
+    SyncState {
+        /// The subscriptions to install, in subscription-id order.
+        subscriptions: Vec<Subscription>,
+    },
 }
 
 /// The kind of a wire message, recoverable from an encoded frame without
@@ -123,6 +142,10 @@ pub enum WireKind {
     Unsubscribe,
     /// [`WireMessage::PublishBatch`]
     PublishBatch,
+    /// [`WireMessage::SyncRequest`]
+    SyncRequest,
+    /// [`WireMessage::SyncState`]
+    SyncState,
 }
 
 impl WireKind {
@@ -141,6 +164,8 @@ impl WireMessage {
             WireMessage::Subscribe { .. } => WireKind::Subscribe,
             WireMessage::Unsubscribe { .. } => WireKind::Unsubscribe,
             WireMessage::PublishBatch { .. } => WireKind::PublishBatch,
+            WireMessage::SyncRequest { .. } => WireKind::SyncRequest,
+            WireMessage::SyncState { .. } => WireKind::SyncState,
         }
     }
 }
@@ -155,6 +180,8 @@ pub fn frame_kind(bytes: &[u8]) -> Option<WireKind> {
         2 => Some(WireKind::Subscribe),
         3 => Some(WireKind::Unsubscribe),
         4 => Some(WireKind::PublishBatch),
+        5 => Some(WireKind::SyncRequest),
+        6 => Some(WireKind::SyncState),
         _ => None,
     }
 }
@@ -269,6 +296,21 @@ impl Codec {
             }
             WireMessage::PublishBatch { events } => {
                 self.encode_publish_batch_body(events, None, out);
+            }
+            WireMessage::SyncRequest { broker } => {
+                out.push(5);
+                out.extend_from_slice(&broker.raw().to_le_bytes());
+            }
+            WireMessage::SyncState { subscriptions } => {
+                out.push(6);
+                let count =
+                    u32::try_from(subscriptions.len()).expect("sync state exceeds u32 entries");
+                out.extend_from_slice(&count.to_le_bytes());
+                for subscription in subscriptions {
+                    out.extend_from_slice(&subscription.id().raw().to_le_bytes());
+                    out.extend_from_slice(&subscription.subscriber().raw().to_le_bytes());
+                    encode_tree(subscription.tree(), subscription.tree().root(), out);
+                }
             }
         }
         backpatch_len(out, frame_start);
@@ -394,6 +436,32 @@ impl Codec {
                 };
                 self.decode_batch_body(&mut r, &mut batch)?;
                 *message = WireMessage::PublishBatch { events: batch };
+            }
+            5 => {
+                *message = WireMessage::SyncRequest {
+                    broker: BrokerId::from_raw(r.u32()?),
+                };
+            }
+            6 => {
+                let count = r.u32()? as usize;
+                // Each entry needs at least id + subscriber + one tree tag
+                // on the wire; an absurd count is rejected before any
+                // allocation is attempted.
+                if count > r.remaining() / 17 {
+                    return Err(CodecError::Malformed("sync count exceeds frame size"));
+                }
+                let mut subscriptions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = SubscriptionId::from_raw(r.u64()?);
+                    let subscriber = SubscriberId::from_raw(r.u64()?);
+                    let expr = self.decode_tree(&mut r, 0)?;
+                    subscriptions.push(Subscription::new(
+                        id,
+                        subscriber,
+                        SubscriptionTree::from_expr(&expr),
+                    ));
+                }
+                *message = WireMessage::SyncState { subscriptions };
             }
             tag => return Err(CodecError::UnknownTag(tag)),
         }
@@ -681,11 +749,27 @@ impl<'a> Reader<'a> {
 
 /// Moves encoded frames between brokers.
 ///
-/// A transport is a dumb pipe: it carries opaque byte frames between link
-/// endpoints and neither decodes nor reorders them within one link.
-/// `from == None` marks a frame injected by a local client (a publisher or
-/// subscriber connected directly to `to`), which is not inter-broker
-/// traffic.
+/// A well-behaved transport is a dumb pipe: it carries opaque byte frames
+/// between link endpoints and neither decodes nor reorders them within one
+/// link. `from == None` marks a frame injected by a local client (a
+/// publisher or subscriber connected directly to `to`), which is not
+/// inter-broker traffic. Fault-injecting transports
+/// ([`FaultyTransport`](crate::FaultyTransport)) deliberately break the
+/// dumb-pipe guarantees — dropping, duplicating, reordering, and corrupting
+/// frames — which is exactly what the reliable-link layer
+/// ([`reliable`](crate::reliable)) exists to mask.
+///
+/// # Quiescence contract
+///
+/// `is_idle` is a **protocol requirement**, not a hint: it must return
+/// `true` only when *no* frame is buffered anywhere inside the transport —
+/// including frames an implementation is holding back internally (delay
+/// queues, reorder buffers, partially flushed sockets). The drain loops of
+/// [`Simulation`](crate::Simulation) and the in-flight accounting of
+/// [`ParallelNetwork`](crate::ParallelNetwork) use it to decide that the
+/// network has gone quiet; a transport that under-reports lets those loops
+/// terminate early and lose frames. Equivalently: after `is_idle()` returns
+/// `true`, `recv_into` must return `None` until the next `send`.
 ///
 /// [`ChannelTransport`] is the in-memory implementation the deterministic
 /// simulation runs on; a TCP transport slots in here for multi-process
@@ -699,7 +783,9 @@ pub trait Transport: fmt::Debug {
     /// in flight.
     fn recv_into(&mut self, frame: &mut Vec<u8>) -> Option<(Option<BrokerId>, BrokerId)>;
 
-    /// Returns `true` if no frames are queued.
+    /// Returns `true` if no frames are queued — anywhere, including
+    /// internal delay or reorder buffers (see the quiescence contract
+    /// above).
     fn is_idle(&self) -> bool;
 }
 
@@ -810,10 +896,62 @@ mod tests {
             WireMessage::PublishBatch {
                 events: EventBatch::new(),
             },
+            WireMessage::SyncRequest {
+                broker: BrokerId::from_raw(5),
+            },
+            WireMessage::SyncState {
+                subscriptions: vec![
+                    sample_subscription(),
+                    Subscription::from_expr(
+                        SubscriptionId::from_raw(8),
+                        SubscriberId::from_raw(1),
+                        &Expr::gt("price", 3i64),
+                    ),
+                ],
+            },
+            WireMessage::SyncState {
+                subscriptions: Vec::new(),
+            },
         ];
         for message in &messages {
             assert_eq!(&roundtrip(message), message, "{:?}", message.kind());
         }
+    }
+
+    #[test]
+    fn sync_frames_classify_as_control() {
+        let mut codec = Codec::new();
+        let mut buf = Vec::new();
+        codec.encode_into(
+            &WireMessage::SyncRequest {
+                broker: BrokerId::from_raw(2),
+            },
+            &mut buf,
+        );
+        assert_eq!(frame_kind(&buf), Some(WireKind::SyncRequest));
+        assert!(!WireKind::SyncRequest.is_data());
+        buf.clear();
+        codec.encode_into(
+            &WireMessage::SyncState {
+                subscriptions: vec![sample_subscription()],
+            },
+            &mut buf,
+        );
+        assert_eq!(frame_kind(&buf), Some(WireKind::SyncState));
+        assert!(!WireKind::SyncState.is_data());
+        // Truncations of a SyncState frame error out cleanly.
+        for cut in 0..buf.len() {
+            assert!(codec.decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // An absurd entry count is rejected before allocation.
+        let mut bogus = vec![0u8; FRAME_HEADER_LEN];
+        bogus.push(6);
+        bogus.extend_from_slice(&u32::MAX.to_le_bytes());
+        backpatch_len(&mut bogus, 0);
+        assert_eq!(
+            codec.decode(&bogus).unwrap_err(),
+            CodecError::Malformed("sync count exceeds frame size")
+        );
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Chaos soak: thousands of events through a lossy, reordering,
+//! occasionally corrupting network with a broker crash/restart mid-run.
+//!
+//! The reliable-link layer's whole contract is that **faults change the
+//! wire traffic, never the outcome**: the set of `(event, subscriber,
+//! subscription)` deliveries under any fault plan — including losing a
+//! broker and recovering it — must equal the fault-free run exactly. This
+//! suite drives that end to end with the auction workload generator and
+//! compares full delivery logs, not just counts.
+
+use broker::{
+    BrokerId, ChannelTransport, FaultPlan, FaultyTransport, Simulation, SimulationConfig, Topology,
+};
+use pubsub_core::{EventBatch, EventId, SubscriberId, Subscription, SubscriptionId};
+use workload::{AuctionSchema, ClassMix, EventGenerator, SubscriptionGenerator};
+
+const BROKERS: usize = 7;
+const FANOUT: usize = 2;
+const SUBSCRIPTIONS: usize = 60;
+const SUBSCRIBERS: usize = 56;
+const BATCH: usize = 256;
+const BATCHES: usize = 20; // 5120 events
+const CRASH_AFTER_BATCH: usize = 10;
+const OUTAGE_BATCHES: usize = 2;
+const CRASHED: BrokerId = BrokerId::from_raw(1); // internal tree broker
+
+fn workload() -> (Vec<Subscription>, Vec<EventBatch>) {
+    let schema = AuctionSchema::default();
+    let subs = SubscriptionGenerator::new(schema, ClassMix::default_mix(), 42)
+        .subscriptions(SUBSCRIPTIONS, SUBSCRIBERS);
+    let mut events = EventGenerator::new(schema, 43);
+    let batches = (0..BATCHES).map(|_| events.event_batch(BATCH)).collect();
+    (subs, batches)
+}
+
+fn sorted_log(sim: &mut Simulation) -> Vec<(EventId, SubscriberId, SubscriptionId)> {
+    let mut log = sim.take_delivery_log();
+    log.sort();
+    log
+}
+
+/// The ground truth: same topology, same subscriptions, same batches, a
+/// lossless transport, and no crash.
+fn baseline() -> (Vec<(EventId, SubscriberId, SubscriptionId)>, u64) {
+    let (subs, batches) = workload();
+    let topology = Topology::balanced_tree(BROKERS, FANOUT);
+    let mut sim = Simulation::new(SimulationConfig::new(topology));
+    sim.enable_delivery_log();
+    sim.register_all(subs);
+    for batch in &batches {
+        let _ = sim.publish_batch(batch);
+    }
+    let deliveries = sim.deliveries();
+    (sorted_log(&mut sim), deliveries)
+}
+
+#[test]
+fn chaos_soak_delivers_exactly_the_fault_free_set() {
+    let (expected_log, expected_deliveries) = baseline();
+    assert!(
+        expected_deliveries > 0,
+        "the workload must produce deliveries for the comparison to mean anything"
+    );
+
+    let (subs, batches) = workload();
+    let topology = Topology::balanced_tree(BROKERS, FANOUT);
+    // Every link: 10% drop, 5% duplication, reordering within a window of
+    // 8 arrival slots, and a sprinkle of byte corruption.
+    let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+    for (a, b) in topology.links() {
+        transport.set_link_plan(
+            a,
+            b,
+            FaultPlan::new(1000 + a.raw() as u64 * 31 + b.raw() as u64)
+                .with_drop(0.10)
+                .with_duplicate(0.05)
+                .with_reorder(8)
+                .with_corrupt(0.02),
+        );
+    }
+    let config = SimulationConfig::new(topology).with_reliability(true);
+    let mut sim = Simulation::with_transport(config, Box::new(transport));
+    sim.enable_delivery_log();
+    // Even the subscription flood crosses the lossy links: reliability must
+    // get the routing state installed exactly despite drops and corruption.
+    sim.register_all(subs);
+
+    for (index, batch) in batches.iter().enumerate() {
+        if index == CRASH_AFTER_BATCH {
+            sim.crash_broker(CRASHED);
+        }
+        if index == CRASH_AFTER_BATCH + OUTAGE_BATCHES {
+            sim.restart_broker(CRASHED);
+        }
+        let _ = sim.publish_batch(batch);
+    }
+
+    assert_eq!(
+        sorted_log(&mut sim),
+        expected_log,
+        "fault injection changed the delivered set"
+    );
+    assert_eq!(sim.deliveries(), expected_deliveries);
+
+    let stats = sim.network_stats();
+    assert!(stats.retransmits > 0, "10% drop must force retransmissions");
+    assert!(stats.dup_suppressed > 0, "duplicates must be suppressed");
+    assert!(stats.corrupt_dropped > 0, "corruption must be detected");
+    assert_eq!(stats.resyncs, 1, "exactly one crash/restart cycle ran");
+    assert_eq!(
+        stats.queue_drops, 0,
+        "the outage traffic must fit the pending queue"
+    );
+    assert_eq!(
+        stats.decode_errors, 0,
+        "the checksum must stop corruption before the codec sees it"
+    );
+}
+
+#[test]
+fn chaos_outage_events_survive_via_publisher_failover_and_link_queues() {
+    // Focused variant: ONLY the outage (no link faults). Every event
+    // published while the internal broker is down must still arrive —
+    // publishers fail over to live brokers, and traffic routed toward the
+    // crashed broker waits in the link queues until recovery.
+    let topology = Topology::balanced_tree(BROKERS, FANOUT);
+    let (subs, _) = workload();
+    let mut events = EventGenerator::new(AuctionSchema::default(), 47);
+
+    let mut plain = Simulation::new(SimulationConfig::new(topology.clone()));
+    plain.enable_delivery_log();
+    plain.register_all(subs.clone());
+
+    let config = SimulationConfig::new(topology).with_reliability(true);
+    let mut faulty = Simulation::new(config);
+    faulty.enable_delivery_log();
+    faulty.register_all(subs);
+
+    let batches: Vec<EventBatch> = (0..4).map(|_| events.event_batch(128)).collect();
+    let _ = plain.publish_batch(&batches[0]);
+    let _ = faulty.publish_batch(&batches[0]);
+
+    faulty.crash_broker(CRASHED);
+    for batch in &batches[1..3] {
+        let _ = plain.publish_batch(batch);
+        let _ = faulty.publish_batch(batch);
+    }
+    faulty.restart_broker(CRASHED);
+
+    let _ = plain.publish_batch(&batches[3]);
+    let _ = faulty.publish_batch(&batches[3]);
+
+    assert_eq!(sorted_log(&mut faulty), sorted_log(&mut plain));
+    assert_eq!(faulty.network_stats().resyncs, 1);
+}

@@ -1,0 +1,93 @@
+//! Differential property test: for *random* fault plans over line, star,
+//! and tree topologies — random drop/duplicate/reorder/corrupt rates,
+//! random seeds, and a mid-run crash/restart of a randomly chosen broker —
+//! the delivered `(event, subscriber, subscription)` set must be identical
+//! to the same workload on a clean, fault-free network.
+
+use broker::{
+    ChannelTransport, FaultPlan, FaultyTransport, Simulation, SimulationConfig, Topology,
+};
+use proptest::prelude::*;
+use pubsub_core::{EventBatch, EventId, SubscriberId, SubscriptionId};
+use workload::{AuctionSchema, ClassMix, EventGenerator, SubscriptionGenerator};
+
+const SUBSCRIPTIONS: usize = 12;
+const SUBSCRIBERS: usize = 10;
+const PHASE_EVENTS: usize = 12;
+
+fn topology(index: usize) -> Topology {
+    match index % 3 {
+        0 => Topology::line(4),
+        1 => Topology::star(5),
+        _ => Topology::balanced_tree(7, 2),
+    }
+}
+
+fn sorted_log(sim: &mut Simulation) -> Vec<(EventId, SubscriberId, SubscriptionId)> {
+    let mut log = sim.take_delivery_log();
+    log.sort();
+    log
+}
+
+proptest! {
+    #[test]
+    fn any_fault_plan_delivers_the_fault_free_set(
+        topology_index in 0usize..3,
+        workload_seed in 0u64..1_000,
+        fault_seed in 0u64..=u64::MAX,
+        drop in 0.0..0.3f64,
+        duplicate in 0.0..0.2f64,
+        corrupt in 0.0..0.1f64,
+        reorder in 0u64..=8,
+        crash_pick in 0u64..=u64::MAX,
+    ) {
+        let topology = topology(topology_index);
+        let schema = AuctionSchema::default();
+        let subs = SubscriptionGenerator::new(schema, ClassMix::default_mix(), workload_seed)
+            .subscriptions(SUBSCRIPTIONS, SUBSCRIBERS);
+        let mut generator = EventGenerator::new(schema, workload_seed.wrapping_add(1));
+        let phases: Vec<EventBatch> =
+            (0..3).map(|_| generator.event_batch(PHASE_EVENTS)).collect();
+        // Any broker may crash: publishers fail over, local clients
+        // re-subscribe on restart, neighbors queue in-flight traffic.
+        let brokers: Vec<_> = topology.broker_ids().collect();
+        let crash = brokers[(crash_pick % brokers.len() as u64) as usize];
+
+        // Fault-free reference.
+        let mut clean = Simulation::new(SimulationConfig::new(topology.clone()));
+        clean.enable_delivery_log();
+        clean.register_all(subs.clone());
+        for phase in &phases {
+            let _ = clean.publish_batch(phase);
+        }
+        let expected = sorted_log(&mut clean);
+
+        // Same run under a random fault plan with a mid-run outage.
+        let mut transport = FaultyTransport::new(Box::new(ChannelTransport::new()));
+        for (a, b) in topology.links() {
+            transport.set_link_plan(
+                a,
+                b,
+                FaultPlan::new(fault_seed ^ (a.raw() as u64) << 32 ^ b.raw() as u64)
+                    .with_drop(drop)
+                    .with_duplicate(duplicate)
+                    .with_corrupt(corrupt)
+                    .with_reorder(reorder),
+            );
+        }
+        let config = SimulationConfig::new(topology).with_reliability(true);
+        let mut faulty = Simulation::with_transport(config, Box::new(transport));
+        faulty.enable_delivery_log();
+        faulty.register_all(subs);
+        let _ = faulty.publish_batch(&phases[0]);
+        faulty.crash_broker(crash);
+        let _ = faulty.publish_batch(&phases[1]);
+        faulty.restart_broker(crash);
+        let _ = faulty.publish_batch(&phases[2]);
+
+        prop_assert_eq!(sorted_log(&mut faulty), expected);
+        prop_assert_eq!(faulty.network_stats().resyncs, 1);
+        prop_assert_eq!(faulty.network_stats().decode_errors, 0);
+        prop_assert_eq!(faulty.network_stats().queue_drops, 0);
+    }
+}

@@ -3,7 +3,7 @@
 //! empty and large batches — must encode→decode to equality, and truncated
 //! or corrupted frames must fail with a `CodecError`, never a panic.
 
-use broker::wire::{Codec, WireMessage};
+use broker::wire::{frame_kind, Codec, WireMessage};
 use broker::BrokerId;
 use proptest::prelude::*;
 use pubsub_core::{
@@ -114,6 +114,25 @@ fn message() -> BoxedStrategy<WireMessage> {
         batch()
             .prop_map(|events| WireMessage::PublishBatch { events })
             .boxed(),
+        (0u32..64)
+            .prop_map(|b| WireMessage::SyncRequest {
+                broker: BrokerId::from_raw(b),
+            })
+            .boxed(),
+        prop::collection::vec((0u64..=u64::MAX, 0u64..=u64::MAX, expr()), 0..=4)
+            .prop_map(|entries| WireMessage::SyncState {
+                subscriptions: entries
+                    .into_iter()
+                    .map(|(id, subscriber, expr)| {
+                        Subscription::from_expr(
+                            SubscriptionId::from_raw(id),
+                            SubscriberId::from_raw(subscriber),
+                            &expr,
+                        )
+                    })
+                    .collect(),
+            })
+            .boxed(),
     ]
     .boxed()
 }
@@ -175,6 +194,71 @@ proptest! {
             corrupted[index] = byte as u8;
         }
         let _ = codec.decode(&corrupted);
+    }
+
+    /// Single-frame mutations — truncation, a one-bit flip anywhere, or
+    /// swapping the tag byte for any tag value including the reserved
+    /// reliable-layer tags — yield a `CodecError` or a semantically valid
+    /// frame, never a panic. This holds for every message variant the
+    /// strategy generates, including `SyncRequest`/`SyncState`.
+    #[test]
+    fn single_frame_mutations_never_panic(
+        message in message(),
+        cut in 0u64..=u64::MAX,
+        flip in (0u64..=u64::MAX, 0u32..8),
+        tag in 0u64..256,
+    ) {
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+
+        // Truncation at an arbitrary point.
+        let cut = (cut % frame.len() as u64) as usize;
+        prop_assert!(codec.decode(&frame[..cut]).is_err());
+
+        // A single bit flip anywhere in the frame.
+        let (pos, bit) = flip;
+        let mut flipped = frame.clone();
+        let index = (pos % flipped.len() as u64) as usize;
+        flipped[index] ^= 1u8 << bit;
+        if let Ok((mutant, consumed)) = codec.decode(&flipped) {
+            // Anything that still decodes must re-encode cleanly: the
+            // decoder only ever produces well-formed messages.
+            prop_assert_eq!(consumed, flipped.len());
+            let mut re_encoded = Vec::new();
+            codec.encode_into(&mutant, &mut re_encoded);
+        }
+
+        // Swapping the tag re-interprets the payload under another schema
+        // (or an unknown / reliable-layer tag); same contract.
+        if frame.len() > 4 {
+            let mut swapped = frame.clone();
+            swapped[4] = tag as u8;
+            if let Ok((mutant, _)) = codec.decode(&swapped) {
+                let mut re_encoded = Vec::new();
+                codec.encode_into(&mutant, &mut re_encoded);
+            }
+        }
+    }
+
+    /// `frame_kind` classifies without panicking on any buffer: short
+    /// headers (fewer than the 5 bytes needed to read a tag) report `None`,
+    /// as do unknown tags.
+    #[test]
+    fn frame_kind_handles_short_headers(
+        bytes in prop::collection::vec(0u64..256, 0..=8),
+        message in message(),
+    ) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let kind = frame_kind(&raw);
+        if raw.len() < 5 {
+            prop_assert!(kind.is_none(), "short header classified as {kind:?}");
+        }
+        // A valid frame always classifies, and as the right kind.
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+        prop_assert_eq!(frame_kind(&frame), Some(message.kind()));
     }
 }
 
