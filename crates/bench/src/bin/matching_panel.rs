@@ -70,8 +70,8 @@ use broker::{
     SendOutcome, Simulation, SimulationConfig, Topology,
 };
 use filtering::{
-    CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine, NaiveEngine,
-    PrefilterMode, ShardedEngine,
+    AnalyzeMode, CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine,
+    NaiveEngine, PrefilterMode, ShardedEngine,
 };
 use pubsub_core::{EventBatch, EventMessage, Subscription};
 use std::time::Instant;
@@ -164,6 +164,37 @@ struct PrefilterPanelResult {
     killed_by_prefilter: u64,
     /// Subscriptions that reached stage-2 evaluation across the timed passes.
     stage2_candidates: u64,
+    ns_per_event: f64,
+    events_per_sec: f64,
+}
+
+/// One measured cell of the subscription-analysis panel: one workload cell
+/// matched with the registration-time analyzer forced on or off.
+struct AnalysisPanelResult {
+    /// Workload cell: `"uniform"` (the panel's own workload) or
+    /// `"redundant"` (the same subscriptions wrapped in duplicated,
+    /// absorbed, and range-redundant structure, with ~5% made
+    /// unsatisfiable).
+    workload: &'static str,
+    /// Analyzer mode: `"on"` or `"off"`.
+    mode: &'static str,
+    /// Subscriptions offered at registration (before any rejection).
+    subscriptions: usize,
+    /// Subscriptions actually indexed after registration.
+    indexed: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    /// Subscriptions that reached stage-2 evaluation across the timed passes.
+    stage2_candidates: u64,
+    /// Registration-time counters (from `FilterStats`).
+    subs_simplified: u64,
+    nodes_eliminated: u64,
+    unsatisfiable_rejected: u64,
+    /// Wire bytes to flood every indexed subscription once (`Subscribe`
+    /// frames over the stored — i.e. possibly normalized — trees).
+    subscribe_bytes: u64,
     ns_per_event: f64,
     events_per_sec: f64,
 }
@@ -651,6 +682,120 @@ fn measure_prefilter(
     }
 }
 
+/// The redundancy-heavy analysis workload: each subscription wrapped in
+/// structure the analyzer can remove without changing semantics relative to
+/// the wrapped form — duplicated subtrees, an absorption pattern, and a
+/// redundant range pair — and every 20th replaced by a contradiction (the
+/// ~5% unsatisfiable slice a registration-time check should catch).
+fn redundant_subs(base: &[Subscription]) -> Vec<Subscription> {
+    use pubsub_core::Expr;
+    base.iter()
+        .enumerate()
+        .map(|(i, sub)| {
+            let expr = sub.tree().to_expr();
+            let wrapped = if i % 20 == 19 {
+                Expr::and(vec![
+                    expr,
+                    Expr::gt("panel_pad", 5i64),
+                    Expr::lt("panel_pad", 3i64),
+                ])
+            } else {
+                match i % 3 {
+                    0 => Expr::and(vec![expr.clone(), expr]),
+                    1 => Expr::or(vec![
+                        expr.clone(),
+                        Expr::and(vec![expr, Expr::gt("panel_pad", 0i64)]),
+                    ]),
+                    _ => Expr::and(vec![
+                        expr,
+                        Expr::gt("panel_pad", 1i64),
+                        Expr::gt("panel_pad", 3i64),
+                    ]),
+                }
+            };
+            Subscription::from_expr(sub.id(), sub.subscriber(), &wrapped)
+        })
+        .collect()
+}
+
+/// Measures one subscription-analysis cell: the counting engine with the
+/// registration-time analyzer forced to `mode`. Registration counters are
+/// captured right after the inserts; the subscribe-byte figure encodes one
+/// `Subscribe` frame per *stored* subscription, so the `on` cells price the
+/// normalized trees a broker would actually flood.
+fn measure_analysis(
+    workload: &'static str,
+    mode: AnalyzeMode,
+    subscriptions: &[Subscription],
+    events: &[EventMessage],
+    batch_size: usize,
+    passes: usize,
+) -> AnalysisPanelResult {
+    use broker::wire::WireMessage;
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut engine = CountingEngine::with_config_and_capacity(
+        EngineConfig::default().analyze(mode),
+        subscriptions.len(),
+    );
+    for s in subscriptions {
+        engine.insert(s.clone());
+    }
+    let registration = *engine.stats();
+    let mut codec = Codec::new();
+    let mut frame = Vec::new();
+    let mut subscribe_bytes = 0u64;
+    let mut indexed = 0usize;
+    for s in subscriptions {
+        let Some(stored) = engine.get(s.id()) else {
+            continue;
+        };
+        indexed += 1;
+        let message = WireMessage::Subscribe {
+            subscription: stored.clone(),
+        };
+        subscribe_bytes += codec.encode_into(&message, &mut frame) as u64;
+    }
+    let mut sink = CountSink::new();
+    for batch in &batches {
+        engine.match_batch(batch, &mut sink);
+    }
+    engine.reset_stats();
+    let total_events: usize = batches.iter().map(EventBatch::len).sum();
+    let start = Instant::now();
+    let mut matches = 0usize;
+    for _ in 0..passes {
+        for batch in &batches {
+            engine.match_batch(batch, &mut sink);
+            matches += sink.count() as usize;
+        }
+    }
+    let elapsed = start.elapsed();
+    let ns_per_event = elapsed.as_nanos() as f64 / (passes * total_events) as f64;
+    AnalysisPanelResult {
+        workload,
+        mode: match mode {
+            AnalyzeMode::On => "on",
+            AnalyzeMode::Off => "off",
+        },
+        subscriptions: subscriptions.len(),
+        indexed,
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass: matches / passes.max(1),
+        stage2_candidates: engine.stats().stage2_candidates,
+        subs_simplified: registration.subs_simplified,
+        nodes_eliminated: registration.nodes_eliminated,
+        unsatisfiable_rejected: registration.unsatisfiable_rejected,
+        subscribe_bytes,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+    }
+}
+
 /// Measures the sharded engine over pre-chunked batches at one shard count.
 fn measure_sharded(
     subscriptions: &[Subscription],
@@ -761,6 +906,7 @@ fn print_comparison_table(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // one parameter per JSON series
 fn render_json(
     config: &PanelConfig,
     results: &[PanelResult],
@@ -769,6 +915,7 @@ fn render_json(
     reliable: &ReliablePanel,
     sharded_results: &[ShardedPanelResult],
     prefilter_results: &[PrefilterPanelResult],
+    analysis_results: &[AnalysisPanelResult],
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
@@ -1002,7 +1149,74 @@ fn render_json(
         "  \"prefilter_speedup_hot_key\": {speedup_hot_key:.2},\n"
     ));
     out.push_str(&format!(
-        "  \"prefilter_overhead_uniform_pct\": {overhead_uniform_pct:.2}\n"
+        "  \"prefilter_overhead_uniform_pct\": {overhead_uniform_pct:.2},\n"
+    ));
+    out.push_str("  \"analysis_results\": [\n");
+    for (i, r) in analysis_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"workload\": \"{}\", \"mode\": \"{}\", ",
+                "\"subscriptions\": {}, \"indexed\": {}, \"batch_size\": {}, ",
+                "\"events\": {}, \"passes\": {}, \"matches_per_pass\": {}, ",
+                "\"stage2_candidates\": {}, \"subs_simplified\": {}, ",
+                "\"nodes_eliminated\": {}, \"unsatisfiable_rejected\": {}, ",
+                "\"subscribe_bytes\": {}, \"ns_per_event\": {:.1}, ",
+                "\"events_per_sec\": {:.1}}}{}\n"
+            ),
+            r.workload,
+            r.mode,
+            r.subscriptions,
+            r.indexed,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.stage2_candidates,
+            r.subs_simplified,
+            r.nodes_eliminated,
+            r.unsatisfiable_rejected,
+            r.subscribe_bytes,
+            r.ns_per_event,
+            r.events_per_sec,
+            if i + 1 == analysis_results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The two condensed analysis figures: on the redundancy-heavy cell, how
+    // much of the stage-2 probe volume and of the subscribe wire traffic the
+    // registration-time analyzer removes.
+    let analysis_cell = |workload: &str, mode: &str| {
+        analysis_results
+            .iter()
+            .find(|r| r.workload == workload && r.mode == mode)
+    };
+    let stage2_reduction_pct = match (
+        analysis_cell("redundant", "on"),
+        analysis_cell("redundant", "off"),
+    ) {
+        (Some(on), Some(off)) if off.stage2_candidates > 0 => {
+            100.0 * (1.0 - on.stage2_candidates as f64 / off.stage2_candidates as f64)
+        }
+        _ => 0.0,
+    };
+    let subscribe_bytes_reduction_pct = match (
+        analysis_cell("redundant", "on"),
+        analysis_cell("redundant", "off"),
+    ) {
+        (Some(on), Some(off)) if off.subscribe_bytes > 0 => {
+            100.0 * (1.0 - on.subscribe_bytes as f64 / off.subscribe_bytes as f64)
+        }
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "  \"analysis_stage2_reduction_pct\": {stage2_reduction_pct:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"analysis_subscribe_bytes_reduction_pct\": {subscribe_bytes_reduction_pct:.2}\n"
     ));
     out.push_str("}\n");
     out
@@ -1171,6 +1385,37 @@ fn main() {
         }
     }
 
+    // Subscription-analysis panel: the uniform cell reuses the panel's own
+    // workload; the redundant cell wraps the same subscriptions in
+    // analyzer-removable structure with a ~5% unsatisfiable slice. Each is
+    // registered with the analyzer on and off; the match sets must agree.
+    let analysis_batch = if config.quick { 16 } else { 256 };
+    let redundant = redundant_subs(batch_subs);
+    let mut analysis_results = Vec::new();
+    for (workload, subs) in [("uniform", batch_subs), ("redundant", &redundant[..])] {
+        let mut per_mode = Vec::new();
+        for mode in [AnalyzeMode::On, AnalyzeMode::Off] {
+            let r = measure_analysis(workload, mode, subs, &full_events, analysis_batch, passes);
+            eprintln!(
+                "analysis {:<9} mode={:<3} indexed={:<6} {:>10.0} ns/event (stage2 {} unsat {} sub-bytes {})",
+                r.workload,
+                r.mode,
+                r.indexed,
+                r.ns_per_event,
+                r.stage2_candidates,
+                r.unsatisfiable_rejected,
+                r.subscribe_bytes
+            );
+            per_mode.push(r.matches_per_pass);
+            analysis_results.push(r);
+        }
+        // Analysis must never change what matches: on ≡ off, per workload.
+        assert_eq!(
+            per_mode[0], per_mode[1],
+            "analysis changed the {workload} match set"
+        );
+    }
+
     print_comparison_table(&results, &batch_results, &wire_results, &sharded_results);
 
     let json = render_json(
@@ -1181,6 +1426,7 @@ fn main() {
         &reliable,
         &sharded_results,
         &prefilter_results,
+        &analysis_results,
     );
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);

@@ -1,6 +1,6 @@
 //! The centralized experiments: Figures 1(a), 1(b), and 1(c).
 
-use filtering::{CountSink, CountingEngine, MatchingEngine};
+use filtering::{AnalyzeMode, CountSink, CountingEngine, EngineConfig, MatchingEngine};
 use pruning::{Dimension, Pruner, PrunerConfig};
 use pubsub_core::{EventBatch, EventMessage, Subscription};
 use selectivity::SelectivityEstimator;
@@ -68,7 +68,12 @@ pub fn run_centralized_with(
     let total = plan.len().max(1);
 
     // Baseline engine (unoptimized) for the association-reduction reference.
-    let mut engine = CountingEngine::with_capacity(subscriptions.len());
+    // Analysis is pinned off: these experiments measure the pruning
+    // heuristics in isolation, so trees must enter the engine verbatim.
+    let mut engine = CountingEngine::with_config_and_capacity(
+        EngineConfig::with_analyze(AnalyzeMode::Off),
+        subscriptions.len(),
+    );
     for s in subscriptions {
         engine.insert(s.clone());
     }

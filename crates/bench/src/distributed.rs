@@ -1,6 +1,7 @@
 //! The distributed experiments: Figures 1(d), 1(e), and 1(f).
 
 use broker::{BrokerId, Simulation, SimulationConfig, Topology};
+use filtering::{AnalyzeMode, EngineConfig};
 use pruning::{Dimension, Pruner, PrunerConfig, PruningPlan};
 use pubsub_core::{EventMessage, Subscription, SubscriptionId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
@@ -72,7 +73,14 @@ pub fn run_distributed_with(
     dimension: Dimension,
     fractions: &[f64],
 ) -> Vec<DistributedPoint> {
-    let mut sim = Simulation::new(SimulationConfig::new(Topology::line(broker_count)));
+    // The pruning experiments measure the dimension heuristics in
+    // isolation: registration-time analysis (tree normalization and
+    // subsumption-based flood suppression) would perturb both the traffic
+    // baseline and the remote entries the pruner mutates, so it is pinned
+    // off here — the analyzer has its own panel in `matching_panel`.
+    let config = SimulationConfig::new(Topology::line(broker_count))
+        .with_engine_config(EngineConfig::with_analyze(AnalyzeMode::Off));
+    let mut sim = Simulation::new(config);
     sim.register_all(subscriptions.iter().cloned());
 
     // Baseline run (unoptimized routing tables).

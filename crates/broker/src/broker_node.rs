@@ -1,14 +1,16 @@
 //! A single broker node.
 
-use crate::metrics::RoutingMemoryReport;
+use crate::metrics::{AnalysisStats, RoutingMemoryReport};
 use crate::routing_table::RoutingTable;
 use crate::wire::WireMessage;
 use filtering::{EngineConfig, EngineKind, FilterStats};
+use pubsub_core::analysis::{implies, Analyzer};
 #[cfg(test)]
 use pubsub_core::EventMessage;
 use pubsub_core::{
-    BrokerId, EventBatch, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
+    BrokerId, EventBatch, Expr, SubscriberId, Subscription, SubscriptionId, SubscriptionTree,
 };
+use std::collections::BTreeMap;
 
 /// Where a routing entry's matches must be sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +91,14 @@ pub struct Broker {
     batch_pool: Vec<EventBatch>,
     /// Reusable per-event forwarding buckets for the batch path.
     forward_scratch: Vec<Vec<BrokerId>>,
+    /// Flood-suppression records, per neighbor: `suppressed[n][s] = g` means
+    /// the `Subscribe` for `s` was NOT flooded toward neighbor `n` because
+    /// the already-propagated subscription `g` subsumes it (every event `s`
+    /// needs already flows here for `g`). When `g` goes away, `s` is either
+    /// re-blocked by another subsumer or re-flooded.
+    suppressed: BTreeMap<BrokerId, BTreeMap<SubscriptionId, SubscriptionId>>,
+    /// Registration-time analysis counters of this broker.
+    analysis: AnalysisStats,
 }
 
 impl Broker {
@@ -120,6 +130,8 @@ impl Broker {
             links_up: Vec::new(),
             batch_pool: Vec::new(),
             forward_scratch: Vec::new(),
+            suppressed: BTreeMap::new(),
+            analysis: AnalysisStats::default(),
         }
     }
 
@@ -274,23 +286,82 @@ impl Broker {
                 }
             }
             WireMessage::Subscribe { subscription } => {
+                let analyze = self.table.engine_config().analyze.is_on();
+                let subscription = if analyze {
+                    let (normalized, report) = Analyzer::new().analyze_subscription(subscription);
+                    match normalized {
+                        Some(normalized) => {
+                            if report.changed {
+                                self.analysis.subs_simplified += 1;
+                                self.analysis.nodes_eliminated += report.nodes_eliminated() as u64;
+                            }
+                            normalized
+                        }
+                        None => {
+                            // Unsatisfiable: counted, diagnosable through
+                            // the analysis stats, never indexed, never
+                            // flooded. Replacing an existing id with an
+                            // unsatisfiable body acts like an unsubscribe.
+                            self.analysis.unsatisfiable_rejected += 1;
+                            let id = subscription.id();
+                            if self.unregister(id).is_some() {
+                                self.release_suppression(id, handling);
+                                for neighbor in &self.neighbors {
+                                    if Some(*neighbor) != from {
+                                        handling
+                                            .outgoing
+                                            .push((*neighbor, WireMessage::Unsubscribe { id }));
+                                    }
+                                }
+                            }
+                            return;
+                        }
+                    }
+                } else {
+                    subscription.clone()
+                };
+                let id = subscription.id();
+                let replaced = self.table.subscription(id).is_some();
                 match from {
                     Some(toward) => self.register_remote(subscription.clone(), toward),
                     None => self.register_local(subscription.clone()),
                 }
-                for neighbor in &self.neighbors {
-                    if Some(*neighbor) != from {
-                        handling.outgoing.push((
-                            *neighbor,
-                            WireMessage::Subscribe {
-                                subscription: subscription.clone(),
-                            },
-                        ));
+                if replaced {
+                    // The superseded body's suppression records — in either
+                    // role — are stale; blocked peers get re-evaluated.
+                    self.release_suppression(id, handling);
+                }
+                // Flood the (normalized) subscription to every other
+                // neighbor, except where an already-propagated subscription
+                // subsumes it — those links already receive every event
+                // this subscription needs.
+                let expr = analyze.then(|| subscription.tree().to_expr());
+                for i in 0..self.neighbors.len() {
+                    let neighbor = self.neighbors[i];
+                    if Some(neighbor) == from {
+                        continue;
                     }
+                    if let Some(expr) = &expr {
+                        if let Some(blocker) = self.find_blocker(neighbor, id, expr) {
+                            self.analysis.subsumed_not_flooded += 1;
+                            self.suppressed
+                                .entry(neighbor)
+                                .or_default()
+                                .insert(id, blocker);
+                            continue;
+                        }
+                    }
+                    handling.outgoing.push((
+                        neighbor,
+                        WireMessage::Subscribe {
+                            subscription: subscription.clone(),
+                        },
+                    ));
                 }
             }
             WireMessage::Unsubscribe { id } => {
                 if self.unregister(*id).is_some() {
+                    self.release_suppression(*id, handling);
                     for neighbor in &self.neighbors {
                         if Some(*neighbor) != from {
                             handling
@@ -352,6 +423,15 @@ impl Broker {
                         .into_iter()
                         .filter(|sub| self.table.remote_destination(sub.id()) != Some(from)),
                 );
+                // Entries whose flood was suppressed toward the requester
+                // stay suppressed in the snapshot too: their subsuming
+                // subscription is in the reply (a blocker never points
+                // toward the requester and is never itself suppressed), so
+                // the requester re-learns exactly the state it would hold
+                // had it never crashed.
+                if let Some(records) = self.suppressed.get(&from) {
+                    subscriptions.retain(|sub| !records.contains_key(&sub.id()));
+                }
                 subscriptions.sort_by_key(Subscription::id);
                 handling
                     .outgoing
@@ -443,6 +523,79 @@ impl Broker {
     /// experiment setups).
     pub fn routing_table(&self) -> &RoutingTable {
         &self.table
+    }
+
+    /// Registration-time analysis counters of this broker (simplifications,
+    /// unsatisfiable rejections, suppressed and re-issued floods).
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        self.analysis
+    }
+
+    /// Number of `Subscribe` floods currently suppressed toward `neighbor`.
+    pub fn suppressed_toward(&self, neighbor: BrokerId) -> usize {
+        self.suppressed.get(&neighbor).map_or(0, BTreeMap::len)
+    }
+
+    /// Finds a registered subscription that makes flooding `expr` toward
+    /// `neighbor` redundant: an entry that did not arrive over that link
+    /// (so it *was* propagated toward it), is not itself suppressed toward
+    /// it, and is implied by the new subscription. Sound but incomplete —
+    /// a `None` only means no subsumer was *found*.
+    fn find_blocker(
+        &self,
+        neighbor: BrokerId,
+        id: SubscriptionId,
+        expr: &Expr,
+    ) -> Option<SubscriptionId> {
+        let suppressed = self.suppressed.get(&neighbor);
+        self.table.entries().find_map(|(origin, candidate)| {
+            if candidate.id() == id || origin == Some(neighbor) {
+                return None;
+            }
+            if suppressed.is_some_and(|records| records.contains_key(&candidate.id())) {
+                return None;
+            }
+            implies(expr, &candidate.tree().to_expr()).then(|| candidate.id())
+        })
+    }
+
+    /// Clears every flood-suppression record involving `id` after its body
+    /// was removed or replaced. Records where `id` was the *blocker* are
+    /// re-evaluated: each blocked subscription either finds another
+    /// subsumer or its `Subscribe` is re-issued toward the neighbor, so
+    /// routing completeness is preserved.
+    fn release_suppression(&mut self, id: SubscriptionId, handling: &mut MessageHandling) {
+        let mut orphaned: Vec<(BrokerId, SubscriptionId)> = Vec::new();
+        for (neighbor, records) in &mut self.suppressed {
+            records.remove(&id);
+            records.retain(|blocked, blocker| {
+                if *blocker != id {
+                    return true;
+                }
+                orphaned.push((*neighbor, *blocked));
+                false
+            });
+        }
+        self.suppressed.retain(|_, records| !records.is_empty());
+        for (neighbor, blocked) in orphaned {
+            let Some(subscription) = self.table.subscription(blocked).cloned() else {
+                continue;
+            };
+            match self.find_blocker(neighbor, blocked, &subscription.tree().to_expr()) {
+                Some(blocker) => {
+                    self.suppressed
+                        .entry(neighbor)
+                        .or_default()
+                        .insert(blocked, blocker);
+                }
+                None => {
+                    self.analysis.reflooded += 1;
+                    handling
+                        .outgoing
+                        .push((neighbor, WireMessage::Subscribe { subscription }));
+                }
+            }
+        }
     }
 }
 
@@ -851,6 +1004,243 @@ mod tests {
         );
         assert!(handling.outgoing.is_empty());
         assert_eq!(broker.remote_subscriptions().len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_subscribe_is_rejected_and_never_flooded() {
+        let mut broker = broker();
+        let unsat = sub(
+            1,
+            11,
+            &Expr::and(vec![Expr::gt("price", 5i64), Expr::lt("price", 3i64)]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: unsat,
+            },
+            None,
+        );
+        assert!(
+            handling.outgoing.is_empty(),
+            "unsatisfiable sub was flooded"
+        );
+        assert!(broker.local_subscriptions().is_empty());
+        assert_eq!(broker.analysis_stats().unsatisfiable_rejected, 1);
+        // It never reached an engine, so the engine-level counter is silent.
+        assert_eq!(broker.filter_stats().unsatisfiable_rejected, 0);
+    }
+
+    #[test]
+    fn subscribe_flood_carries_the_normalized_tree() {
+        let mut broker = broker();
+        let redundant = sub(
+            1,
+            11,
+            &Expr::and(vec![
+                Expr::gt("price", 1i64),
+                Expr::gt("price", 1i64),
+                Expr::gt("price", 3i64),
+            ]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: redundant.clone(),
+            },
+            None,
+        );
+        assert_eq!(broker.analysis_stats().subs_simplified, 1);
+        assert!(broker.analysis_stats().nodes_eliminated >= 2);
+        // The engines receive the already-normal tree: no double counting.
+        assert_eq!(broker.filter_stats().subs_simplified, 0);
+        assert_eq!(handling.outgoing.len(), 2);
+        for (_, message) in &handling.outgoing {
+            let WireMessage::Subscribe { subscription } = message else {
+                panic!("expected a Subscribe, got {message:?}");
+            };
+            assert!(
+                subscription.tree().node_count() < redundant.tree().node_count(),
+                "flooded tree was not normalized"
+            );
+        }
+    }
+
+    #[test]
+    fn subsumed_subscriptions_are_not_flooded_and_reflood_on_unsubscribe() {
+        let mut broker = broker(); // neighbors 0 and 2
+        let general = sub(1, 11, &Expr::eq("category", "books"));
+        let specific = sub(
+            2,
+            22,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: general.clone(),
+            },
+            None,
+        );
+        assert_eq!(handling.outgoing.len(), 2);
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: specific.clone(),
+            },
+            None,
+        );
+        assert!(handling.outgoing.is_empty(), "subsumed sub was flooded");
+        assert_eq!(broker.analysis_stats().subsumed_not_flooded, 2);
+        assert_eq!(broker.suppressed_toward(b(0)), 1);
+        assert_eq!(broker.suppressed_toward(b(2)), 1);
+        // The suppressed subscription is fully registered locally.
+        let event_handling = broker.handle_event(&books_event(), None);
+        assert_eq!(event_handling.deliveries.len(), 2);
+
+        // Removing the subsumer re-issues the blocked flood alongside the
+        // unsubscribe propagation, so downstream routing stays complete.
+        let handling = broker.handle_message(&WireMessage::Unsubscribe { id: general.id() }, None);
+        assert_eq!(broker.analysis_stats().reflooded, 2);
+        assert_eq!(broker.suppressed_toward(b(0)), 0);
+        assert_eq!(broker.suppressed_toward(b(2)), 0);
+        let mut refloods = 0;
+        let mut unsubscribes = 0;
+        for (_, message) in &handling.outgoing {
+            match message {
+                WireMessage::Subscribe { subscription } => {
+                    assert_eq!(subscription.id(), specific.id());
+                    refloods += 1;
+                }
+                WireMessage::Unsubscribe { id } => {
+                    assert_eq!(*id, general.id());
+                    unsubscribes += 1;
+                }
+                other => panic!("unexpected outgoing message {other:?}"),
+            }
+        }
+        assert_eq!(refloods, 2);
+        assert_eq!(unsubscribes, 2);
+    }
+
+    #[test]
+    fn suppression_ignores_entries_pointing_at_the_target_link() {
+        let mut broker = broker();
+        // The general subscription arrives over the link to 0: it becomes a
+        // remote entry *toward* 0 and is flooded to 2 only.
+        let general = sub(1, 11, &Expr::eq("category", "books"));
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: general,
+            },
+            Some(b(0)),
+        );
+        let targets: Vec<BrokerId> = handling.outgoing.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![b(2)]);
+        // A more specific local subscription: toward 2 the general one was
+        // propagated, so the flood is redundant; toward 0 the general entry
+        // merely *points*, proving nothing about 0's side — it must flood.
+        let specific = sub(
+            2,
+            22,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: specific,
+            },
+            None,
+        );
+        let targets: Vec<BrokerId> = handling.outgoing.iter().map(|(to, _)| *to).collect();
+        assert_eq!(targets, vec![b(0)]);
+        assert_eq!(broker.analysis_stats().subsumed_not_flooded, 1);
+        assert_eq!(broker.suppressed_toward(b(2)), 1);
+        assert_eq!(broker.suppressed_toward(b(0)), 0);
+    }
+
+    #[test]
+    fn sync_reply_respects_suppression() {
+        let mut broker = broker();
+        let general = sub(1, 11, &Expr::eq("category", "books"));
+        let specific = sub(
+            2,
+            22,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
+        );
+        broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: general,
+            },
+            None,
+        );
+        broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: specific,
+            },
+            None,
+        );
+        assert_eq!(broker.suppressed_toward(b(0)), 1);
+        // A restarted neighbor 0 gets the blocker but not the blocked entry
+        // — exactly what it would hold had it never crashed.
+        let handling =
+            broker.handle_message(&WireMessage::SyncRequest { broker: b(0) }, Some(b(0)));
+        let (_, message) = &handling.outgoing[0];
+        let WireMessage::SyncState { subscriptions } = message else {
+            panic!("expected SyncState, got {message:?}");
+        };
+        let ids: Vec<u64> = subscriptions.iter().map(|s| s.id().raw()).collect();
+        assert_eq!(ids, vec![1]);
+    }
+
+    #[test]
+    fn analyze_off_restores_exact_flooding() {
+        use filtering::AnalyzeMode;
+        let mut broker = Broker::with_engine_config(
+            b(1),
+            vec![b(0), b(2)],
+            EngineKind::Counting,
+            EngineConfig::with_analyze(AnalyzeMode::Off),
+        );
+        broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: sub(1, 11, &Expr::eq("category", "books")),
+            },
+            None,
+        );
+        let specific = sub(
+            2,
+            22,
+            &Expr::and(vec![
+                Expr::eq("category", "books"),
+                Expr::le("price", 10i64),
+            ]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: specific,
+            },
+            None,
+        );
+        assert_eq!(handling.outgoing.len(), 2, "analyze-off must flood");
+        let unsat = sub(
+            3,
+            33,
+            &Expr::and(vec![Expr::gt("price", 5i64), Expr::lt("price", 3i64)]),
+        );
+        let handling = broker.handle_message(
+            &WireMessage::Subscribe {
+                subscription: unsat,
+            },
+            None,
+        );
+        assert_eq!(handling.outgoing.len(), 2);
+        assert_eq!(broker.analysis_stats(), AnalysisStats::default());
+        assert_eq!(broker.local_subscriptions().len(), 3);
     }
 
     #[cfg(feature = "serde-json-tests")]

@@ -72,8 +72,8 @@ pub use broker_node::{Broker, Destination, MessageHandling};
 pub use fault::{FaultPlan, FaultStats, FaultyTransport};
 // Re-exported so configuring a simulation's engine does not require a
 // direct `filtering` dependency.
-pub use filtering::{DiscriminationHint, EngineConfig, EngineKind, PrefilterMode};
-pub use metrics::{NetworkStats, RoutingMemoryReport, RunReport};
+pub use filtering::{AnalyzeMode, DiscriminationHint, EngineConfig, EngineKind, PrefilterMode};
+pub use metrics::{AnalysisStats, NetworkStats, RoutingMemoryReport, RunReport};
 pub use parallel::{ParallelNetwork, ParallelRunReport};
 pub use pubsub_core::BrokerId;
 pub use reliable::{ReliableConfig, ReliableSession, SendOutcome};

@@ -197,6 +197,43 @@ impl RoutingMemoryReport {
     }
 }
 
+/// Broker-level counters of registration-time subscription analysis: what
+/// the analyzer did to the subscriptions a broker ingested, and how much
+/// `Subscribe` flooding the subsumption check avoided.
+///
+/// The engine-level effects (simplification, rejection before indexing) are
+/// also visible in [`FilterStats`]; this block adds the broker-only routing
+/// outcomes — floods suppressed by subsumption and floods re-issued when a
+/// subsuming subscription was later removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AnalysisStats {
+    /// Subscriptions whose tree the analyzer rewrote at broker ingress.
+    pub subs_simplified: u64,
+    /// Expression nodes eliminated across all simplified subscriptions.
+    pub nodes_eliminated: u64,
+    /// Subscriptions rejected at ingress as unsatisfiable — counted,
+    /// diagnosable, never indexed, never flooded.
+    pub unsatisfiable_rejected: u64,
+    /// `Subscribe` floods suppressed because an already-propagated
+    /// subscription subsumes the new one toward that neighbor.
+    pub subsumed_not_flooded: u64,
+    /// Suppressed floods re-issued after their subsuming subscription was
+    /// unsubscribed (keeps routing complete).
+    pub reflooded: u64,
+}
+
+impl AnalysisStats {
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &AnalysisStats) {
+        self.subs_simplified += other.subs_simplified;
+        self.nodes_eliminated += other.nodes_eliminated;
+        self.unsatisfiable_rejected += other.unsatisfiable_rejected;
+        self.subsumed_not_flooded += other.subsumed_not_flooded;
+        self.reflooded += other.reflooded;
+    }
+}
+
 /// The result of publishing a batch of events through the simulation.
 #[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -209,6 +246,8 @@ pub struct RunReport {
     pub network: NetworkStats,
     /// Merged filtering statistics of all brokers.
     pub filter_stats: FilterStats,
+    /// Merged registration-time analysis statistics of all brokers.
+    pub analysis: AnalysisStats,
     /// Per-broker filtering statistics.
     pub per_broker_filter: BTreeMap<BrokerId, FilterStats>,
 }
@@ -328,6 +367,23 @@ mod tests {
         assert_eq!(total.queue_drops, 12);
         total.subtract(&faults);
         assert_eq!(total, faults);
+    }
+
+    #[test]
+    fn analysis_stats_merge_accumulates() {
+        let mut a = AnalysisStats {
+            subs_simplified: 1,
+            nodes_eliminated: 2,
+            unsatisfiable_rejected: 3,
+            subsumed_not_flooded: 4,
+            reflooded: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.subs_simplified, 2);
+        assert_eq!(a.nodes_eliminated, 4);
+        assert_eq!(a.unsatisfiable_rejected, 6);
+        assert_eq!(a.subsumed_not_flooded, 8);
+        assert_eq!(a.reflooded, 10);
     }
 
     #[test]

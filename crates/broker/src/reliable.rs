@@ -420,25 +420,16 @@ impl Default for ReliableSession {
 // Outer framing
 // ----------------------------------------------------------------------
 
-/// FNV-1a 64 over `bytes` — fast, allocation-free, and plenty to detect the
-/// single-bit and single-byte corruptions a link introduces (this is an
-/// error-*detection* code, not an authentication tag).
+/// FNV-1a 64 (via [`pubsub_core::hash::Fnv64`]) over tag, little-endian
+/// sequence number, and payload — fast, allocation-free, and plenty to
+/// detect the single-bit and single-byte corruptions a link introduces
+/// (this is an error-*detection* code, not an authentication tag).
 fn checksum(tag: u8, seq: u64, payload: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET;
-    let mut step = |byte: u8| {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(PRIME);
-    };
-    step(tag);
-    for byte in seq.to_le_bytes() {
-        step(byte);
-    }
-    for &byte in payload {
-        step(byte);
-    }
-    hash
+    let mut hash = pubsub_core::hash::Fnv64::new();
+    hash.write_u8(tag);
+    hash.write_u64(seq);
+    hash.write(payload);
+    hash.finish()
 }
 
 /// Appends one outer data frame (cleared `out` first).

@@ -141,20 +141,25 @@ impl RoutingTable {
     /// Registers a remote entry whose matches must be forwarded towards the
     /// given neighbor.
     pub fn add_remote(&mut self, subscription: Subscription, toward: BrokerId) {
-        self.remote_destination.insert(subscription.id(), toward);
+        let id = subscription.id();
+        self.remote_destination.insert(id, toward);
         let kind = self.engine_kind;
         let config = self.engine_config;
         let hint = &self.hint;
-        self.per_neighbor
-            .entry(toward)
-            .or_insert_with(|| {
-                let mut engine = kind.build_with_config(config);
-                if hint.is_some() {
-                    engine.set_discrimination_hint(hint.clone());
-                }
-                engine
-            })
-            .insert(subscription);
+        let engine = self.per_neighbor.entry(toward).or_insert_with(|| {
+            let mut engine = kind.build_with_config(config);
+            if hint.is_some() {
+                engine.set_discrimination_hint(hint.clone());
+            }
+            engine
+        });
+        engine.insert(subscription);
+        if engine.get(id).is_none() {
+            // The engine's registration-time analysis rejected the tree as
+            // unsatisfiable; keep the destination map consistent with what
+            // is actually indexed.
+            self.remote_destination.remove(&id);
+        }
     }
 
     /// Removes a subscription from wherever it is registered.
@@ -206,6 +211,30 @@ impl RoutingTable {
     /// The neighbor a remote entry currently points towards.
     pub fn remote_destination(&self, id: SubscriptionId) -> Option<BrokerId> {
         self.remote_destination.get(&id).copied()
+    }
+
+    /// Looks up a registered subscription — local or remote — by id,
+    /// returning its currently indexed (possibly normalized or pruned) form.
+    pub fn subscription(&self, id: SubscriptionId) -> Option<&Subscription> {
+        if let Some(sub) = self.local.get(id) {
+            return Some(sub);
+        }
+        let toward = self.remote_destination.get(&id)?;
+        self.per_neighbor.get(toward)?.get(id)
+    }
+
+    /// Iterates over every registered entry as `(origin, subscription)`:
+    /// `None` for local-client entries, `Some(neighbor)` for remote entries
+    /// pointing towards that neighbor. Order is unspecified.
+    pub fn entries(&self) -> impl Iterator<Item = (Option<BrokerId>, &Subscription)> {
+        self.local
+            .subscriptions()
+            .map(|sub| (None, sub))
+            .chain(self.per_neighbor.iter().flat_map(|(neighbor, engine)| {
+                engine
+                    .subscriptions()
+                    .map(move |sub| (Some(*neighbor), sub))
+            }))
     }
 
     /// Matches an event against the local entries, returning

@@ -1,7 +1,7 @@
 //! The deterministic, single-process simulation of the broker network.
 
 use crate::broker_node::{Broker, MessageHandling};
-use crate::metrics::{NetworkStats, RoutingMemoryReport, RunReport};
+use crate::metrics::{AnalysisStats, NetworkStats, RoutingMemoryReport, RunReport};
 use crate::reliable::{ReliableSession, SendOutcome};
 use crate::topology::Topology;
 use crate::wire::{ChannelTransport, Codec, Transport, WireMessage};
@@ -638,6 +638,7 @@ impl Simulation {
             deliveries,
             network,
             filter_stats,
+            analysis: self.analysis_stats(),
             per_broker_filter,
         }
     }
@@ -653,6 +654,20 @@ impl Simulation {
         let mut stats = FilterStats::new();
         for broker in self.brokers.values() {
             stats.merge(&broker.filter_stats());
+        }
+        stats
+    }
+
+    /// Merged registration-time analysis statistics of all brokers.
+    ///
+    /// Cumulative since construction: like the routing tables themselves
+    /// (and unlike the traffic counters), registration-time analysis
+    /// describes the subscription population, which
+    /// [`reset_metrics`](Self::reset_metrics) explicitly keeps.
+    pub fn analysis_stats(&self) -> AnalysisStats {
+        let mut stats = AnalysisStats::default();
+        for broker in self.brokers.values() {
+            stats.merge(&broker.analysis_stats());
         }
         stats
     }
@@ -1343,6 +1358,67 @@ mod tests {
         let batch: EventBatch = events.iter().cloned().collect();
         let _ = sim.publish_batch(&batch);
         sorted_log(&mut sim)
+    }
+
+    #[test]
+    fn analysis_preserves_deliveries_and_reduces_control_traffic() {
+        use filtering::AnalyzeMode;
+        let subs = vec![
+            sub(1, 0, &Expr::eq("category", "books")),
+            sub(
+                2,
+                3,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
+            ),
+            sub(
+                3,
+                9,
+                &Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                    Expr::le("price", 20i64),
+                ]),
+            ),
+            // Unsatisfiable: rejected at its home broker, never flooded.
+            sub(
+                4,
+                6,
+                &Expr::and(vec![Expr::gt("price", 5i64), Expr::lt("price", 3i64)]),
+            ),
+        ];
+        let events = test_events(30);
+        let run = |config: EngineConfig| {
+            let mut sim = Simulation::new(
+                SimulationConfig::new(Topology::line(4)).with_engine_config(config),
+            );
+            sim.enable_delivery_log();
+            sim.register_all(subs.clone());
+            let control_bytes = sim.network_stats().control_bytes;
+            let batch: EventBatch = events.iter().cloned().collect();
+            let report = sim.publish_batch(&batch);
+            let analysis = report.analysis;
+            (sorted_log(&mut sim), control_bytes, analysis, sim)
+        };
+
+        let (log_on, control_on, analysis_on, sim_on) = run(EngineConfig::default());
+        let (log_off, control_off, analysis_off, _) =
+            run(EngineConfig::with_analyze(AnalyzeMode::Off));
+
+        assert_eq!(log_on, log_off, "analysis changed the delivery set");
+        assert!(!log_on.is_empty());
+        assert_eq!(analysis_off, AnalysisStats::default());
+        assert_eq!(analysis_on, sim_on.analysis_stats());
+        // Exactly one broker ever saw the unsatisfiable subscription.
+        assert_eq!(analysis_on.unsatisfiable_rejected, 1);
+        assert!(analysis_on.subsumed_not_flooded > 0);
+        assert!(analysis_on.subs_simplified > 0);
+        assert!(
+            control_on < control_off,
+            "analysis should shrink subscribe traffic: {control_on} vs {control_off}"
+        );
     }
 
     #[test]

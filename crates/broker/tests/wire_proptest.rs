@@ -6,9 +6,10 @@
 use broker::wire::{frame_kind, Codec, WireMessage};
 use broker::BrokerId;
 use proptest::prelude::*;
+use pubsub_core::analysis::Analyzer;
 use pubsub_core::{
     EventBatch, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,
-    SubscriptionId, Value,
+    SubscriptionId, SubscriptionTree, Value,
 };
 
 /// Attribute names are drawn from a fixed pool: the process-global interner
@@ -65,6 +66,44 @@ fn expr() -> BoxedStrategy<Expr> {
                 inner.prop_map(Expr::not),
             ]
         })
+}
+
+/// Analyzer-normalized expressions: arbitrary expressions run through the
+/// registration-time analyzer — folded constants, flattened `And`/`Or`
+/// nests, deduplicated subtrees — falling back to a plain predicate when the
+/// random draw is unsatisfiable. This is exactly the shape the broker
+/// floods after ingress normalization, so the codec must carry it.
+fn normalized_expr() -> impl Strategy<Value = Expr> {
+    expr().prop_map(|expr| {
+        let tree = SubscriptionTree::from_expr(&expr);
+        match Analyzer::new().analyze_tree(&tree).tree {
+            Some(normalized) => normalized.to_expr(),
+            None => Expr::eq("a", 1i64),
+        }
+    })
+}
+
+/// Redundancy-heavy expressions whose normal form exercises equality-set
+/// fusion and flattening: nested `Or`s of equalities over one attribute,
+/// duplicated conjuncts, and a redundant range pair, all over an arbitrary
+/// base expression.
+fn fused_expr() -> impl Strategy<Value = Expr> {
+    (prop::collection::vec(value(), 1..=6), expr()).prop_map(|(constants, base)| {
+        let equalities: Vec<Expr> = constants
+            .into_iter()
+            .map(|v| Expr::Pred(Predicate::new("wp_price", Operator::Eq, v)))
+            .collect();
+        Expr::or(vec![
+            Expr::or(equalities.clone()),
+            Expr::or(equalities),
+            Expr::and(vec![
+                base.clone(),
+                base,
+                Expr::gt("wp_bids", 1i64),
+                Expr::gt("wp_bids", 3i64),
+            ]),
+        ])
+    })
 }
 
 fn event() -> impl Strategy<Value = EventMessage> {
@@ -259,6 +298,65 @@ proptest! {
         let mut frame = Vec::new();
         codec.encode_into(&message, &mut frame);
         prop_assert_eq!(frame_kind(&frame), Some(message.kind()));
+    }
+
+    /// Subscribe frames carrying analyzer-normalized trees — the shape the
+    /// broker actually floods — roundtrip exactly.
+    #[test]
+    fn normalized_subscriptions_roundtrip(
+        id in 0u64..=u64::MAX,
+        subscriber in 0u64..=u64::MAX,
+        expr in normalized_expr(),
+    ) {
+        let message = WireMessage::Subscribe {
+            subscription: Subscription::from_expr(
+                SubscriptionId::from_raw(id),
+                SubscriberId::from_raw(subscriber),
+                &expr,
+            ),
+        };
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+        let (back, consumed) = codec.decode(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert_eq!(back, message);
+    }
+
+    /// Fused equality sets, folded duplicates, and collapsed ranges survive
+    /// the codec, and the decoded tree is still in normal form: re-running
+    /// the analyzer on what came off the wire is a no-op.
+    #[test]
+    fn normalized_trees_are_fixed_points_across_the_wire(expr in fused_expr()) {
+        let analyzer = Analyzer::new();
+        let Some(normalized) = analyzer.analyze_tree(&SubscriptionTree::from_expr(&expr)).tree
+        else {
+            // The random base made the whole draw unsatisfiable: fine,
+            // nothing would ever be flooded for it.
+            return Ok(());
+        };
+        let message = WireMessage::Subscribe {
+            subscription: Subscription::from_expr(
+                SubscriptionId::from_raw(7),
+                SubscriberId::from_raw(7),
+                &normalized.to_expr(),
+            ),
+        };
+        let mut codec = Codec::new();
+        let mut frame = Vec::new();
+        codec.encode_into(&message, &mut frame);
+        let (back, _) = codec.decode(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        let WireMessage::Subscribe { subscription } = back else {
+            return Err(TestCaseError::fail("wrong message kind"));
+        };
+        let again = analyzer.analyze_tree(subscription.tree());
+        prop_assert!(!again.report.changed, "normal form was not a fixed point");
+        prop_assert_eq!(
+            again.tree.expect("normal form stays satisfiable").to_expr(),
+            subscription.tree().to_expr()
+        );
     }
 }
 

@@ -1,0 +1,49 @@
+//! Registration-time analysis shared by every engine's insert path.
+
+use crate::config::EngineConfig;
+use crate::FilterStats;
+use pubsub_core::{Analyzer, Subscription};
+use selectivity::DiscriminationHint;
+
+/// Runs the registration-time analyzer over a subscription about to be
+/// indexed, according to `config.analyze`.
+///
+/// Returns `None` when analysis proves the subscription unsatisfiable (the
+/// caller must not index it, and must drop any previous version registered
+/// under the same id so a replacement stays a replacement). Otherwise returns
+/// the subscription to index — normalized when analysis rewrote it, untouched
+/// when analysis is off or found nothing to do. Counters are accumulated into
+/// `stats`; a discrimination hint, when installed, doubles as the selectivity
+/// oracle for analysis pass ordering.
+pub(crate) fn analyze_for_insert(
+    config: EngineConfig,
+    hint: Option<&DiscriminationHint>,
+    stats: &mut FilterStats,
+    subscription: Subscription,
+) -> Option<Subscription> {
+    if !config.analyze.is_on() {
+        return Some(subscription);
+    }
+    let oracle =
+        hint.map(|hint| move |p: &pubsub_core::Predicate| hint.score(p.attr_id()).unwrap_or(0.5));
+    let analyzer = Analyzer::new();
+    let (normalized, report) = match &oracle {
+        Some(oracle) => analyzer
+            .with_selectivity(oracle)
+            .analyze_subscription(&subscription),
+        None => analyzer.analyze_subscription(&subscription),
+    };
+    match normalized {
+        None => {
+            stats.unsatisfiable_rejected += 1;
+            None
+        }
+        Some(normalized) => {
+            if report.changed {
+                stats.subs_simplified += 1;
+                stats.nodes_eliminated += report.nodes_eliminated() as u64;
+            }
+            Some(normalized)
+        }
+    }
+}

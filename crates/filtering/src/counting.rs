@@ -503,6 +503,21 @@ impl CountingEngine {
 impl MatchingEngine for CountingEngine {
     fn insert(&mut self, subscription: Subscription) {
         let id = subscription.id();
+        let subscription = match crate::analyze::analyze_for_insert(
+            self.config,
+            self.hint.as_ref(),
+            &mut self.stats,
+            subscription,
+        ) {
+            Some(subscription) => subscription,
+            None => {
+                // Unsatisfiable: never indexed. Dropping any previous
+                // version keeps replacement semantics — the id now matches
+                // nothing, exactly as the rejected tree would.
+                self.remove(id);
+                return;
+            }
+        };
         let slot = match self.id_to_slot.get(&id) {
             Some(&slot) => {
                 // Replacement: unregister the old tree first.

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analyze;
 mod config;
 mod counting;
 mod engine;
@@ -77,7 +78,7 @@ mod sharded;
 mod sink;
 mod stats;
 
-pub use config::{EngineConfig, PrefilterMode};
+pub use config::{AnalyzeMode, EngineConfig, PrefilterMode};
 pub use counting::CountingEngine;
 pub use engine::{EngineReport, MatchingEngine};
 pub use index::{AttributeIndex, PredicateKey, SubSlot};

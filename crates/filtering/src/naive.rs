@@ -31,8 +31,10 @@ impl NaiveEngine {
     /// configuration (so differential harnesses can construct every engine
     /// kind uniformly) but never pre-filters, probes in batches, or skips an
     /// evaluation — every registered tree is evaluated against every event
-    /// regardless of `config`. That is exactly what makes it the reference
-    /// oracle for the staged engines.
+    /// regardless of `config.prefilter`. That is exactly what makes it the
+    /// reference oracle for the staged engines. `config.analyze` *is*
+    /// honored, at registration only: it is semantics-preserving, so the
+    /// oracle property is unaffected.
     pub fn with_config(config: EngineConfig) -> Self {
         Self {
             config,
@@ -59,7 +61,15 @@ impl NaiveEngine {
 
 impl MatchingEngine for NaiveEngine {
     fn insert(&mut self, subscription: Subscription) {
-        self.subscriptions.insert(subscription.id(), subscription);
+        let id = subscription.id();
+        match crate::analyze::analyze_for_insert(self.config, None, &mut self.stats, subscription) {
+            Some(subscription) => {
+                self.subscriptions.insert(id, subscription);
+            }
+            None => {
+                self.subscriptions.remove(&id);
+            }
+        }
     }
 
     fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {

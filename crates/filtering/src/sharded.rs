@@ -406,6 +406,9 @@ impl ShardedEngine {
         let mut fulfilled = 0;
         let mut killed = 0;
         let mut candidates = 0;
+        let mut simplified = 0;
+        let mut eliminated = 0;
+        let mut rejected = 0;
         for shard in &self.shards {
             let s = shard.stats();
             trees += s.trees_evaluated;
@@ -413,12 +416,18 @@ impl ShardedEngine {
             fulfilled += s.predicates_fulfilled;
             killed += s.killed_by_prefilter;
             candidates += s.stage2_candidates;
+            simplified += s.subs_simplified;
+            eliminated += s.nodes_eliminated;
+            rejected += s.unsatisfiable_rejected;
         }
         self.stats.trees_evaluated = trees;
         self.stats.skipped_by_pmin = skipped;
         self.stats.predicates_fulfilled = fulfilled;
         self.stats.killed_by_prefilter = killed;
         self.stats.stage2_candidates = candidates;
+        self.stats.subs_simplified = simplified;
+        self.stats.nodes_eliminated = eliminated;
+        self.stats.unsatisfiable_rejected = rejected;
     }
 }
 
@@ -435,11 +444,20 @@ impl MatchingEngine for ShardedEngine {
             }
         };
         self.shards[shard as usize].insert(subscription);
+        if self.shards[shard as usize].get(id).is_none() {
+            // The shard's registration-time analysis rejected the tree as
+            // unsatisfiable (dropping any previous version); mirror that in
+            // the owner map so `len()` stays truthful.
+            self.owner.remove(&id);
+        }
+        self.refresh_detail_stats();
     }
 
     fn remove(&mut self, id: SubscriptionId) -> Option<Subscription> {
         let shard = self.owner.remove(&id)?;
-        self.shards[shard as usize].remove(id)
+        let removed = self.shards[shard as usize].remove(id);
+        self.refresh_detail_stats();
+        removed
     }
 
     fn get(&self, id: SubscriptionId) -> Option<&Subscription> {

@@ -36,6 +36,16 @@ pub struct FilterStats {
     /// counting/evaluation phase) — i.e. subscriptions with at least one
     /// surviving fulfilled predicate for some event.
     pub stage2_candidates: u64,
+    /// Number of inserted subscriptions whose tree the registration-time
+    /// analyzer rewrote (normalized) before indexing. Zero when analysis
+    /// is off.
+    pub subs_simplified: u64,
+    /// Total number of expression nodes eliminated by registration-time
+    /// analysis across all simplified subscriptions.
+    pub nodes_eliminated: u64,
+    /// Number of subscriptions rejected at registration because analysis
+    /// proved them unsatisfiable; they are never indexed.
+    pub unsatisfiable_rejected: u64,
     /// Total wall-clock time spent inside `match_event`.
     ///
     /// With a plain `serde` feature the real serde's built-in `Duration`
@@ -116,6 +126,9 @@ impl FilterStats {
         self.predicates_fulfilled += other.predicates_fulfilled;
         self.killed_by_prefilter += other.killed_by_prefilter;
         self.stage2_candidates += other.stage2_candidates;
+        self.subs_simplified += other.subs_simplified;
+        self.nodes_eliminated += other.nodes_eliminated;
+        self.unsatisfiable_rejected += other.unsatisfiable_rejected;
         self.filter_time += other.filter_time;
     }
 }
@@ -143,6 +156,9 @@ mod tests {
             predicates_fulfilled: 20,
             killed_by_prefilter: 6,
             stage2_candidates: 14,
+            subs_simplified: 1,
+            nodes_eliminated: 3,
+            unsatisfiable_rejected: 1,
             filter_time: Duration::from_millis(40),
         };
         assert_eq!(s.avg_matches_per_event(), 2.0);
@@ -163,6 +179,9 @@ mod tests {
             predicates_fulfilled: 5,
             killed_by_prefilter: 6,
             stage2_candidates: 7,
+            subs_simplified: 8,
+            nodes_eliminated: 9,
+            unsatisfiable_rejected: 10,
             filter_time: Duration::from_micros(10),
         };
         let b = a;
@@ -175,6 +194,9 @@ mod tests {
         assert_eq!(a.predicates_fulfilled, 10);
         assert_eq!(a.killed_by_prefilter, 12);
         assert_eq!(a.stage2_candidates, 14);
+        assert_eq!(a.subs_simplified, 16);
+        assert_eq!(a.nodes_eliminated, 18);
+        assert_eq!(a.unsatisfiable_rejected, 20);
         assert_eq!(a.filter_time, Duration::from_micros(20));
     }
 

@@ -51,11 +51,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analysis;
 pub mod attr;
 mod batch;
 mod error;
 mod event;
 mod expr;
+pub mod hash;
 mod ids;
 mod operator;
 mod predicate;
@@ -63,11 +65,13 @@ mod subscription;
 mod tree;
 mod value;
 
+pub use analysis::{Analysis, AnalysisReport, Analyzer};
 pub use attr::AttrId;
 pub use batch::{AttrGroups, EventBatch, EventBatchBuilder};
 pub use error::CoreError;
 pub use event::{EventBuilder, EventMessage};
 pub use expr::Expr;
+pub use hash::{fnv64, Fnv64};
 pub use ids::{BrokerId, EventId, NodeId, SubscriberId, SubscriptionId};
 pub use operator::Operator;
 pub use predicate::Predicate;

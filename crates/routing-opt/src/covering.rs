@@ -1,36 +1,19 @@
-//! Subscription covering for conjunctive subscriptions.
+//! Subscription covering.
 
-use pubsub_core::{Predicate, Subscription, SubscriptionId};
+use pubsub_core::analysis::implies;
+use pubsub_core::{Subscription, SubscriptionId};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The conjunctive view of a subscription: its predicates grouped by
-/// attribute. `None` if the subscription is not conjunctive.
-fn conjunctive_predicates(subscription: &Subscription) -> Option<Vec<Predicate>> {
-    let expr = subscription.tree().to_expr();
-    if !expr.is_conjunctive() {
-        return None;
-    }
-    Some(expr.predicates().into_iter().cloned().collect())
-}
-
 /// Returns `true` if `general` covers `specific`: every event matching
-/// `specific` also matches `general`. Only defined for conjunctive
-/// subscriptions; the check is conservative (it may miss some true coverings
-/// but never reports a false one).
-///
-/// A conjunction `G` covers a conjunction `S` if every predicate of `G` is
-/// implied by some predicate of `S` (i.e. some predicate of `S` is covered by
-/// it).
+/// `specific` also matches `general`. The check is conservative (it may miss
+/// some true coverings but never reports a false one) and delegates to
+/// [`pubsub_core::analysis::implies`], so it handles arbitrary `And`/`Or`/
+/// `Not` trees — not just conjunctions. A conjunction `G` still covers a
+/// conjunction `S` when every predicate of `G` is implied by some predicate
+/// of `S`, but a disjunction now also covers each of its branches, and a
+/// covering branch of `S` is found through nested structure.
 pub fn covers(general: &Subscription, specific: &Subscription) -> bool {
-    let (Some(general_preds), Some(specific_preds)) = (
-        conjunctive_predicates(general),
-        conjunctive_predicates(specific),
-    ) else {
-        return false;
-    };
-    general_preds
-        .iter()
-        .all(|g| specific_preds.iter().any(|s| g.covers(s)))
+    implies(&specific.tree().to_expr(), &general.tree().to_expr())
 }
 
 /// Summary of a covering analysis over a set of subscriptions.
@@ -197,11 +180,31 @@ mod tests {
     }
 
     #[test]
-    fn covering_requires_conjunctive_subscriptions() {
+    fn disjunction_covers_each_of_its_branches() {
         let disjunctive = sub(1, &Expr::or(vec![Expr::eq("a", 1i64), Expr::eq("b", 2i64)]));
-        let conjunctive = sub(2, &Expr::eq("a", 1i64));
-        assert!(!covers(&disjunctive, &conjunctive));
-        assert!(!covers(&conjunctive, &disjunctive));
+        let branch = sub(2, &Expr::eq("a", 1i64));
+        assert!(covers(&disjunctive, &branch));
+        assert!(!covers(&branch, &disjunctive));
+    }
+
+    #[test]
+    fn covering_sees_through_nested_structure() {
+        let general = sub(1, &Expr::le("price", 100i64));
+        let specific = sub(
+            2,
+            &Expr::or(vec![
+                Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::le("price", 10i64),
+                ]),
+                Expr::and(vec![
+                    Expr::eq("category", "music"),
+                    Expr::le("price", 50i64),
+                ]),
+            ]),
+        );
+        assert!(covers(&general, &specific));
+        assert!(!covers(&specific, &general));
     }
 
     #[test]

@@ -152,6 +152,29 @@ impl SelectivityEstimator {
         }
     }
 
+    /// Returns a predicate-selectivity oracle backed by this estimator,
+    /// shaped for [`pubsub_core::analysis::Analyzer::with_selectivity`]:
+    ///
+    /// ```
+    /// use pubsub_core::analysis::Analyzer;
+    /// use pubsub_core::{EventMessage, Expr, SubscriptionTree};
+    /// use selectivity::SelectivityEstimator;
+    ///
+    /// let events = vec![EventMessage::builder().attr("price", 10i64).build()];
+    /// let estimator = SelectivityEstimator::from_events(&events);
+    /// let oracle = estimator.predicate_oracle();
+    /// let tree = SubscriptionTree::from_expr(&Expr::le("price", 20i64));
+    /// let analysis = Analyzer::new().with_selectivity(&oracle).analyze_tree(&tree);
+    /// assert!(analysis.report.satisfiable);
+    /// ```
+    ///
+    /// With the oracle attached, the analyzer orders conjuncts most-selective
+    /// first (and disjuncts least-selective first), so downstream evaluation
+    /// short-circuits as early as the observed event distribution allows.
+    pub fn predicate_oracle(&self) -> impl Fn(&Predicate) -> f64 + '_ {
+        move |predicate| self.estimate_predicate(predicate)
+    }
+
     /// Estimates the selectivity of a recursive expression.
     pub fn estimate_expr(&self, expr: &Expr) -> SelectivityEstimate {
         match expr {
@@ -360,5 +383,31 @@ mod tests {
         let events = sample_events();
         let all = SubscriptionTree::from_expr(&Expr::ge("price", 0i64));
         assert!(approx(measured_selectivity(&all, &events), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn predicate_oracle_drives_analyzer_conjunct_ordering() {
+        use pubsub_core::analysis::Analyzer;
+
+        let estimator = estimator();
+        // price < 5 matches ~5% of the sample, category = music ~75%.
+        let rare = Expr::lt("price", 5i64);
+        let common = Expr::eq("category", "music");
+        let oracle = estimator.predicate_oracle();
+        assert!(
+            (oracle)(rare.predicates()[0]) < (oracle)(common.predicates()[0]),
+            "sample should make the price conjunct the more selective one"
+        );
+        let tree = SubscriptionTree::from_expr(&Expr::and(vec![common.clone(), rare.clone()]));
+        let analysis = Analyzer::new()
+            .with_selectivity(&oracle)
+            .analyze_tree(&tree);
+        assert!(analysis.report.satisfiable);
+        assert!(analysis.report.reordered);
+        assert_eq!(
+            analysis.tree.expect("satisfiable").to_expr(),
+            Expr::and(vec![rare, common]),
+            "most selective conjunct should come first"
+        );
     }
 }
