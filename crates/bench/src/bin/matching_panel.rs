@@ -53,6 +53,14 @@
 //! top-level `prefilter_speedup_hot_key` and `prefilter_overhead_uniform_pct`
 //! fields condense the two comparisons into the figures CI gates on.
 //!
+//! A `durability_results` series measures the durable subscription log on
+//! the broker subscribe path: the same subscriptions registered with the
+//! journal detached (`journal_off`) and attached (`journal_on`), plus a
+//! `replay` cell that rebuilds a fresh broker's routing table from the log
+//! alone — recovery's step 0, what a whole-cluster restart leans on. The
+//! top-level `durability_overhead_pct` condenses the on/off comparison into
+//! the figure CI bounds.
+//!
 //! A third series (`sharded_results`) drives the same workload through
 //! `ShardedEngine` at shard counts 1/2/4/8 (large batches, so the fan-out
 //! amortizes): the 1-shard cell measures the sharding machinery's fixed
@@ -66,8 +74,9 @@
 use bench::narrow_events;
 use broker::wire::Codec;
 use broker::{
-    BrokerId, ChannelTransport, FaultPlan, FaultyTransport, NetworkStats, ReliableSession,
-    SendOutcome, Simulation, SimulationConfig, Topology,
+    Broker, BrokerId, ChannelTransport, DurabilityConfig, DurableLog, FaultPlan, FaultyTransport,
+    NetworkStats, ReliableSession, SendOutcome, Simulation, SimulationConfig, Topology,
+    WireMessage,
 };
 use filtering::{
     AnalyzeMode, CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine,
@@ -145,6 +154,26 @@ struct ReliableWireResult {
     /// Encode + wrap + unwrap + ack + decode only (no matching), per event —
     /// the codec cost plus everything reliability adds on a clean link.
     framing_ns_per_event: f64,
+}
+
+/// One measured cell of the durability panel: the broker subscribe path
+/// with the durable subscription log detached (`journal_off`), attached
+/// (`journal_on`), and the log replayed into a fresh broker (`replay`).
+struct DurabilityPanelResult {
+    mode: &'static str,
+    subscriptions: usize,
+    passes: usize,
+    /// Per subscribe for the registration modes; per replayed record for
+    /// the replay cell.
+    ns_per_op: f64,
+    /// One full pass (registering or replaying every subscription), in
+    /// milliseconds.
+    total_ms: f64,
+    /// Bytes one registration pass appended to the log (0 with the journal
+    /// detached).
+    log_bytes: u64,
+    /// Records the replay cell applied (0 for the registration modes).
+    records_replayed: u64,
 }
 
 /// One measured cell of the pre-filter panel: one workload cell matched
@@ -619,6 +648,89 @@ fn reliability_probe(seed: u64) -> NetworkStats {
     sim.network_stats().clone()
 }
 
+/// Measures the durable-log cells: the broker subscribe path with the
+/// journal off and on, then log replay into a fresh broker. The broker has
+/// no neighbors, so the timed loop is analyze + index + (journal append) —
+/// no flood or subsumption work muddies the append measurement.
+fn measure_durability(subscriptions: &[Subscription], passes: usize) -> Vec<DurabilityPanelResult> {
+    let home = BrokerId::from_raw(0);
+    // Registration passes are short (a few ms), so host noise swamps a
+    // mean over the panel's usual 2-3 passes; run more and keep the
+    // fastest pass, the standard microbenchmark noise cut. The on/off
+    // ratio feeds a CI gate and must be stable run to run.
+    let passes = (passes * 8).max(20);
+    let mut results = Vec::new();
+    let mut replay_source = None;
+    // The two registration modes are interleaved pass by pass, so host
+    // frequency drift hits both equally instead of biasing the ratio.
+    let mut best = [f64::INFINITY; 2];
+    let mut log_bytes = 0;
+    for _ in 0..passes {
+        for journal in [false, true] {
+            let mut broker = Broker::new(home, Vec::new());
+            if journal {
+                // `compact_every(0)` disables compaction: the cell measures
+                // the pure append cost of the steady-state subscribe path.
+                broker.attach_durable_log(DurableLog::in_memory(
+                    DurabilityConfig::new().with_compact_every(0),
+                ));
+            }
+            let start = Instant::now();
+            for subscription in subscriptions {
+                broker.handle_message(
+                    &WireMessage::Subscribe {
+                        subscription: subscription.clone(),
+                    },
+                    None,
+                );
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            best[journal as usize] = best[journal as usize].min(elapsed);
+            if journal {
+                let log = broker.take_durable_log().expect("journal was attached");
+                log_bytes = log.stats().log_bytes;
+                replay_source = Some(log);
+            }
+        }
+    }
+    for journal in [false, true] {
+        results.push(DurabilityPanelResult {
+            mode: if journal { "journal_on" } else { "journal_off" },
+            subscriptions: subscriptions.len(),
+            passes,
+            ns_per_op: best[journal as usize] / subscriptions.len().max(1) as f64,
+            total_ms: best[journal as usize] / 1e6,
+            log_bytes: if journal { log_bytes } else { 0 },
+            records_replayed: 0,
+        });
+    }
+    // Replay: recovery's step 0 — a fresh broker rebuilds its routing
+    // table from the log alone, exactly what a restart with zero live
+    // neighbors leans on.
+    let mut journal = replay_source;
+    let log_bytes = journal.as_ref().map_or(0, |j| j.stats().log_bytes);
+    let mut best = f64::INFINITY;
+    let mut replayed = 0;
+    for _ in 0..passes {
+        let mut fresh = Broker::new(home, Vec::new());
+        fresh.attach_durable_log(journal.take().expect("the journal round-trips"));
+        let start = Instant::now();
+        replayed = fresh.recover();
+        best = best.min(start.elapsed().as_nanos() as f64);
+        journal = fresh.take_durable_log();
+    }
+    results.push(DurabilityPanelResult {
+        mode: "replay",
+        subscriptions: subscriptions.len(),
+        passes,
+        ns_per_op: best / replayed.max(1) as f64,
+        total_ms: best / 1e6,
+        log_bytes,
+        records_replayed: replayed,
+    });
+    results
+}
+
 /// Measures one pre-filter cell: the counting engine with the stage-0
 /// pre-filter forced to `mode`, over pre-chunked batches. The `on` cells get
 /// a discrimination hint sampled from the workload's own events (the
@@ -913,6 +1025,7 @@ fn render_json(
     batch_results: &[BatchPanelResult],
     wire_results: &[WirePanelResult],
     reliable: &ReliablePanel,
+    durability_results: &[DurabilityPanelResult],
     sharded_results: &[ShardedPanelResult],
     prefilter_results: &[PrefilterPanelResult],
     analysis_results: &[AnalysisPanelResult],
@@ -1072,6 +1185,43 @@ fn render_json(
         reliable.probe.resyncs,
         reliable.probe.decode_errors,
         reliable.probe.queue_drops,
+    ));
+    out.push_str("  \"durability_results\": [\n");
+    for (i, r) in durability_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"mode\": \"{}\", \"subscriptions\": {}, ",
+                "\"passes\": {}, \"ns_per_op\": {:.1}, \"total_ms\": {:.2}, ",
+                "\"log_bytes\": {}, \"records_replayed\": {}}}{}\n"
+            ),
+            r.mode,
+            r.subscriptions,
+            r.passes,
+            r.ns_per_op,
+            r.total_ms,
+            r.log_bytes,
+            r.records_replayed,
+            if i + 1 == durability_results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The durable-log overhead on the subscribe path: journal-on vs
+    // journal-off registration time — the figure CI bounds, alongside the
+    // codec and reliability gates.
+    let durability_cell = |mode: &str| durability_results.iter().find(|r| r.mode == mode);
+    let durability_overhead_pct = match (
+        durability_cell("journal_on"),
+        durability_cell("journal_off"),
+    ) {
+        (Some(on), Some(off)) => 100.0 * (on.ns_per_op / off.ns_per_op.max(1e-9) - 1.0),
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "  \"durability_overhead_pct\": {durability_overhead_pct:.2},\n"
     ));
     out.push_str("  \"sharded_results\": [\n");
     for (i, r) in sharded_results.iter().enumerate() {
@@ -1335,6 +1485,16 @@ fn main() {
         reliable.probe.queue_drops,
     );
 
+    // Durability panel: the subscribe path with the durable log off and
+    // on, plus replay of the resulting log into a fresh broker.
+    let durability_results = measure_durability(batch_subs, passes);
+    for r in &durability_results {
+        eprintln!(
+            "durability {:<11} subs={:<6} {:>10.0} ns/op {:>8.2} ms/pass (log {} B, replayed {})",
+            r.mode, r.subscriptions, r.ns_per_op, r.total_ms, r.log_bytes, r.records_replayed
+        );
+    }
+
     // Sharded panel: the same workload through `ShardedEngine` at rising
     // shard counts, chunked into large batches so the per-batch fan-out
     // amortizes. The 1-shard cell is the sharding machinery's overhead
@@ -1424,6 +1584,7 @@ fn main() {
         &batch_results,
         &wire_results,
         &reliable,
+        &durability_results,
         &sharded_results,
         &prefilter_results,
         &analysis_results,

@@ -1,5 +1,6 @@
 //! A single broker node.
 
+use crate::durability::DurableLog;
 use crate::metrics::{AnalysisStats, RoutingMemoryReport};
 use crate::routing_table::RoutingTable;
 use crate::wire::WireMessage;
@@ -99,6 +100,10 @@ pub struct Broker {
     suppressed: BTreeMap<BrokerId, BTreeMap<SubscriptionId, SubscriptionId>>,
     /// Registration-time analysis counters of this broker.
     analysis: AnalysisStats,
+    /// Durable subscription log, when durability is enabled. Every accepted
+    /// `Subscribe`/`Unsubscribe` (and installed sync state) is appended
+    /// post-analysis; `None` during replay so recovery does not re-append.
+    journal: Option<DurableLog>,
 }
 
 impl Broker {
@@ -132,6 +137,37 @@ impl Broker {
             forward_scratch: Vec::new(),
             suppressed: BTreeMap::new(),
             analysis: AnalysisStats::default(),
+            journal: None,
+        }
+    }
+
+    /// Installs (or clears) the durable log. Crate-internal plumbing behind
+    /// the public [`attach_durable_log`](Self::attach_durable_log).
+    pub(crate) fn set_journal(&mut self, journal: Option<DurableLog>) {
+        self.journal = journal;
+    }
+
+    /// Detaches the durable log, if any.
+    pub(crate) fn take_journal(&mut self) -> Option<DurableLog> {
+        self.journal.take()
+    }
+
+    /// The attached durable log.
+    pub(crate) fn journal(&self) -> Option<&DurableLog> {
+        self.journal.as_ref()
+    }
+
+    /// The attached durable log, mutably.
+    pub(crate) fn journal_mut(&mut self) -> Option<&mut DurableLog> {
+        self.journal.as_mut()
+    }
+
+    /// Runs a snapshot compaction if the journal accumulated enough records.
+    fn maybe_compact(&mut self) {
+        if let Some(journal) = self.journal.as_mut() {
+            if journal.wants_compaction() {
+                journal.compact(self.table.entries());
+            }
         }
     }
 
@@ -306,6 +342,9 @@ impl Broker {
                             let id = subscription.id();
                             if self.unregister(id).is_some() {
                                 self.release_suppression(id, handling);
+                                if let Some(journal) = self.journal.as_mut() {
+                                    journal.append_unsubscribe(id, from);
+                                }
                                 for neighbor in &self.neighbors {
                                     if Some(*neighbor) != from {
                                         handling
@@ -313,6 +352,7 @@ impl Broker {
                                             .push((*neighbor, WireMessage::Unsubscribe { id }));
                                     }
                                 }
+                                self.maybe_compact();
                             }
                             return;
                         }
@@ -330,6 +370,12 @@ impl Broker {
                     // The superseded body's suppression records — in either
                     // role — are stale; blocked peers get re-evaluated.
                     self.release_suppression(id, handling);
+                }
+                if let Some(journal) = self.journal.as_mut() {
+                    // The *normalized* body is what's persisted: replay goes
+                    // through this same ingress, so the analyzer's normal
+                    // form is a fixed point.
+                    journal.append_subscribe(&subscription, from);
                 }
                 // Flood the (normalized) subscription to every other
                 // neighbor, except where an already-propagated subscription
@@ -358,10 +404,14 @@ impl Broker {
                         },
                     ));
                 }
+                self.maybe_compact();
             }
             WireMessage::Unsubscribe { id } => {
                 if self.unregister(*id).is_some() {
                     self.release_suppression(*id, handling);
+                    if let Some(journal) = self.journal.as_mut() {
+                        journal.append_unsubscribe(*id, from);
+                    }
                     for neighbor in &self.neighbors {
                         if Some(*neighbor) != from {
                             handling
@@ -369,6 +419,7 @@ impl Broker {
                                 .push((*neighbor, WireMessage::Unsubscribe { id: *id }));
                         }
                     }
+                    self.maybe_compact();
                 }
             }
             WireMessage::PublishBatch { events } => {
@@ -440,15 +491,63 @@ impl Broker {
             WireMessage::SyncState { subscriptions } => {
                 // Recovery state from a neighbor: install each entry as a
                 // remote subscription routed back over the arrival link.
-                // Unlike `Subscribe`, sync state is NOT flooded onward — the
-                // restarted broker asks every neighbor itself, and each
-                // answer already summarizes that neighbor's whole subtree.
+                //
+                // Entries this broker did NOT already hold are then flooded
+                // onward exactly like a fresh `Subscribe`. That looks
+                // redundant — a restarted broker asks every neighbor itself —
+                // but it is what makes recovery *epidemic*: when several
+                // adjacent brokers restart with damaged logs, a neighbor may
+                // have answered this broker's own `SyncRequest` before that
+                // neighbor was itself repaired, and the requester never asks
+                // twice. Re-learned entries propagating hop by hop close
+                // exactly that gap, while already-known entries stay quiet so
+                // a routine single-broker restart does not ripple through the
+                // network.
                 let Some(from) = from else {
                     return;
                 };
+                let analyze = self.table.engine_config().analyze.is_on();
                 for subscription in subscriptions {
+                    let id = subscription.id();
+                    let replaced = self.table.subscription(id).is_some();
                     self.register_remote(subscription.clone(), from);
+                    if replaced {
+                        self.release_suppression(id, handling);
+                    }
+                    if let Some(journal) = self.journal.as_mut() {
+                        // Sync-installed state is journaled too, so a broker
+                        // that crashes *again* before any neighbor survives
+                        // still recovers the reconciled table from its log.
+                        journal.append_subscribe(subscription, Some(from));
+                    }
+                    if replaced {
+                        continue;
+                    }
+                    let expr = analyze.then(|| subscription.tree().to_expr());
+                    for i in 0..self.neighbors.len() {
+                        let neighbor = self.neighbors[i];
+                        if neighbor == from {
+                            continue;
+                        }
+                        if let Some(expr) = &expr {
+                            if let Some(blocker) = self.find_blocker(neighbor, id, expr) {
+                                self.analysis.subsumed_not_flooded += 1;
+                                self.suppressed
+                                    .entry(neighbor)
+                                    .or_default()
+                                    .insert(id, blocker);
+                                continue;
+                            }
+                        }
+                        handling.outgoing.push((
+                            neighbor,
+                            WireMessage::Subscribe {
+                                subscription: subscription.clone(),
+                            },
+                        ));
+                    }
                 }
+                self.maybe_compact();
             }
         }
     }
@@ -974,7 +1073,7 @@ mod tests {
     }
 
     #[test]
-    fn sync_state_installs_remote_entries_without_reflooding() {
+    fn sync_state_floods_new_entries_and_stays_quiet_on_known_ones() {
         let mut broker = broker();
         let handling = broker.handle_message(
             &WireMessage::SyncState {
@@ -985,8 +1084,13 @@ mod tests {
             },
             Some(b(2)),
         );
-        // Sync answers terminate at the requester: no onward flooding.
-        assert!(handling.outgoing.is_empty());
+        // Entries this broker did not hold are flooded onward (epidemic
+        // repair for multi-broker outages), but never back to the sender.
+        assert_eq!(handling.outgoing.len(), 2);
+        for (to, message) in &handling.outgoing {
+            assert_eq!(*to, b(0));
+            assert!(matches!(message, WireMessage::Subscribe { .. }));
+        }
         let remote = broker.remote_subscriptions();
         assert_eq!(remote.len(), 2);
         assert_eq!(
@@ -995,7 +1099,9 @@ mod tests {
                 .remote_destination(SubscriptionId::from_raw(7)),
             Some(b(2))
         );
-        // Re-delivering the same state is idempotent.
+        // Re-delivering the same state is idempotent AND quiet: known
+        // entries were already propagated, so a routine single-broker
+        // restart does not ripple through the network.
         let handling = broker.handle_message(
             &WireMessage::SyncState {
                 subscriptions: vec![sub(7, 70, &Expr::eq("category", "books"))],

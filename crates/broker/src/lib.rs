@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 
 mod broker_node;
+pub mod durability;
 pub mod fault;
 mod metrics;
 mod parallel;
@@ -69,6 +70,10 @@ mod topology;
 pub mod wire;
 
 pub use broker_node::{Broker, Destination, MessageHandling};
+pub use durability::{
+    DurabilityConfig, DurabilityStats, DurableLog, FileStorage, MemoryStorage, Storage,
+    StorageFaultPlan,
+};
 pub use fault::{FaultPlan, FaultStats, FaultyTransport};
 // Re-exported so configuring a simulation's engine does not require a
 // direct `filtering` dependency.

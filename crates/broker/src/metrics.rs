@@ -52,6 +52,18 @@ pub struct NetworkStats {
     /// overflowed — the graceful-degradation signal of an outage outlasting
     /// the buffer budget.
     pub queue_drops: u64,
+    /// Durable-log records (snapshot + log tail) applied during
+    /// replay-on-restart, summed over all broker recoveries.
+    pub log_records_replayed: u64,
+    /// Durable-log snapshot compactions that completed (staged, swapped,
+    /// truncated).
+    pub snapshot_compactions: u64,
+    /// Bytes appended to durable subscription logs (record framing
+    /// included).
+    pub log_bytes: u64,
+    /// Durable-log replays that hit a torn or corrupt record and truncated
+    /// the stream to its clean prefix instead of panicking.
+    pub log_corrupt_truncations: u64,
     /// Event-copy counts per undirected link.
     pub per_link: BTreeMap<(BrokerId, BrokerId), u64>,
 }
@@ -111,6 +123,10 @@ impl NetworkStats {
         self.resyncs += other.resyncs;
         self.decode_errors += other.decode_errors;
         self.queue_drops += other.queue_drops;
+        self.log_records_replayed += other.log_records_replayed;
+        self.snapshot_compactions += other.snapshot_compactions;
+        self.log_bytes += other.log_bytes;
+        self.log_corrupt_truncations += other.log_corrupt_truncations;
         for (link, count) in &other.per_link {
             *self.per_link.entry(*link).or_insert(0) += count;
         }
@@ -130,6 +146,10 @@ impl NetworkStats {
         self.resyncs -= snapshot.resyncs;
         self.decode_errors -= snapshot.decode_errors;
         self.queue_drops -= snapshot.queue_drops;
+        self.log_records_replayed -= snapshot.log_records_replayed;
+        self.snapshot_compactions -= snapshot.snapshot_compactions;
+        self.log_bytes -= snapshot.log_bytes;
+        self.log_corrupt_truncations -= snapshot.log_corrupt_truncations;
         for (link, count) in &snapshot.per_link {
             if let Some(current) = self.per_link.get_mut(link) {
                 *current -= count;
@@ -354,6 +374,10 @@ mod tests {
             resyncs: 2,
             decode_errors: 1,
             queue_drops: 6,
+            log_records_replayed: 7,
+            snapshot_compactions: 8,
+            log_bytes: 9,
+            log_corrupt_truncations: 10,
             ..NetworkStats::new()
         };
         let mut total = NetworkStats::new();
@@ -365,6 +389,10 @@ mod tests {
         assert_eq!(total.resyncs, 4);
         assert_eq!(total.decode_errors, 2);
         assert_eq!(total.queue_drops, 12);
+        assert_eq!(total.log_records_replayed, 14);
+        assert_eq!(total.snapshot_compactions, 16);
+        assert_eq!(total.log_bytes, 18);
+        assert_eq!(total.log_corrupt_truncations, 20);
         total.subtract(&faults);
         assert_eq!(total, faults);
     }

@@ -301,6 +301,10 @@ impl ParallelNetwork {
             resyncs: 0,
             decode_errors: 0,
             queue_drops: 0,
+            log_records_replayed: 0,
+            snapshot_compactions: 0,
+            log_bytes: 0,
+            log_corrupt_truncations: 0,
             per_link: BTreeMap::new(),
         }
     }

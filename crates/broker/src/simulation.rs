@@ -1,6 +1,7 @@
 //! The deterministic, single-process simulation of the broker network.
 
 use crate::broker_node::{Broker, MessageHandling};
+use crate::durability::{DurabilityConfig, DurableLog, StorageFaultPlan};
 use crate::metrics::{AnalysisStats, NetworkStats, RoutingMemoryReport, RunReport};
 use crate::reliable::{ReliableSession, SendOutcome};
 use crate::topology::Topology;
@@ -37,6 +38,15 @@ pub struct SimulationConfig {
     /// [`crash_broker`](Simulation::crash_broker) /
     /// [`restart_broker`](Simulation::restart_broker).
     pub reliability: bool,
+    /// Gives every broker a durable subscription log
+    /// ([`crate::durability`], in-memory backend): accepted
+    /// subscribe/unsubscribe operations are journaled, compacted into
+    /// snapshots, and replayed by
+    /// [`restart_broker`](Simulation::restart_broker) *before* the neighbor
+    /// sync — so a whole-cluster restart recovers every routing table even
+    /// with zero live neighbors. `None` (the default) keeps brokers purely
+    /// volatile, as in PR 7's neighbor-sync-only recovery.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl SimulationConfig {
@@ -48,6 +58,7 @@ impl SimulationConfig {
             engine: EngineKind::Counting,
             engine_config: EngineConfig::default(),
             reliability: false,
+            durability: None,
         }
     }
 
@@ -55,6 +66,13 @@ impl SimulationConfig {
     /// broker→broker link.
     pub fn with_reliability(mut self, enabled: bool) -> Self {
         self.reliability = enabled;
+        self
+    }
+
+    /// Gives every broker a durable subscription log with the given
+    /// configuration (see [`SimulationConfig::durability`]).
+    pub fn with_durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
         self
     }
 
@@ -140,6 +158,13 @@ pub struct Simulation {
     /// Brokers currently crashed: frames addressed to them vanish, live
     /// neighbors queue traffic for them on the down links.
     crashed: BTreeSet<BrokerId>,
+    /// Restarted brokers whose inbound pending-queue flush is deferred
+    /// because a neighbor is still crashed: absent a durable log their
+    /// tables lack every entry behind the dead side, so flushing early
+    /// would drop the queued events that need those routes. Flushed by
+    /// [`flush_ready`](Self::flush_ready) once the whole neighborhood is
+    /// back.
+    flush_deferred: BTreeSet<BrokerId>,
     /// Client subscriptions by home broker, re-injected after a restart.
     /// Only tracked under reliability — recovery is meaningless without it.
     client_subs: BTreeMap<BrokerId, Vec<Subscription>>,
@@ -194,11 +219,17 @@ impl Simulation {
             reliable: None,
             wrap_frame: Vec::new(),
             crashed: BTreeSet::new(),
+            flush_deferred: BTreeSet::new(),
             client_subs: BTreeMap::new(),
             delivery_log: None,
         };
         if sim.config.reliability {
             sim.reliable = Some(ReliableSession::new());
+        }
+        if let Some(durability) = sim.config.durability {
+            for broker in sim.brokers.values_mut() {
+                broker.attach_durable_log(DurableLog::in_memory(durability));
+            }
         }
         sim.handshake();
         sim
@@ -330,7 +361,45 @@ impl Simulation {
                 self.transport.send(Some(from), to, &frame);
             }
         }
+        self.absorb_durability_stats();
         delivered
+    }
+
+    /// Drains every broker's durability counters into the cumulative
+    /// network statistics. Runs at the end of each [`pump`](Self::pump) —
+    /// the single funnel every frame (and therefore every journal append)
+    /// goes through.
+    fn absorb_durability_stats(&mut self) {
+        if self.config.durability.is_none() {
+            return;
+        }
+        for broker in self.brokers.values_mut() {
+            if let Some(journal) = broker.durable_log_mut() {
+                let stats = journal.drain_stats();
+                self.network.log_records_replayed += stats.log_records_replayed;
+                self.network.snapshot_compactions += stats.snapshot_compactions;
+                self.network.log_bytes += stats.log_bytes;
+                self.network.log_corrupt_truncations += stats.log_corrupt_truncations;
+            }
+        }
+    }
+
+    /// Installs a deterministic storage fault plan on one broker's durable
+    /// log (see [`StorageFaultPlan`]): subsequent crashes may tear or
+    /// corrupt the unsynced log tail, and compactions may be interrupted
+    /// mid-swap.
+    ///
+    /// # Panics
+    /// Panics if the broker is unknown or the simulation runs without
+    /// [`SimulationConfig::with_durability`].
+    pub fn set_storage_fault_plan(&mut self, broker: BrokerId, plan: StorageFaultPlan) {
+        let journal = self
+            .brokers
+            .get_mut(&broker)
+            .unwrap_or_else(|| panic!("{broker} is not part of the topology"))
+            .durable_log_mut()
+            .expect("set_storage_fault_plan requires SimulationConfig::with_durability");
+        journal.storage_mut().set_fault_plan(plan);
     }
 
     /// Decodes and handles the inner frame in `recv_frame`, addressed to
@@ -801,6 +870,16 @@ impl Simulation {
             "crash_broker requires SimulationConfig::reliability"
         );
         assert!(self.crashed.insert(broker), "{broker} is already crashed");
+        // The durable log survives the crash, but the crash may damage the
+        // unsynced tail of its most recent write (storage fault plans).
+        if let Some(journal) = self
+            .brokers
+            .get_mut(&broker)
+            .expect("asserted above")
+            .durable_log_mut()
+        {
+            journal.crash();
+        }
         let session = self.reliable.as_mut().expect("asserted above");
         for neighbor in self.config.topology.neighbors(broker) {
             // The live neighbor holds on to everything it has not seen
@@ -812,18 +891,28 @@ impl Simulation {
 
     /// Restarts a crashed broker and runs the recovery protocol:
     ///
-    /// 1. a fresh broker instance comes up with empty routing state and
-    ///    re-establishes its links (`Hello`/`Ack`, sequence numbers reset);
+    /// 0. under [`SimulationConfig::with_durability`], the fresh instance
+    ///    first replays its own durable log (snapshot + log tail, truncated
+    ///    at the first torn/corrupt record) — recovery of the routing table
+    ///    does not depend on any neighbor being alive;
+    /// 1. a fresh broker instance comes up
+    ///    and re-establishes its links (`Hello`/`Ack`, sequence numbers
+    ///    reset); links to *still-crashed* neighbors stay down, so frames
+    ///    toward them queue and are flushed when those neighbors restart —
+    ///    correlated crashes recover pairwise, in any restart order;
     /// 2. it sends a [`SyncRequest`](WireMessage::SyncRequest) to every
-    ///    neighbor; each answers with a
+    ///    neighbor; each live one answers with a
     ///    [`SyncState`](WireMessage::SyncState) summarizing the
     ///    subscriptions reachable through *its* side of the tree, which the
     ///    restarted broker installs as remote entries;
     /// 3. the subscriptions of the broker's own local clients are
     ///    re-injected and re-flooded (registration is idempotent at every
     ///    broker that still remembers them);
-    /// 4. only then is each neighbor's pending queue flushed — events
-    ///    published mid-outage — so everything queued is routable on
+    /// 4. only then are the neighbors' pending queues flushed — events
+    ///    published mid-outage, plus any `Hello`/`SyncRequest` a neighbor
+    ///    queued while *this* broker was the dead one. A broker whose
+    ///    neighborhood is not fully live yet has its flush *deferred* until
+    ///    the last neighbor restarts, so everything queued is routable on
     ///    arrival.
     ///
     /// Counts one [`NetworkStats::resyncs`]; the sync and re-subscription
@@ -838,18 +927,34 @@ impl Simulation {
         );
         self.network.resyncs += 1;
         // A fresh instance: everything volatile is gone.
-        self.brokers.insert(
-            broker,
-            Broker::with_engine_config(
+        let mut previous = self
+            .brokers
+            .insert(
                 broker,
-                self.config.topology.neighbors(broker),
-                self.config.engine,
-                self.config.engine_config,
-            ),
-        );
+                Broker::with_engine_config(
+                    broker,
+                    self.config.topology.neighbors(broker),
+                    self.config.engine,
+                    self.config.engine_config,
+                ),
+            )
+            .expect("restart of a known broker");
+        // 0. The durable log outlives the crashed incarnation: move it to
+        //    the fresh instance and replay it *before* talking to anyone.
+        if let Some(journal) = previous.take_durable_log() {
+            let fresh = self.brokers.get_mut(&broker).expect("just inserted");
+            fresh.attach_durable_log(journal);
+            fresh.recover();
+        }
         let neighbors: Vec<BrokerId> = self.config.topology.neighbors(broker);
         let session = self.reliable.as_mut().expect("crash required reliability");
         for &neighbor in &neighbors {
+            // A still-crashed neighbor's links stay down: its sender state
+            // died with it, and our frames toward it must queue (not fly
+            // into the void) until its own restart flushes them.
+            if self.crashed.contains(&neighbor) {
+                continue;
+            }
             session.reset_link(broker, neighbor);
             session.reset_link(neighbor, broker);
         }
@@ -884,19 +989,61 @@ impl Simulation {
         let _ = self.pump(&mut None);
         // 4. Release the mid-outage traffic the neighbors queued — the
         //    restarted broker can route it now. Bytes and event copies were
-        //    recorded when the frames were queued.
-        let mut flushed = Vec::new();
-        let session = self.reliable.as_mut().expect("crash required reliability");
-        for &neighbor in &neighbors {
-            session.flush_pending(neighbor, broker, &mut flushed, &mut self.network);
+        //    recorded when the frames were queued. With a neighbor still
+        //    crashed the flush is deferred: without a durable log the
+        //    broker holds no entries toward the dead side yet, and even
+        //    with one the flushed exchange below completes neighbor tables
+        //    first — so the flush waits for the whole neighborhood.
+        self.flush_deferred.insert(broker);
+        self.flush_ready(broker);
+    }
+
+    /// Whether every neighbor of `broker` is currently live.
+    fn all_neighbors_live(&self, broker: BrokerId) -> bool {
+        self.config
+            .topology
+            .neighbors(broker)
+            .iter()
+            .all(|neighbor| !self.crashed.contains(neighbor))
+    }
+
+    /// Flushes the inbound pending queues of every restart-deferred broker
+    /// whose neighborhood is fully live again, starting with `first` — the
+    /// broker that just restarted. Its inbound queues hold the
+    /// `Hello`/`SyncRequest` frames earlier-restarted neighbors queued
+    /// while it was the dead one; answering those completes *their*
+    /// routing tables before their own deferred flushes run, so the
+    /// mid-outage events released afterwards are routable everywhere.
+    fn flush_ready(&mut self, first: BrokerId) {
+        loop {
+            let next = if self.flush_deferred.contains(&first) && self.all_neighbors_live(first) {
+                first
+            } else {
+                match self
+                    .flush_deferred
+                    .iter()
+                    .copied()
+                    .find(|&deferred| self.all_neighbors_live(deferred))
+                {
+                    Some(deferred) => deferred,
+                    None => return,
+                }
+            };
+            self.flush_deferred.remove(&next);
+            let neighbors: Vec<BrokerId> = self.config.topology.neighbors(next);
+            let mut flushed = Vec::new();
+            let session = self.reliable.as_mut().expect("crash required reliability");
+            for &neighbor in &neighbors {
+                session.flush_pending(neighbor, next, &mut flushed, &mut self.network);
+            }
+            for (from, to, frame) in flushed {
+                self.transport.send(Some(from), to, &frame);
+            }
+            // Mid-outage events delivered now belong to the cumulative
+            // totals just like deliveries at publish time.
+            let delivered = self.pump(&mut None);
+            self.deliveries += delivered;
         }
-        for (from, to, frame) in flushed {
-            self.transport.send(Some(from), to, &frame);
-        }
-        // Mid-outage events delivered now belong to the cumulative totals
-        // just like deliveries at publish time.
-        let delivered = self.pump(&mut None);
-        self.deliveries += delivered;
     }
 }
 
@@ -1626,5 +1773,188 @@ mod tests {
         assert_eq!(sim.live_origin(b(2)), b(2));
         sim.crash_broker(b(1));
         assert_eq!(sim.live_origin(b(0)), b(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "is already crashed")]
+    fn crashing_a_crashed_broker_panics() {
+        let config = SimulationConfig::new(Topology::line(3)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.crash_broker(b(1));
+        sim.crash_broker(b(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not crashed")]
+    fn restarting_a_live_broker_panics() {
+        // Re-running the handshake on a live broker would double-count
+        // resyncs and re-flood client subscriptions — refuse loudly.
+        let config = SimulationConfig::new(Topology::line(3)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.restart_broker(b(1));
+    }
+
+    #[test]
+    fn correlated_crash_of_adjacent_brokers_recovers_via_sync_alone() {
+        // Two adjacent brokers down at once, durability OFF: each restart
+        // syncs from its live side, and the queued Hello/SyncRequest toward
+        // the still-dead neighbor completes the pairwise handshake when
+        // that neighbor comes back — neighbor state alone rebuilds both
+        // tables.
+        let subs = test_subs();
+        let events = test_events(30);
+        let expected = baseline_log(Topology::line(4), &subs, &events);
+
+        let config = SimulationConfig::new(Topology::line(4)).with_reliability(true);
+        let mut sim = Simulation::new(config);
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+
+        let phases: Vec<EventBatch> = events
+            .chunks(10)
+            .map(|chunk| chunk.iter().cloned().collect())
+            .collect();
+        let _ = sim.publish_batch(&phases[0]);
+        sim.crash_broker(b(1));
+        sim.crash_broker(b(2));
+        let _ = sim.publish_batch(&phases[1]);
+        sim.restart_broker(b(1));
+        sim.restart_broker(b(2));
+        let _ = sim.publish_batch(&phases[2]);
+
+        assert_eq!(sorted_log(&mut sim), expected);
+        assert_eq!(sim.network_stats().resyncs, 2);
+        assert_eq!(sim.network_stats().queue_drops, 0);
+        // Both restarted brokers hold exactly the remote state an uncrashed
+        // run would: the first-restarted one re-learned the second's side
+        // through the flushed sync exchange.
+        let mut reference = Simulation::new(SimulationConfig::new(Topology::line(4)));
+        reference.register_all(test_subs());
+        for broker in [b(1), b(2)] {
+            let mut recovered: Vec<SubscriptionId> = sim
+                .broker(broker)
+                .unwrap()
+                .remote_subscriptions()
+                .iter()
+                .map(Subscription::id)
+                .collect();
+            recovered.sort();
+            let mut expected_remote: Vec<SubscriptionId> = reference
+                .broker(broker)
+                .unwrap()
+                .remote_subscriptions()
+                .iter()
+                .map(Subscription::id)
+                .collect();
+            expected_remote.sort();
+            assert_eq!(recovered, expected_remote, "{broker} state diverged");
+        }
+    }
+
+    #[test]
+    fn whole_cluster_restart_recovers_from_logs_alone() {
+        // Every broker crashes; the first one restarts with zero live
+        // neighbors. Its routing table — including *remote* entries, which
+        // client re-injection cannot restore and no neighbor can provide —
+        // must come back from its own durable log.
+        let subs = test_subs();
+        let events = test_events(30);
+        let expected = baseline_log(Topology::line(3), &subs, &events);
+
+        let config = SimulationConfig::new(Topology::line(3))
+            .with_reliability(true)
+            .with_durability(DurabilityConfig::default());
+        let mut sim = Simulation::new(config);
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+
+        let phases: Vec<EventBatch> = events
+            .chunks(15)
+            .map(|chunk| chunk.iter().cloned().collect())
+            .collect();
+        let _ = sim.publish_batch(&phases[0]);
+
+        let reference_remote: Vec<SubscriptionId> = {
+            let mut ids: Vec<SubscriptionId> = sim
+                .broker(b(1))
+                .unwrap()
+                .remote_subscriptions()
+                .iter()
+                .map(Subscription::id)
+                .collect();
+            ids.sort();
+            ids
+        };
+        for broker in [b(0), b(1), b(2)] {
+            sim.crash_broker(broker);
+        }
+        // Restart the middle broker first: both its neighbors are dead, so
+        // only the log can restore its remote entries.
+        sim.restart_broker(b(1));
+        let mut recovered: Vec<SubscriptionId> = sim
+            .broker(b(1))
+            .unwrap()
+            .remote_subscriptions()
+            .iter()
+            .map(Subscription::id)
+            .collect();
+        recovered.sort();
+        assert_eq!(
+            recovered, reference_remote,
+            "log-only recovery lost remote entries"
+        );
+        sim.restart_broker(b(0));
+        sim.restart_broker(b(2));
+        let _ = sim.publish_batch(&phases[1]);
+
+        assert_eq!(sorted_log(&mut sim), expected);
+        let stats = sim.network_stats();
+        assert!(stats.log_records_replayed > 0, "nothing was replayed");
+        assert!(stats.log_bytes > 0, "nothing was journaled");
+        assert_eq!(stats.log_corrupt_truncations, 0);
+        assert_eq!(stats.queue_drops, 0);
+    }
+
+    #[test]
+    fn compaction_under_simulation_load_is_counted_and_lossless() {
+        // A tiny compaction period forces several snapshot swaps during
+        // registration; the table and deliveries must be unaffected.
+        let subs = test_subs();
+        let events = test_events(20);
+        let expected = baseline_log(Topology::line(3), &subs, &events);
+
+        let config = SimulationConfig::new(Topology::line(3))
+            .with_reliability(true)
+            .with_durability(DurabilityConfig::new().with_compact_every(2));
+        let mut sim = Simulation::new(config);
+        sim.enable_delivery_log();
+        sim.register_all(subs);
+        let batch: EventBatch = events.iter().cloned().collect();
+        let _ = sim.publish_batch(&batch);
+        assert_eq!(sorted_log(&mut sim), expected);
+        assert!(
+            sim.network_stats().snapshot_compactions > 0,
+            "a 2-record period never compacted"
+        );
+
+        // Crash + whole-cluster restart on top of compacted state.
+        for broker in [b(0), b(1), b(2)] {
+            sim.crash_broker(broker);
+        }
+        for broker in [b(0), b(1), b(2)] {
+            sim.restart_broker(broker);
+        }
+        let expected_after = {
+            let mut reference = Simulation::new(SimulationConfig::new(Topology::line(3)));
+            reference.enable_delivery_log();
+            reference.register_all(test_subs());
+            let batch: EventBatch = test_events(20).iter().cloned().collect();
+            let _ = reference.publish_batch(&batch);
+            let _ = sorted_log(&mut reference);
+            let _ = reference.publish_batch(&batch);
+            sorted_log(&mut reference)
+        };
+        let _ = sim.publish_batch(&batch);
+        assert_eq!(sorted_log(&mut sim), expected_after);
     }
 }

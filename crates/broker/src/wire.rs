@@ -317,6 +317,22 @@ impl Codec {
         out.len() - frame_start
     }
 
+    /// Appends one encoded `Subscribe` frame for the given subscription.
+    ///
+    /// Equivalent to `encode_into(&WireMessage::Subscribe { .. })` but
+    /// without cloning the subscription into a message value — this is what
+    /// the durable log's append path uses.
+    pub fn encode_subscribe(&mut self, subscription: &Subscription, out: &mut Vec<u8>) -> usize {
+        let frame_start = out.len();
+        out.extend_from_slice(&[0u8; FRAME_HEADER_LEN]);
+        out.push(2);
+        out.extend_from_slice(&subscription.id().raw().to_le_bytes());
+        out.extend_from_slice(&subscription.subscriber().raw().to_le_bytes());
+        encode_tree(subscription.tree(), subscription.tree().root(), out);
+        backpatch_len(out, frame_start);
+        out.len() - frame_start
+    }
+
     /// Appends one encoded `PublishBatch` frame carrying the whole batch.
     ///
     /// Equivalent to `encode_into(&WireMessage::PublishBatch { .. })` but

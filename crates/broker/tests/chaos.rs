@@ -9,7 +9,8 @@
 //! compares full delivery logs, not just counts.
 
 use broker::{
-    BrokerId, ChannelTransport, FaultPlan, FaultyTransport, Simulation, SimulationConfig, Topology,
+    BrokerId, ChannelTransport, DurabilityConfig, FaultPlan, FaultyTransport, Simulation,
+    SimulationConfig, StorageFaultPlan, Topology,
 };
 use pubsub_core::{EventBatch, EventId, SubscriberId, Subscription, SubscriptionId};
 use workload::{AuctionSchema, ClassMix, EventGenerator, SubscriptionGenerator};
@@ -152,4 +153,152 @@ fn chaos_outage_events_survive_via_publisher_failover_and_link_queues() {
 
     assert_eq!(sorted_log(&mut faulty), sorted_log(&mut plain));
     assert_eq!(faulty.network_stats().resyncs, 1);
+}
+
+// ---------------------------------------------------------------------
+// Durability: whole-cluster crash + restart from the brokers' own logs
+// ---------------------------------------------------------------------
+
+const DURABILITY_BATCHES: usize = 8; // 2048 events
+const CLUSTER_CRASH_AFTER: usize = 4;
+
+/// Whole-cluster outage: every broker crashes at once, so the first
+/// restarts happen with **zero live neighbors** — only the durable log can
+/// restore their routing tables. The delivery log for publishes after the
+/// restart must be byte-identical to a run that never crashed, under every
+/// storage fault plan (torn tail write, tail bit corruption, interrupted
+/// compaction).
+#[test]
+fn whole_cluster_restart_is_equivalent_under_every_storage_fault_plan() {
+    let (subs, batches) = workload();
+    let topology = Topology::balanced_tree(BROKERS, FANOUT);
+
+    // Fault-free, crash-free ground truth over the same batch subset.
+    let mut clean = Simulation::new(SimulationConfig::new(topology.clone()));
+    clean.enable_delivery_log();
+    clean.register_all(subs.clone());
+    for batch in &batches[..DURABILITY_BATCHES] {
+        let _ = clean.publish_batch(batch);
+    }
+    let expected_deliveries = clean.deliveries();
+    let expected_log = sorted_log(&mut clean);
+    assert!(expected_deliveries > 0, "workload must produce deliveries");
+
+    let variants: Vec<(&str, Option<StorageFaultPlan>)> = vec![
+        ("fault-free storage", None),
+        (
+            "torn tail write",
+            Some(StorageFaultPlan::new(0).with_torn_write(1.0)),
+        ),
+        (
+            "tail bit corruption",
+            Some(StorageFaultPlan::new(0).with_corrupt(1.0)),
+        ),
+        (
+            "crash during compaction",
+            Some(StorageFaultPlan::new(0).with_crash_compaction(1.0)),
+        ),
+        (
+            "all storage faults",
+            Some(
+                StorageFaultPlan::new(0)
+                    .with_torn_write(0.5)
+                    .with_corrupt(0.5)
+                    .with_crash_compaction(0.5),
+            ),
+        ),
+    ];
+
+    for (name, plan) in variants {
+        let config = SimulationConfig::new(topology.clone())
+            .with_reliability(true)
+            .with_durability(DurabilityConfig::new().with_compact_every(16));
+        let mut sim = Simulation::new(config);
+        sim.enable_delivery_log();
+        sim.register_all(subs.clone());
+        if let Some(plan) = plan {
+            for broker in topology.broker_ids() {
+                // Per-broker seeds, like FaultyTransport's per-link plans.
+                sim.set_storage_fault_plan(
+                    broker,
+                    StorageFaultPlan {
+                        seed: plan.seed + 100 + broker.raw() as u64,
+                        ..plan
+                    },
+                );
+            }
+        }
+        for batch in &batches[..CLUSTER_CRASH_AFTER] {
+            let _ = sim.publish_batch(batch);
+        }
+
+        let first = BrokerId::from_raw(0);
+        let pre_crash_remote = {
+            let mut ids: Vec<SubscriptionId> = sim
+                .broker(first)
+                .unwrap()
+                .remote_subscriptions()
+                .iter()
+                .map(Subscription::id)
+                .collect();
+            ids.sort();
+            ids
+        };
+        for broker in topology.broker_ids() {
+            sim.crash_broker(broker);
+        }
+        for broker in topology.broker_ids() {
+            sim.restart_broker(broker);
+        }
+        if plan.is_none() {
+            // The log-only proof: broker 0 restarted while both of its
+            // neighbors were still crashed, client re-injection restores
+            // only local entries, and sync answers could not have arrived
+            // yet at the moment of replay — so matching pre-crash remote
+            // state can only have come from its own log.
+            let mut recovered: Vec<SubscriptionId> = sim
+                .broker(first)
+                .unwrap()
+                .remote_subscriptions()
+                .iter()
+                .map(Subscription::id)
+                .collect();
+            recovered.sort();
+            assert_eq!(
+                recovered, pre_crash_remote,
+                "{name}: log-only recovery lost remote entries"
+            );
+        }
+
+        for batch in &batches[CLUSTER_CRASH_AFTER..DURABILITY_BATCHES] {
+            let _ = sim.publish_batch(batch);
+        }
+
+        assert_eq!(
+            sorted_log(&mut sim),
+            expected_log,
+            "{name}: whole-cluster restart changed the delivered set"
+        );
+        assert_eq!(sim.deliveries(), expected_deliveries, "{name}");
+        let stats = sim.network_stats();
+        assert_eq!(stats.resyncs, BROKERS as u64, "{name}");
+        assert!(stats.log_records_replayed > 0, "{name}: nothing replayed");
+        assert!(stats.log_bytes > 0, "{name}: nothing journaled");
+        assert_eq!(stats.queue_drops, 0, "{name}");
+        match name {
+            "fault-free storage" => {
+                assert!(stats.snapshot_compactions > 0, "{name}: never compacted");
+                assert_eq!(stats.log_corrupt_truncations, 0, "{name}");
+            }
+            "tail bit corruption" => {
+                // Every broker's log tail was bit-flipped at crash time:
+                // replay must have truncated at least one of them.
+                assert!(
+                    stats.log_corrupt_truncations > 0,
+                    "{name}: corruption went undetected"
+                );
+            }
+            _ => {}
+        }
+    }
 }

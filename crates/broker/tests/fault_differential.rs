@@ -5,7 +5,8 @@
 //! to the same workload on a clean, fault-free network.
 
 use broker::{
-    ChannelTransport, FaultPlan, FaultyTransport, Simulation, SimulationConfig, Topology,
+    BrokerId, ChannelTransport, DurabilityConfig, FaultPlan, FaultyTransport, Simulation,
+    SimulationConfig, StorageFaultPlan, Topology,
 };
 use proptest::prelude::*;
 use pubsub_core::{EventBatch, EventId, SubscriberId, SubscriptionId};
@@ -40,6 +41,7 @@ proptest! {
         corrupt in 0.0..0.1f64,
         reorder in 0u64..=8,
         crash_pick in 0u64..=u64::MAX,
+        crash_pick2 in 0u64..=u64::MAX,
     ) {
         let topology = topology(topology_index);
         let schema = AuctionSchema::default();
@@ -49,9 +51,16 @@ proptest! {
         let phases: Vec<EventBatch> =
             (0..3).map(|_| generator.event_batch(PHASE_EVENTS)).collect();
         // Any broker may crash: publishers fail over, local clients
-        // re-subscribe on restart, neighbors queue in-flight traffic.
+        // re-subscribe on restart, neighbors queue in-flight traffic. Half
+        // the runs crash a second, distinct broker at the same time —
+        // including *adjacent* pairs, where the pair must recover from
+        // neighbor sync alone (no durable log in this test).
         let brokers: Vec<_> = topology.broker_ids().collect();
-        let crash = brokers[(crash_pick % brokers.len() as u64) as usize];
+        let mut crashes = vec![brokers[(crash_pick % brokers.len() as u64) as usize]];
+        if crash_pick2 % 2 == 1 {
+            let offset = 1 + (crash_pick2 / 2) % (brokers.len() as u64 - 1);
+            crashes.push(brokers[((crash_pick + offset) % brokers.len() as u64) as usize]);
+        }
 
         // Fault-free reference.
         let mut clean = Simulation::new(SimulationConfig::new(topology.clone()));
@@ -80,14 +89,116 @@ proptest! {
         faulty.enable_delivery_log();
         faulty.register_all(subs);
         let _ = faulty.publish_batch(&phases[0]);
-        faulty.crash_broker(crash);
+        for broker in &crashes {
+            faulty.crash_broker(*broker);
+        }
         let _ = faulty.publish_batch(&phases[1]);
-        faulty.restart_broker(crash);
+        for broker in &crashes {
+            faulty.restart_broker(*broker);
+        }
         let _ = faulty.publish_batch(&phases[2]);
 
         prop_assert_eq!(sorted_log(&mut faulty), expected);
-        prop_assert_eq!(faulty.network_stats().resyncs, 1);
+        prop_assert_eq!(faulty.network_stats().resyncs, crashes.len() as u64);
         prop_assert_eq!(faulty.network_stats().decode_errors, 0);
         prop_assert_eq!(faulty.network_stats().queue_drops, 0);
+    }
+
+    /// Durability differential: random crash *sets* — up to and including
+    /// every broker in the topology at once — with per-broker storage fault
+    /// plans (torn tail writes, tail bit corruption, interrupted
+    /// compactions) and random compaction periods. Whatever the durable log
+    /// loses, replay-then-reconcile recovery must restore: the delivered set
+    /// must equal the clean run exactly.
+    #[test]
+    fn any_crash_set_with_storage_faults_delivers_the_fault_free_set(
+        topology_index in 0usize..3,
+        workload_seed in 0u64..1_000,
+        storage_seed in 0u64..=u64::MAX,
+        torn in 0.0..1.0f64,
+        corrupt in 0.0..1.0f64,
+        crash_compaction in 0.0..1.0f64,
+        crash_mask in 0u64..=u64::MAX,
+        compact_every in 0u64..5,
+    ) {
+        let topology = topology(topology_index);
+        let schema = AuctionSchema::default();
+        let subs = SubscriptionGenerator::new(schema, ClassMix::default_mix(), workload_seed)
+            .subscriptions(SUBSCRIPTIONS, SUBSCRIBERS);
+        let mut generator = EventGenerator::new(schema, workload_seed.wrapping_add(1));
+        let phases: Vec<EventBatch> =
+            (0..3).map(|_| generator.event_batch(PHASE_EVENTS)).collect();
+        let brokers: Vec<BrokerId> = topology.broker_ids().collect();
+        // Crash subset from the mask bits; every eighth mask crashes the
+        // whole cluster, so the zero-live-neighbors case is routinely hit.
+        let mut crashes: Vec<BrokerId> = if crash_mask % 8 == 0 {
+            brokers.clone()
+        } else {
+            brokers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| crash_mask >> i & 1 == 1)
+                .map(|(_, b)| *b)
+                .collect()
+        };
+        if crashes.is_empty() {
+            crashes.push(brokers[(crash_mask % brokers.len() as u64) as usize]);
+        }
+        let whole_cluster = crashes.len() == brokers.len();
+        // Restart in a mask-dependent rotation of crash order, so recovery
+        // is exercised both inward-out and outward-in.
+        let rotation = (crash_mask >> 32) as usize % crashes.len();
+        crashes.rotate_left(rotation);
+
+        // Fault-free reference.
+        let mut clean = Simulation::new(SimulationConfig::new(topology.clone()));
+        clean.enable_delivery_log();
+        clean.register_all(subs.clone());
+        for phase in &phases {
+            let _ = clean.publish_batch(phase);
+        }
+        let expected = sorted_log(&mut clean);
+
+        let config = SimulationConfig::new(topology)
+            .with_reliability(true)
+            .with_durability(DurabilityConfig::new().with_compact_every(compact_every * 8));
+        let mut durable = Simulation::new(config);
+        durable.enable_delivery_log();
+        durable.register_all(subs);
+        for (index, broker) in brokers.iter().enumerate() {
+            durable.set_storage_fault_plan(
+                *broker,
+                StorageFaultPlan::new(storage_seed ^ index as u64)
+                    .with_torn_write(torn)
+                    .with_corrupt(corrupt)
+                    .with_crash_compaction(crash_compaction),
+            );
+        }
+
+        let _ = durable.publish_batch(&phases[0]);
+        for broker in &crashes {
+            durable.crash_broker(*broker);
+        }
+        // With at least one live broker, keep publishing through the
+        // outage; a whole-cluster outage has nowhere to publish, so that
+        // phase moves after recovery.
+        if !whole_cluster {
+            let _ = durable.publish_batch(&phases[1]);
+        }
+        for broker in &crashes {
+            durable.restart_broker(*broker);
+        }
+        if whole_cluster {
+            let _ = durable.publish_batch(&phases[1]);
+        }
+        let _ = durable.publish_batch(&phases[2]);
+
+        prop_assert_eq!(sorted_log(&mut durable), expected);
+        let stats = durable.network_stats();
+        prop_assert_eq!(stats.resyncs, crashes.len() as u64);
+        prop_assert_eq!(stats.decode_errors, 0);
+        prop_assert_eq!(stats.queue_drops, 0);
+        prop_assert!(stats.log_records_replayed > 0);
+        prop_assert!(stats.log_bytes > 0);
     }
 }

@@ -61,6 +61,7 @@ pub mod hash;
 mod ids;
 mod operator;
 mod predicate;
+pub mod record;
 mod subscription;
 mod tree;
 mod value;

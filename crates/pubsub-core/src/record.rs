@@ -1,0 +1,227 @@
+//! Length-prefixed, checksummed record framing for append-only logs.
+//!
+//! The broker's durable subscription log (`broker::durability` in the
+//! `broker` crate) persists one operation per **record**, framed the same
+//! way the wire protocol frames messages — a little-endian length prefix —
+//! plus a trailing [FNV-1a 64](crate::hash::Fnv64) checksum so a torn or
+//! bit-flipped tail is *detected* instead of replayed as garbage:
+//!
+//! ```text
+//! +----------+------------------+----------+
+//! | len: u32 | payload: len B   | crc: u64 |
+//! +----------+------------------+----------+
+//! ```
+//!
+//! The checksum covers the length prefix and the payload, so a corrupted
+//! length field fails validation just like a corrupted payload byte.
+//! [`RecordReader`] iterates the records of a buffer and stops at the first
+//! frame that is torn (runs past the end of the buffer) or corrupt
+//! (checksum mismatch); [`RecordReader::clean_len`] reports how many bytes
+//! of valid prefix were consumed, which is exactly the truncation point a
+//! crash-consistent log recovers to.
+
+use crate::hash::Fnv64;
+
+/// Bytes of the record length prefix.
+pub const RECORD_HEADER_LEN: usize = 4;
+/// Bytes of the trailing checksum.
+pub const RECORD_TRAILER_LEN: usize = 8;
+/// Total framing bytes added around a payload.
+pub const RECORD_OVERHEAD: usize = RECORD_HEADER_LEN + RECORD_TRAILER_LEN;
+
+/// Why a [`RecordReader`] stopped before the end of its buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordDamage {
+    /// The buffer ended inside a record — a torn (partial) write.
+    Torn,
+    /// A record's checksum did not match its bytes — bit corruption.
+    Corrupt,
+}
+
+/// Checksum of one record: FNV-1a 64 over the length prefix (as a
+/// little-endian `u32`) followed by the payload bytes.
+fn record_crc(payload: &[u8]) -> u64 {
+    let mut hash = Fnv64::new();
+    hash.write_u32(payload.len() as u32);
+    hash.write(payload);
+    hash.finish()
+}
+
+/// Appends one framed record (length prefix, payload, checksum) to `out`.
+///
+/// # Panics
+/// Panics if the payload length does not fit a `u32` — callers frame single
+/// protocol messages, never multi-gigabyte blobs.
+pub fn append_record(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("record payload fits u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&record_crc(payload).to_le_bytes());
+}
+
+/// Iterates the records of a buffer, validating each frame, and stops at
+/// the first torn or corrupt record (clean-prefix semantics).
+#[derive(Debug)]
+pub struct RecordReader<'a> {
+    buf: &'a [u8],
+    offset: usize,
+    damage: Option<RecordDamage>,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Creates a reader over a record buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            offset: 0,
+            damage: None,
+        }
+    }
+
+    /// Returns the next valid payload, or `None` at the clean end of the
+    /// buffer *or* at the first damaged record (check
+    /// [`damage`](Self::damage) to tell the two apart). Once damaged, the
+    /// reader stays stopped.
+    pub fn next_record(&mut self) -> Option<&'a [u8]> {
+        if self.damage.is_some() || self.offset == self.buf.len() {
+            return None;
+        }
+        let remaining = &self.buf[self.offset..];
+        if remaining.len() < RECORD_HEADER_LEN {
+            self.damage = Some(RecordDamage::Torn);
+            return None;
+        }
+        let len = u32::from_le_bytes(remaining[..RECORD_HEADER_LEN].try_into().expect("4 bytes"))
+            as usize;
+        // A corrupted length field either runs past the buffer (torn) or
+        // points the checksum at the wrong bytes (caught below).
+        let framed = match len
+            .checked_add(RECORD_OVERHEAD)
+            .filter(|&framed| framed <= remaining.len())
+        {
+            Some(framed) => framed,
+            None => {
+                self.damage = Some(RecordDamage::Torn);
+                return None;
+            }
+        };
+        let payload = &remaining[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len];
+        let crc = u64::from_le_bytes(
+            remaining[RECORD_HEADER_LEN + len..framed]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        if record_crc(payload) != crc {
+            self.damage = Some(RecordDamage::Corrupt);
+            return None;
+        }
+        self.offset += framed;
+        Some(payload)
+    }
+
+    /// The damage that stopped the reader, if any.
+    pub fn damage(&self) -> Option<RecordDamage> {
+        self.damage
+    }
+
+    /// Bytes of valid prefix consumed so far — the truncation point a
+    /// recovering log rewrites itself to after damage.
+    pub fn clean_len(&self) -> usize {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for payload in payloads {
+            append_record(&mut buf, payload);
+        }
+        buf
+    }
+
+    fn read_all(buf: &[u8]) -> (Vec<Vec<u8>>, Option<RecordDamage>, usize) {
+        let mut reader = RecordReader::new(buf);
+        let mut records = Vec::new();
+        while let Some(payload) = reader.next_record() {
+            records.push(payload.to_vec());
+        }
+        (records, reader.damage(), reader.clean_len())
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"a longer record payload"];
+        let buf = log_of(&payloads);
+        let (records, damage, clean) = read_all(&buf);
+        assert_eq!(records, payloads);
+        assert_eq!(damage, None);
+        assert_eq!(clean, buf.len());
+    }
+
+    #[test]
+    fn empty_buffer_is_a_clean_end() {
+        let (records, damage, clean) = read_all(&[]);
+        assert!(records.is_empty());
+        assert_eq!(damage, None);
+        assert_eq!(clean, 0);
+    }
+
+    #[test]
+    fn every_truncation_yields_the_clean_prefix() {
+        let payloads: Vec<&[u8]> = vec![b"first", b"second", b"third"];
+        let buf = log_of(&payloads);
+        let first_two = log_of(&payloads[..2]).len();
+        let first_one = log_of(&payloads[..1]).len();
+        for cut in 0..buf.len() {
+            let (records, damage, clean) = read_all(&buf[..cut]);
+            // Whole records before the cut replay; the torn tail stops the
+            // reader at the last record boundary.
+            let expected = if cut >= first_two {
+                2
+            } else if cut >= first_one {
+                1
+            } else {
+                0
+            };
+            assert_eq!(records.len(), expected, "cut {cut}");
+            if cut == first_two || cut == first_one || cut == 0 {
+                // A cut exactly on a boundary is a clean end, not damage.
+                assert_eq!(damage, None, "cut {cut}");
+            } else {
+                assert_eq!(damage, Some(RecordDamage::Torn), "cut {cut}");
+            }
+            assert_eq!(clean, [0, first_one, first_two][expected], "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let buf = log_of(&[b"only-record"]);
+        for index in 0..buf.len() {
+            for bit in 0..8 {
+                let mut damaged = buf.clone();
+                damaged[index] ^= 1 << bit;
+                let (records, damage, clean) = read_all(&damaged);
+                assert!(records.is_empty(), "byte {index} bit {bit} replayed");
+                assert!(damage.is_some(), "byte {index} bit {bit} undetected");
+                assert_eq!(clean, 0, "byte {index} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn damage_stops_mid_buffer_but_keeps_the_prefix() {
+        let buf = log_of(&[b"keep-me", b"break-me", b"never-reached"]);
+        let boundary = log_of(&[b"keep-me"]).len();
+        let mut damaged = buf.clone();
+        damaged[boundary + RECORD_HEADER_LEN] ^= 0x40; // first payload byte of record 2
+        let (records, damage, clean) = read_all(&damaged);
+        assert_eq!(records, vec![b"keep-me".to_vec()]);
+        assert_eq!(damage, Some(RecordDamage::Corrupt));
+        assert_eq!(clean, boundary);
+    }
+}
