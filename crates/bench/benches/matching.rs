@@ -8,7 +8,9 @@
 
 use bench::narrow_events;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use filtering::{CountSink, CountingEngine, MatchingEngine, NaiveEngine, ShardedEngine};
+use filtering::{
+    ATreeEngine, CountSink, CountingEngine, MatchingEngine, NaiveEngine, ShardedEngine,
+};
 use pruning::{Dimension, Pruner, PrunerConfig};
 use pubsub_core::{EventBatch, EventMessage, Subscription, SubscriptionId};
 use selectivity::SelectivityEstimator;
@@ -146,6 +148,54 @@ fn bench_sharded_matching(c: &mut Criterion) {
     group.finish();
 }
 
+/// The A-Tree shared-subexpression DAG engine against the counting engine
+/// on the same batches, on both the raw auction workload and a
+/// redundancy-heavy variant (the base expressions cycled under fresh
+/// subscriber ids) where subtree sharing pays the most.
+fn bench_atree_matching(c: &mut Criterion) {
+    let (all_subs, events) = workload(*SUBSCRIPTION_PANEL.iter().max().unwrap(), EVENTS);
+    let mut group = c.benchmark_group("matching_atree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    let sub_count = *SUBSCRIPTION_PANEL.iter().max().unwrap();
+    let shared: Vec<Subscription> = (0..sub_count)
+        .map(|i| {
+            let base = &all_subs[i % all_subs.len().min(512)];
+            Subscription::new(
+                SubscriptionId::from_raw(1 + i as u64),
+                pubsub_core::SubscriberId::from_raw(1 + (i % 64) as u64),
+                base.tree().clone(),
+            )
+        })
+        .collect();
+    let batch: EventBatch = events.iter().cloned().collect();
+    for (population, subs) in [("auction", &all_subs[..sub_count]), ("shared", &shared[..])] {
+        let mut atree = ATreeEngine::with_capacity(subs.len());
+        let mut counting = CountingEngine::with_capacity(subs.len());
+        for s in subs {
+            atree.insert(s.clone());
+            counting.insert(s.clone());
+        }
+        let mut sink = CountSink::new();
+        group.bench_function(format!("atree/{population}/subs{sub_count}"), |b| {
+            b.iter(|| {
+                atree.match_batch(&batch, &mut sink);
+                sink.count()
+            });
+        });
+        group.bench_function(format!("counting/{population}/subs{sub_count}"), |b| {
+            b.iter(|| {
+                counting.match_batch(&batch, &mut sink);
+                sink.count()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_pruned_and_construction(c: &mut Criterion) {
     let (subscriptions, events) = workload(2_000, EVENTS);
     let mut group = c.benchmark_group("matching");
@@ -203,6 +253,7 @@ criterion_group!(
     bench_matching_panel,
     bench_batched_matching,
     bench_sharded_matching,
+    bench_atree_matching,
     bench_pruned_and_construction
 );
 criterion_main!(benches);

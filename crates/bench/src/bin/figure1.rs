@@ -15,7 +15,7 @@
 use bench::centralized::{centralized_csv_header, centralized_csv_row};
 use bench::cli::CliOptions;
 use bench::distributed::{distributed_csv_header, distributed_csv_row};
-use bench::{all_dimensions, run_centralized, run_distributed};
+use bench::{all_dimensions, run_centralized, run_distributed_with_engine};
 use pruning::Dimension;
 
 fn main() {
@@ -53,7 +53,12 @@ fn main() {
         }
         let mut summary: Vec<String> = Vec::new();
         for dimension in all_dimensions() {
-            let points = run_distributed(&options.distributed_scenario(), dimension, &fractions);
+            let points = run_distributed_with_engine(
+                &options.distributed_scenario(),
+                dimension,
+                &fractions,
+                options.engine_kind(),
+            );
             if panel != "summary" {
                 for point in &points {
                     println!("{}", distributed_csv_row(point));

@@ -9,12 +9,14 @@
 //! Usage:
 //!
 //! ```text
-//! matching_panel [--quick] [--out PATH] [--seed N]
+//! matching_panel [--quick] [--deep] [--out PATH] [--seed N]
 //! ```
 //!
 //! `--quick` shrinks the panel to smoke-test sizes (used by CI); the default
 //! panel matches 2,000 events against 1,000 and 10,000 subscriptions at full
-//! (10-attribute) and narrow (4-attribute) event widths.
+//! (10-attribute) and narrow (4-attribute) event widths. `--deep` extends
+//! the A-Tree series (below) to the million-subscription cell, which takes
+//! minutes — it is opt-in and never run by CI.
 //!
 //! Besides the single-event panel (the `results` array, kept for trajectory
 //! comparability with earlier sessions), the panel records a **batched**
@@ -61,6 +63,17 @@
 //! top-level `durability_overhead_pct` condenses the on/off comparison into
 //! the figure CI bounds.
 //!
+//! An `atree_results` series compares the counting engine against the
+//! shared-subexpression `ATreeEngine` on a redundancy-heavy population
+//! (the base workload's expressions cycled under fresh subscription ids —
+//! the popular-filter-shape repetition very large populations exhibit) at
+//! 100k subscriptions by default and 1M behind `--deep`. Each cell records
+//! ns/event, the engine's tree memory in bytes (and per subscription), and
+//! the A-Tree's DAG shape (`dag_nodes`, `dag_edges`, `shared_subtrees`,
+//! `node_evals_saved`); the binary asserts the two engines' match streams
+//! are identical before timing anything, so a recorded cell is also a
+//! correctness witness.
+//!
 //! A third series (`sharded_results`) drives the same workload through
 //! `ShardedEngine` at shard counts 1/2/4/8 (large batches, so the fan-out
 //! amortizes): the 1-shard cell measures the sharding machinery's fixed
@@ -79,10 +92,10 @@ use broker::{
     WireMessage,
 };
 use filtering::{
-    AnalyzeMode, CountSink, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine,
-    NaiveEngine, PrefilterMode, ShardedEngine,
+    ATreeEngine, AnalyzeMode, CountSink, CountingEngine, DiscriminationHint, EngineConfig,
+    MatchingEngine, NaiveEngine, PerEventSink, PrefilterMode, ShardedEngine,
 };
-use pubsub_core::{EventBatch, EventMessage, Subscription};
+use pubsub_core::{EventBatch, EventMessage, SubscriberId, Subscription, SubscriptionId};
 use std::time::Instant;
 use workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -228,6 +241,33 @@ struct AnalysisPanelResult {
     events_per_sec: f64,
 }
 
+/// One measured cell of the A-Tree panel: one engine (counting or atree)
+/// over the redundancy-heavy shared population at one subscription count,
+/// with per-engine memory accounting.
+struct AtreePanelResult {
+    engine: &'static str,
+    subscriptions: usize,
+    batch_size: usize,
+    events: usize,
+    passes: usize,
+    matches_per_pass: usize,
+    ns_per_event: f64,
+    events_per_sec: f64,
+    /// Bytes the engine holds for registered subscription structure: the
+    /// counting engine's stored trees, or the A-Tree's interned DAG slab
+    /// (`EngineReport::tree_bytes` for both).
+    memory_bytes: u64,
+    bytes_per_sub: f64,
+    /// Predicate/subscription associations (leaf index entries).
+    associations: u64,
+    /// DAG shape — zero for the counting engine.
+    dag_nodes: u64,
+    dag_edges: u64,
+    shared_subtrees: u64,
+    /// Node evaluations avoided by sharing across the timed passes.
+    node_evals_saved: u64,
+}
+
 /// One measured cell of the sharded panel.
 struct ShardedPanelResult {
     engine: &'static str,
@@ -248,6 +288,9 @@ struct PanelConfig {
     /// enough for the <15% codec-overhead bound to be meaningful, small
     /// enough to run on every commit.
     wire_check: bool,
+    /// Extends the A-Tree series to the million-subscription cell. Takes
+    /// minutes; opt-in, never run by CI.
+    deep: bool,
     out: String,
     seed: u64,
 }
@@ -256,6 +299,7 @@ fn parse_args() -> Result<PanelConfig, String> {
     let mut config = PanelConfig {
         quick: false,
         wire_check: false,
+        deep: false,
         out: "BENCH_matching.json".to_owned(),
         seed: 42,
     };
@@ -264,6 +308,7 @@ fn parse_args() -> Result<PanelConfig, String> {
         match arg.as_str() {
             "--quick" => config.quick = true,
             "--wire-check" => config.wire_check = true,
+            "--deep" => config.deep = true,
             "--out" => {
                 config.out = args.next().ok_or("--out requires a path")?;
             }
@@ -275,7 +320,9 @@ fn parse_args() -> Result<PanelConfig, String> {
                     .map_err(|e| format!("invalid --seed: {e}"))?;
             }
             "--help" | "-h" => {
-                println!("usage: matching_panel [--quick] [--wire-check] [--out PATH] [--seed N]");
+                println!(
+                    "usage: matching_panel [--quick] [--wire-check] [--deep] [--out PATH] [--seed N]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -283,6 +330,9 @@ fn parse_args() -> Result<PanelConfig, String> {
     }
     if config.quick && config.wire_check {
         return Err("--quick and --wire-check are mutually exclusive".to_owned());
+    }
+    if config.deep && (config.quick || config.wire_check) {
+        return Err("--deep is incompatible with --quick and --wire-check".to_owned());
     }
     Ok(config)
 }
@@ -908,6 +958,138 @@ fn measure_analysis(
     }
 }
 
+/// A redundancy-heavy population of `count` subscriptions built by cycling
+/// the base workload's expressions under fresh subscription ids. Very large
+/// real populations repeat popular filter shapes; the cycling reproduces
+/// that regime, which is exactly the sharing the A-Tree's hash-consed DAG
+/// exploits (and what a non-zero `shared_subtrees` gauge witnesses).
+fn shared_population(base: &[Subscription], count: usize) -> Vec<Subscription> {
+    (0..count)
+        .map(|i| {
+            let source = &base[i % base.len()];
+            Subscription::from_expr(
+                SubscriptionId::from_raw(1 + i as u64),
+                SubscriberId::from_raw(1 + (i % 64) as u64),
+                &source.tree().to_expr(),
+            )
+        })
+        .collect()
+}
+
+/// Measures one A-Tree cell: the counting engine and the A-Tree engine over
+/// the same redundancy-heavy population, returned as a `[counting, atree]`
+/// pair. Before timing, the two engines' match streams are asserted
+/// identical event by event over the leading batches — a recorded cell is a
+/// correctness witness, not just a number.
+fn measure_atree(
+    base: &[Subscription],
+    events: &[EventMessage],
+    count: usize,
+    batch_size: usize,
+    passes: usize,
+) -> Vec<AtreePanelResult> {
+    let subs = shared_population(base, count);
+    let batches: Vec<EventBatch> = events
+        .chunks(batch_size)
+        .map(|chunk| chunk.iter().cloned().collect())
+        .collect();
+    let mut counting = CountingEngine::with_capacity(count);
+    let mut atree = ATreeEngine::with_capacity(count);
+    for s in &subs {
+        counting.insert(s.clone());
+        atree.insert(s.clone());
+    }
+
+    // Differential check (doubles as warm-up): identical match streams on
+    // the leading batches. Two batches bound the check's memory at the
+    // million-subscription cell while still covering the batch-probe path.
+    let mut expected = PerEventSink::new();
+    let mut got = PerEventSink::new();
+    for batch in batches.iter().take(2) {
+        counting.match_batch(batch, &mut expected);
+        atree.match_batch(batch, &mut got);
+        assert_eq!(expected.len(), got.len());
+        for i in 0..batch.len() {
+            assert_eq!(
+                expected.for_event(i),
+                got.for_event(i),
+                "atree diverged from counting at {count} subscriptions, event {i}"
+            );
+        }
+    }
+
+    counting.reset_stats();
+    atree.reset_stats();
+    let (counting_matches, counting_ns) = time_engine_batched(&mut counting, &batches, passes);
+    let (atree_matches, atree_ns) = time_engine_batched(&mut atree, &batches, passes);
+    assert_eq!(
+        counting_matches, atree_matches,
+        "atree match count diverged at {count} subscriptions"
+    );
+
+    let memory = atree.memory();
+    let atree_stats = *atree.stats();
+    assert!(
+        atree_stats.shared_subtrees > 0,
+        "the redundant population must share subtrees"
+    );
+    let cell = |engine: &'static str,
+                matches_per_pass: usize,
+                ns_per_event: f64,
+                memory_bytes: u64,
+                associations: u64| AtreePanelResult {
+        engine,
+        subscriptions: count,
+        batch_size,
+        events: events.len(),
+        passes,
+        matches_per_pass,
+        ns_per_event,
+        events_per_sec: 1e9 / ns_per_event.max(1e-9),
+        memory_bytes,
+        bytes_per_sub: memory_bytes as f64 / count.max(1) as f64,
+        associations,
+        dag_nodes: if engine == "atree" {
+            atree_stats.dag_nodes
+        } else {
+            0
+        },
+        dag_edges: if engine == "atree" {
+            memory.edge_count as u64
+        } else {
+            0
+        },
+        shared_subtrees: if engine == "atree" {
+            atree_stats.shared_subtrees
+        } else {
+            0
+        },
+        node_evals_saved: if engine == "atree" {
+            atree_stats.node_evals_saved
+        } else {
+            0
+        },
+    };
+    let counting_report = counting.report();
+    let atree_report = atree.report();
+    vec![
+        cell(
+            "counting",
+            counting_matches,
+            counting_ns,
+            counting_report.tree_bytes as u64,
+            counting_report.association_count as u64,
+        ),
+        cell(
+            "atree",
+            atree_matches,
+            atree_ns,
+            atree_report.tree_bytes as u64,
+            atree_report.association_count as u64,
+        ),
+    ]
+}
+
 /// Measures the sharded engine over pre-chunked batches at one shard count.
 fn measure_sharded(
     subscriptions: &[Subscription],
@@ -1029,6 +1211,7 @@ fn render_json(
     sharded_results: &[ShardedPanelResult],
     prefilter_results: &[PrefilterPanelResult],
     analysis_results: &[AnalysisPanelResult],
+    atree_results: &[AtreePanelResult],
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
@@ -1036,6 +1219,7 @@ fn render_json(
     out.push_str(&format!("  \"seed\": {},\n", config.seed));
     out.push_str(&format!("  \"quick\": {},\n", config.quick));
     out.push_str(&format!("  \"wire_check\": {},\n", config.wire_check));
+    out.push_str(&format!("  \"deep\": {},\n", config.deep));
     out.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -1366,7 +1550,60 @@ fn render_json(
         "  \"analysis_stage2_reduction_pct\": {stage2_reduction_pct:.2},\n"
     ));
     out.push_str(&format!(
-        "  \"analysis_subscribe_bytes_reduction_pct\": {subscribe_bytes_reduction_pct:.2}\n"
+        "  \"analysis_subscribe_bytes_reduction_pct\": {subscribe_bytes_reduction_pct:.2},\n"
+    ));
+    out.push_str("  \"atree_results\": [\n");
+    for (i, r) in atree_results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"engine\": \"{}\", \"subscriptions\": {}, ",
+                "\"batch_size\": {}, \"events\": {}, \"passes\": {}, ",
+                "\"matches_per_pass\": {}, \"ns_per_event\": {:.1}, ",
+                "\"events_per_sec\": {:.1}, \"memory_bytes\": {}, ",
+                "\"bytes_per_sub\": {:.1}, \"associations\": {}, ",
+                "\"dag_nodes\": {}, \"dag_edges\": {}, ",
+                "\"shared_subtrees\": {}, \"node_evals_saved\": {}}}{}\n"
+            ),
+            r.engine,
+            r.subscriptions,
+            r.batch_size,
+            r.events,
+            r.passes,
+            r.matches_per_pass,
+            r.ns_per_event,
+            r.events_per_sec,
+            r.memory_bytes,
+            r.bytes_per_sub,
+            r.associations,
+            r.dag_nodes,
+            r.dag_edges,
+            r.shared_subtrees,
+            r.node_evals_saved,
+            if i + 1 == atree_results.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    // The condensed A-Tree memory figure: bytes per subscription of the
+    // A-Tree relative to the counting engine at the largest shared cell —
+    // well below 100 when the population actually shares structure.
+    let atree_cell = |engine: &str| {
+        atree_results
+            .iter()
+            .filter(|r| r.engine == engine)
+            .max_by_key(|r| r.subscriptions)
+    };
+    let memory_pct = match (atree_cell("atree"), atree_cell("counting")) {
+        (Some(atree), Some(counting)) if counting.bytes_per_sub > 0.0 => {
+            100.0 * atree.bytes_per_sub / counting.bytes_per_sub
+        }
+        _ => 0.0,
+    };
+    out.push_str(&format!(
+        "  \"atree_memory_per_sub_vs_counting_pct\": {memory_pct:.2}\n"
     ));
     out.push_str("}\n");
     out
@@ -1576,6 +1813,37 @@ fn main() {
         );
     }
 
+    // A-Tree panel: counting vs the shared-subexpression engine on the
+    // redundancy-heavy shared population. 100k subscriptions by default;
+    // `--deep` adds the million-subscription cell (minutes, opt-in);
+    // `--quick` and `--wire-check` shrink to smoke-test size. Fewer events
+    // than the main panel keep the big cells bounded — the per-event cost
+    // is what the cell records, not the total.
+    let (atree_counts, atree_event_count): (&[usize], usize) = if config.quick {
+        (&[2_000], 64)
+    } else if config.wire_check {
+        (&[2_000], 128)
+    } else if config.deep {
+        (&[100_000, 1_000_000], 512)
+    } else {
+        (&[100_000], 512)
+    };
+    let atree_events = &full_events[..atree_event_count.min(full_events.len())];
+    let mut atree_results = Vec::new();
+    for &count in atree_counts {
+        // One timed pass at the million-subscription cell; the differential
+        // warm-up already stabilized the scratch.
+        let atree_passes = if count >= 1_000_000 { 1 } else { passes };
+        for r in measure_atree(&all_subs, atree_events, count, 64, atree_passes) {
+            eprintln!(
+                "{:>8} subs={:<8} {:>10.0} ns/event {:>12.0} events/s ({:.1} B/sub, {} shared subtrees)",
+                r.engine, r.subscriptions, r.ns_per_event, r.events_per_sec,
+                r.bytes_per_sub, r.shared_subtrees
+            );
+            atree_results.push(r);
+        }
+    }
+
     print_comparison_table(&results, &batch_results, &wire_results, &sharded_results);
 
     let json = render_json(
@@ -1588,6 +1856,7 @@ fn main() {
         &sharded_results,
         &prefilter_results,
         &analysis_results,
+        &atree_results,
     );
     if let Err(e) = std::fs::write(&config.out, &json) {
         eprintln!("error: cannot write {}: {e}", config.out);

@@ -1,6 +1,7 @@
 //! A tiny, dependency-free command-line parser shared by the harness
 //! binaries.
 
+use filtering::EngineKind;
 use workload::ScenarioConfig;
 
 /// Options common to all harness binaries.
@@ -8,6 +9,9 @@ use workload::ScenarioConfig;
 pub struct CliOptions {
     /// Which panel(s) to produce (`a`–`f`, `all`, or `summary`).
     pub panel: String,
+    /// The matching engine the distributed brokers run
+    /// (`counting`, `sharded`, `atree`, or `sharded-atree`).
+    pub engine: String,
     /// Number of subscriptions.
     pub subs: usize,
     /// Number of published events.
@@ -28,6 +32,7 @@ impl Default for CliOptions {
     fn default() -> Self {
         Self {
             panel: "all".to_owned(),
+            engine: "counting".to_owned(),
             subs: 20_000,
             events: 10_000,
             stats_sample: 2_000,
@@ -41,6 +46,9 @@ impl Default for CliOptions {
 
 /// The panel names accepted by `--panel`.
 pub const PANELS: [&str; 8] = ["a", "b", "c", "d", "e", "f", "all", "summary"];
+
+/// The engine names accepted by `--engine`.
+pub const ENGINES: [&str; 4] = ["counting", "sharded", "atree", "sharded-atree"];
 
 /// Why parsing stopped: an explicit help request (exit 0, print to stdout)
 /// or an actual error (exit 2, print to stderr).
@@ -93,6 +101,19 @@ impl CliOptions {
                         )));
                     }
                     options.panel = panel;
+                }
+                "--engine" => {
+                    // Validated like --panel: a typo'd engine would silently
+                    // benchmark the wrong matcher.
+                    let engine = take_value("--engine")?.to_ascii_lowercase();
+                    if !ENGINES.contains(&engine.as_str()) {
+                        return Err(CliError::Invalid(format!(
+                            "--engine: unknown engine {engine:?} (expected one of {})\n{}",
+                            ENGINES.join(", "),
+                            Self::usage()
+                        )));
+                    }
+                    options.engine = engine;
                 }
                 "--subs" => {
                     options.subs = take_value("--subs")?
@@ -147,6 +168,7 @@ impl CliOptions {
         [
             "usage: <binary> [flags]",
             "  --panel <a|b|c|d|e|f|all|summary>   which figure panel(s) to produce (default all)",
+            "  --engine <counting|sharded|atree|sharded-atree>  broker matching engine (default counting)",
             "  --subs <n>                          number of subscriptions (default 20000)",
             "  --events <n>                        number of published events (default 10000)",
             "  --stats-sample <n>                  events sampled for selectivity statistics (default 2000)",
@@ -182,6 +204,8 @@ impl CliOptions {
         let mut args = vec![
             "--panel".to_owned(),
             self.panel.clone(),
+            "--engine".to_owned(),
+            self.engine.clone(),
             "--subs".to_owned(),
             self.subs.to_string(),
             "--events".to_owned(),
@@ -199,6 +223,17 @@ impl CliOptions {
             args.push("--paper-scale".to_owned());
         }
         args
+    }
+
+    /// The [`EngineKind`] implied by `--engine`. Shard counts are left at 0
+    /// ("use the host's available parallelism") for the sharded kinds.
+    pub fn engine_kind(&self) -> EngineKind {
+        match self.engine.as_str() {
+            "sharded" => EngineKind::Sharded(0),
+            "atree" => EngineKind::ATree,
+            "sharded-atree" => EngineKind::ShardedATree(0),
+            _ => EngineKind::Counting,
+        }
     }
 
     /// The x-axis fractions implied by `--fractions`.
@@ -294,6 +329,34 @@ mod tests {
         let err = CliOptions::parse(["--panel", "g"]).unwrap_err();
         assert!(err.to_string().contains("unknown panel"), "got: {err}");
         assert!(CliOptions::parse(["--panel", ""]).is_err());
+    }
+
+    #[test]
+    fn engine_names_are_validated_and_mapped() {
+        assert_eq!(CliOptions::default().engine_kind(), EngineKind::Counting);
+        let expected = [
+            ("counting", EngineKind::Counting),
+            ("sharded", EngineKind::Sharded(0)),
+            ("atree", EngineKind::ATree),
+            ("sharded-atree", EngineKind::ShardedATree(0)),
+        ];
+        for (name, kind) in expected {
+            let options = CliOptions::parse(["--engine", name]).unwrap();
+            assert_eq!(options.engine, name);
+            assert_eq!(options.engine_kind(), kind);
+            // Every engine selection round-trips through to_args.
+            assert_eq!(CliOptions::parse(options.to_args()).unwrap(), options);
+        }
+        // Case-insensitive input normalizes to the canonical lowercase name.
+        assert_eq!(
+            CliOptions::parse(["--engine", "ATree"]).unwrap().engine,
+            "atree"
+        );
+        // Unknown engines fail loudly instead of silently benchmarking the
+        // wrong matcher.
+        let err = CliOptions::parse(["--engine", "btree"]).unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "got: {err}");
+        assert!(CliOptions::parse(["--engine", ""]).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The distributed experiments: Figures 1(d), 1(e), and 1(f).
 
 use broker::{BrokerId, Simulation, SimulationConfig, Topology};
-use filtering::{AnalyzeMode, EngineConfig};
+use filtering::{AnalyzeMode, EngineConfig, EngineKind};
 use pruning::{Dimension, Pruner, PrunerConfig, PruningPlan};
 use pubsub_core::{EventMessage, Subscription, SubscriptionId, SubscriptionTree};
 use selectivity::SelectivityEstimator;
@@ -42,11 +42,26 @@ struct BrokerPlan {
 }
 
 /// Runs the distributed experiment (five-broker line by default) for one
-/// heuristic over the given pruning fractions.
+/// heuristic over the given pruning fractions, with every broker matching
+/// through the counting engine.
 pub fn run_distributed(
     scenario: &ScenarioConfig,
     dimension: Dimension,
     fractions: &[f64],
+) -> Vec<DistributedPoint> {
+    run_distributed_with_engine(scenario, dimension, fractions, EngineKind::Counting)
+}
+
+/// Runs the distributed experiment with every broker's routing table built
+/// as the given [`EngineKind`] — what the harness binaries' `--engine` flag
+/// selects. The match results (and therefore the deliveries every point is
+/// checked against) are engine-independent; only the filter-time panel
+/// moves.
+pub fn run_distributed_with_engine(
+    scenario: &ScenarioConfig,
+    dimension: Dimension,
+    fractions: &[f64],
+    engine: EngineKind,
 ) -> Vec<DistributedPoint> {
     let mut generator = WorkloadGenerator::new(scenario.workload);
     let subscriptions = generator.subscriptions(scenario.subscription_count);
@@ -60,6 +75,7 @@ pub fn run_distributed(
         &estimator,
         dimension,
         fractions,
+        engine,
     )
 }
 
@@ -72,6 +88,7 @@ pub fn run_distributed_with(
     estimator: &SelectivityEstimator,
     dimension: Dimension,
     fractions: &[f64],
+    engine: EngineKind,
 ) -> Vec<DistributedPoint> {
     // The pruning experiments measure the dimension heuristics in
     // isolation: registration-time analysis (tree normalization and
@@ -79,6 +96,7 @@ pub fn run_distributed_with(
     // baseline and the remote entries the pruner mutates, so it is pinned
     // off here — the analyzer has its own panel in `matching_panel`.
     let config = SimulationConfig::new(Topology::line(broker_count))
+        .with_engine(engine)
         .with_engine_config(EngineConfig::with_analyze(AnalyzeMode::Off));
     let mut sim = Simulation::new(config);
     sim.register_all(subscriptions.iter().cloned());

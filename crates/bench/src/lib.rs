@@ -15,7 +15,7 @@ pub mod cli;
 pub mod distributed;
 
 pub use centralized::{run_centralized, CentralizedPoint};
-pub use distributed::{run_distributed, DistributedPoint};
+pub use distributed::{run_distributed, run_distributed_with_engine, DistributedPoint};
 
 use pruning::Dimension;
 use pubsub_core::EventMessage;

@@ -2,7 +2,7 @@
 //!
 //! Event-filtering engines for Boolean subscriptions.
 //!
-//! Three engines are provided behind the common [`MatchingEngine`] trait:
+//! Four engines are provided behind the common [`MatchingEngine`] trait:
 //!
 //! * [`CountingEngine`] — the production engine. Predicate leaves of all
 //!   registered subscriptions are indexed per attribute (hash index for
@@ -13,12 +13,19 @@
 //!   fulfilled predicates that can possibly fulfil the subscription. This is
 //!   the non-canonical counting algorithm of Bittner & Hinze \[2\] that the
 //!   paper's throughput heuristic (`Δ≈eff`) reasons about.
-//! * [`ShardedEngine`] — the counting engine partitioned over N shards, one
-//!   per core by default: `match_batch` fans the batch out to all shards on
+//! * [`ATreeEngine`] — the shared-subexpression engine for very large
+//!   (100k–1M) redundant subscription populations: every registered tree is
+//!   hash-consed into one slab-backed DAG, identical subtrees across
+//!   subscriptions become a single node with a subscriber list, and matching
+//!   evaluates each shared node at most once per event.
+//! * [`ShardedEngine`] — a base engine partitioned over N shards, one per
+//!   core by default: `match_batch` fans the batch out to all shards on
 //!   scoped worker threads and merges the per-shard streams id-sorted, so the
-//!   output is byte-identical to a single [`CountingEngine`] while the
-//!   matching work scales with the available cores. [`EngineKind`] /
-//!   [`AnyEngine`] let components pick an engine at configuration time.
+//!   output is byte-identical to the single-shard engine while the matching
+//!   work scales with the available cores. Generic over the per-shard engine
+//!   ([`CountingEngine`] by default, [`ATreeEngine`] optionally);
+//!   [`EngineKind`] / [`AnyEngine`] let components pick an engine at
+//!   configuration time.
 //! * [`NaiveEngine`] — a brute-force baseline that evaluates every
 //!   subscription tree against every event. Used for differential testing and
 //!   as the unindexed baseline in benchmarks.
@@ -67,6 +74,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analyze;
+mod atree;
 mod config;
 mod counting;
 mod engine;
@@ -78,6 +86,7 @@ mod sharded;
 mod sink;
 mod stats;
 
+pub use atree::{ATreeEngine, AtreeMemory};
 pub use config::{AnalyzeMode, EngineConfig, PrefilterMode};
 pub use counting::CountingEngine;
 pub use engine::{EngineReport, MatchingEngine};
@@ -85,7 +94,7 @@ pub use index::{AttributeIndex, PredicateKey, SubSlot};
 pub use naive::NaiveEngine;
 pub use prefilter::PreFilter;
 pub use probe::ProbePlan;
-pub use sharded::{AnyEngine, EngineKind, ShardedEngine};
+pub use sharded::{AnyEngine, EngineKind, ShardEngine, ShardedEngine};
 pub use sink::{CountSink, MatchSink, PerEventSink, VecSink};
 pub use stats::FilterStats;
 

@@ -1,15 +1,16 @@
 //! Sharded parallel matching: the subscription slab partitioned across
 //! cores.
 //!
-//! [`ShardedEngine`] partitions the registered subscriptions over N
-//! [`CountingEngine`] shards. Each shard owns its own dense sub-slab,
+//! [`ShardedEngine`] partitions the registered subscriptions over N shards
+//! of any [`ShardEngine`] — [`CountingEngine`] by default, [`ATreeEngine`]
+//! optionally. Each shard owns its own dense sub-slab,
 //! [`AttributeIndex`](crate::AttributeIndex), and generation-stamped scratch,
 //! so matching a batch fans out with **zero shared mutable state**: every
 //! worker gets an exclusive `&mut` to its shard and a shared `&` to the
 //! [`EventBatch`], emits into a per-shard sink buffer, and the calling thread
 //! merges the id-sorted per-shard streams into the caller's
-//! [`MatchSink`] — producing output byte-identical to a single
-//! [`CountingEngine`] holding all subscriptions, regardless of shard count.
+//! [`MatchSink`] — producing output byte-identical to a single shard engine
+//! holding all subscriptions, regardless of shard count.
 //!
 //! Workers run on [`std::thread::scope`]: shard 0 is matched on the calling
 //! thread (a one-shard engine spawns nothing), shards 1..N on scoped worker
@@ -18,7 +19,9 @@
 //! allocation on any shard.
 
 use crate::sink::VecSink;
-use crate::{CountingEngine, EngineConfig, EngineReport, FilterStats, MatchSink, MatchingEngine};
+use crate::{
+    ATreeEngine, CountingEngine, EngineConfig, EngineReport, FilterStats, MatchSink, MatchingEngine,
+};
 use pubsub_core::{EventBatch, Subscription, SubscriptionId};
 use selectivity::DiscriminationHint;
 use std::collections::HashMap;
@@ -42,9 +45,14 @@ pub enum EngineKind {
     /// The single-threaded [`CountingEngine`].
     #[default]
     Counting,
-    /// A [`ShardedEngine`] with the given shard count; `0` means "use the
-    /// host's available parallelism".
+    /// A [`ShardedEngine`] of [`CountingEngine`] shards with the given shard
+    /// count; `0` means "use the host's available parallelism".
     Sharded(usize),
+    /// The single-threaded shared-subexpression [`ATreeEngine`].
+    ATree,
+    /// A [`ShardedEngine`] of [`ATreeEngine`] shards with the given shard
+    /// count; `0` means "use the host's available parallelism".
+    ShardedATree(usize),
 }
 
 impl EngineKind {
@@ -82,6 +90,15 @@ impl EngineKind {
                     config, shards, n,
                 ))
             }
+            EngineKind::ATree => AnyEngine::ATree(ATreeEngine::with_config_and_capacity(config, n)),
+            EngineKind::ShardedATree(shards) => {
+                let shards = if shards == 0 {
+                    default_shards()
+                } else {
+                    shards
+                };
+                AnyEngine::ShardedATree(ShardedEngine::with_shard_engine(config, shards, n))
+            }
         }
     }
 }
@@ -93,10 +110,10 @@ fn default_shards() -> usize {
         .unwrap_or(1)
 }
 
-/// A [`MatchingEngine`] built from an [`EngineKind`]: either a
-/// [`CountingEngine`] or a [`ShardedEngine`], with the non-trait accessors
-/// (subscription iteration) available on both arms.
-// Both variants are large engine structs, and the enum is held once per
+/// A [`MatchingEngine`] built from an [`EngineKind`]: a [`CountingEngine`],
+/// an [`ATreeEngine`], or a [`ShardedEngine`] over either, with the non-trait
+/// accessors (subscription iteration) available on every arm.
+// All variants are large engine structs, and the enum is held once per
 // routing-table destination — never in bulk arrays — so the per-value
 // footprint difference does not matter and boxing would only add an
 // indirection to every dispatch.
@@ -105,8 +122,12 @@ fn default_shards() -> usize {
 pub enum AnyEngine {
     /// The single-threaded counting engine.
     Counting(CountingEngine),
-    /// The sharded parallel engine.
+    /// The sharded parallel engine over counting shards.
     Sharded(ShardedEngine),
+    /// The single-threaded shared-subexpression engine.
+    ATree(ATreeEngine),
+    /// The sharded parallel engine over A-Tree shards.
+    ShardedATree(ShardedEngine<ATreeEngine>),
 }
 
 impl Default for AnyEngine {
@@ -120,6 +141,8 @@ macro_rules! delegate {
         match $self {
             AnyEngine::Counting($e) => $body,
             AnyEngine::Sharded($e) => $body,
+            AnyEngine::ATree($e) => $body,
+            AnyEngine::ShardedATree($e) => $body,
         }
     };
 }
@@ -130,15 +153,19 @@ impl AnyEngine {
         match self {
             AnyEngine::Counting(_) => EngineKind::Counting,
             AnyEngine::Sharded(e) => EngineKind::Sharded(e.shard_count()),
+            AnyEngine::ATree(_) => EngineKind::ATree,
+            AnyEngine::ShardedATree(e) => EngineKind::ShardedATree(e.shard_count()),
         }
     }
 
     /// Iterates over the registered subscriptions (shard-major for the
-    /// sharded arm; callers that need a canonical order sort by id).
+    /// sharded arms; callers that need a canonical order sort by id).
     pub fn subscriptions(&self) -> Box<dyn Iterator<Item = &Subscription> + '_> {
         match self {
             AnyEngine::Counting(e) => Box::new(e.subscriptions()),
             AnyEngine::Sharded(e) => Box::new(e.subscriptions()),
+            AnyEngine::ATree(e) => Box::new(e.subscriptions()),
+            AnyEngine::ShardedATree(e) => Box::new(e.subscriptions()),
         }
     }
 
@@ -209,9 +236,116 @@ impl MatchingEngine for AnyEngine {
     }
 }
 
-/// The parallel matching engine: N [`CountingEngine`] shards, one batch
-/// fan-out per [`match_batch`](MatchingEngine::match_batch) call, and a
-/// deterministic id-sorted merge.
+/// The per-shard engine interface [`ShardedEngine`] is generic over.
+///
+/// A shard engine is a full [`MatchingEngine`] that can additionally be
+/// constructed from an [`EngineConfig`], reconfigured in place, and observed
+/// for scratch reuse. [`CountingEngine`] (the default shard) and
+/// [`ATreeEngine`] implement it; the trait is what lets one fan-out/merge
+/// implementation serve both.
+pub trait ShardEngine: MatchingEngine + Send {
+    /// Creates an empty shard with the given pipeline configuration and
+    /// capacity for roughly `n` subscriptions.
+    fn shard_new(config: EngineConfig, n: usize) -> Self
+    where
+        Self: Sized;
+
+    /// The pipeline configuration the shard runs with.
+    fn config(&self) -> EngineConfig;
+
+    /// Replaces the pipeline configuration.
+    fn set_config(&mut self, config: EngineConfig);
+
+    /// Installs (or clears) the selectivity hint that steers stage-0
+    /// discrimination-attribute choice.
+    fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>);
+
+    /// Whether the stage-0 pre-filter is active for the current
+    /// configuration and subscription population.
+    fn prefilter_enabled(&mut self) -> bool;
+
+    /// Reusable scratch currently allocated by the shard, in bytes.
+    fn scratch_capacity(&self) -> usize;
+
+    /// Number of times the shard's scratch had to grow since construction.
+    fn scratch_grows(&self) -> u64;
+
+    /// Iterates over the subscriptions registered on this shard.
+    fn subscriptions(&self) -> impl Iterator<Item = &Subscription> + '_;
+}
+
+impl ShardEngine for CountingEngine {
+    fn shard_new(config: EngineConfig, n: usize) -> Self {
+        CountingEngine::with_config_and_capacity(config, n)
+    }
+
+    fn config(&self) -> EngineConfig {
+        CountingEngine::config(self)
+    }
+
+    fn set_config(&mut self, config: EngineConfig) {
+        CountingEngine::set_config(self, config);
+    }
+
+    fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        CountingEngine::set_discrimination_hint(self, hint);
+    }
+
+    fn prefilter_enabled(&mut self) -> bool {
+        CountingEngine::prefilter_enabled(self)
+    }
+
+    fn scratch_capacity(&self) -> usize {
+        CountingEngine::scratch_capacity(self)
+    }
+
+    fn scratch_grows(&self) -> u64 {
+        CountingEngine::scratch_grows(self)
+    }
+
+    fn subscriptions(&self) -> impl Iterator<Item = &Subscription> + '_ {
+        CountingEngine::subscriptions(self)
+    }
+}
+
+impl ShardEngine for ATreeEngine {
+    fn shard_new(config: EngineConfig, n: usize) -> Self {
+        ATreeEngine::with_config_and_capacity(config, n)
+    }
+
+    fn config(&self) -> EngineConfig {
+        ATreeEngine::config(self)
+    }
+
+    fn set_config(&mut self, config: EngineConfig) {
+        ATreeEngine::set_config(self, config);
+    }
+
+    fn set_discrimination_hint(&mut self, hint: Option<DiscriminationHint>) {
+        ATreeEngine::set_discrimination_hint(self, hint);
+    }
+
+    fn prefilter_enabled(&mut self) -> bool {
+        ATreeEngine::prefilter_enabled(self)
+    }
+
+    fn scratch_capacity(&self) -> usize {
+        ATreeEngine::scratch_capacity(self)
+    }
+
+    fn scratch_grows(&self) -> u64 {
+        ATreeEngine::scratch_grows(self)
+    }
+
+    fn subscriptions(&self) -> impl Iterator<Item = &Subscription> + '_ {
+        ATreeEngine::subscriptions(self)
+    }
+}
+
+/// The parallel matching engine: N shards of a [`ShardEngine`]
+/// ([`CountingEngine`] by default), one batch fan-out per
+/// [`match_batch`](MatchingEngine::match_batch) call, and a deterministic
+/// id-sorted merge.
 ///
 /// Subscriptions are assigned to the shard with the fewest entries at
 /// registration time (ties to the lowest shard index), which keeps the
@@ -225,11 +359,11 @@ impl MatchingEngine for AnyEngine {
 /// contract. Because every subscription lives on exactly one shard, the
 /// per-shard streams are disjoint, and the k-way merge on
 /// `(event index, subscription id)` reproduces exactly the stream a single
-/// [`CountingEngine`] would emit. The differential test suite pins this for
-/// 1, 2, and 4 shards, including churn between batches.
+/// shard engine holding the union would emit. The differential test suite
+/// pins this for 1, 2, and 4 shards, including churn between batches.
 #[derive(Debug)]
-pub struct ShardedEngine {
-    shards: Vec<CountingEngine>,
+pub struct ShardedEngine<E: ShardEngine = CountingEngine> {
+    shards: Vec<E>,
     /// Per-shard sink buffers the workers emit into; reused across batches.
     shard_sinks: Vec<VecSink>,
     /// Owning shard of each registered subscription.
@@ -248,6 +382,10 @@ impl Default for ShardedEngine {
     }
 }
 
+// Constructors on the default (counting-sharded) engine. These live in a
+// non-generic impl block so existing call sites like
+// `ShardedEngine::with_shards(4)` keep inferring `<CountingEngine>`; type
+// parameter defaults do not participate in expression inference.
 impl ShardedEngine {
     /// Creates an engine with one shard per available core.
     pub fn new() -> Self {
@@ -276,11 +414,23 @@ impl ShardedEngine {
     /// capacity for roughly `n` subscriptions in total, every shard running
     /// the given pipeline configuration.
     pub fn with_config_shards_and_capacity(config: EngineConfig, shards: usize, n: usize) -> Self {
+        Self::with_shard_engine(config, shards, n)
+    }
+}
+
+impl<E: ShardEngine> ShardedEngine<E> {
+    /// Creates an engine with `shards` shards (clamped to at least one) of
+    /// the chosen [`ShardEngine`] and capacity for roughly `n` subscriptions
+    /// in total. The generic counterpart of
+    /// [`with_config_shards_and_capacity`](ShardedEngine::with_config_shards_and_capacity);
+    /// name the shard type at the call site:
+    /// `ShardedEngine::<ATreeEngine>::with_shard_engine(..)`.
+    pub fn with_shard_engine(config: EngineConfig, shards: usize, n: usize) -> Self {
         let shards = shards.max(1);
         let per_shard = n / shards;
         Self {
             shards: (0..shards)
-                .map(|_| CountingEngine::with_config_and_capacity(config, per_shard))
+                .map(|_| E::shard_new(config, per_shard))
                 .collect(),
             shard_sinks: (0..shards).map(|_| VecSink::new()).collect(),
             owner: HashMap::with_capacity(n),
@@ -314,9 +464,7 @@ impl ShardedEngine {
     /// [`PrefilterMode::Auto`](crate::PrefilterMode::Auto) shards can
     /// disagree — each gates on its own slot population.
     pub fn prefilter_enabled(&mut self) -> bool {
-        self.shards
-            .iter_mut()
-            .any(CountingEngine::prefilter_enabled)
+        self.shards.iter_mut().any(|s| s.prefilter_enabled())
     }
 
     /// Number of shards the subscription set is partitioned into.
@@ -326,13 +474,13 @@ impl ShardedEngine {
 
     /// Number of subscriptions currently owned by each shard.
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards.iter().map(CountingEngine::len).collect()
+        self.shards.iter().map(|s| s.len()).collect()
     }
 
     /// Iterates over the registered subscriptions, shard-major (shard 0's
     /// slot order first, then shard 1's, …).
     pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
-        self.shards.iter().flat_map(CountingEngine::subscriptions)
+        self.shards.iter().flat_map(|s| s.subscriptions())
     }
 
     /// Total reusable scratch currently allocated across all shards and the
@@ -341,7 +489,7 @@ impl ShardedEngine {
     pub fn scratch_capacity(&self) -> usize {
         self.shards
             .iter()
-            .map(CountingEngine::scratch_capacity)
+            .map(|s| s.scratch_capacity())
             .sum::<usize>()
             + self
                 .shard_sinks
@@ -355,16 +503,13 @@ impl ShardedEngine {
     /// scratch only, excluding the merge sinks). Steady-state matching keeps
     /// every entry constant; the regression tests assert exactly that.
     pub fn shard_scratch_capacities(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(CountingEngine::scratch_capacity)
-            .collect()
+        self.shards.iter().map(|s| s.scratch_capacity()).collect()
     }
 
     /// Total number of times any shard's scratch had to grow since
     /// construction. Does not move in steady state.
     pub fn scratch_grows(&self) -> u64 {
-        self.shards.iter().map(CountingEngine::scratch_grows).sum()
+        self.shards.iter().map(|s| s.scratch_grows()).sum()
     }
 
     /// The shard that owns the subscription with the given id, if it is
@@ -409,6 +554,9 @@ impl ShardedEngine {
         let mut simplified = 0;
         let mut eliminated = 0;
         let mut rejected = 0;
+        let mut dag_nodes = 0;
+        let mut shared = 0;
+        let mut saved = 0;
         for shard in &self.shards {
             let s = shard.stats();
             trees += s.trees_evaluated;
@@ -419,6 +567,9 @@ impl ShardedEngine {
             simplified += s.subs_simplified;
             eliminated += s.nodes_eliminated;
             rejected += s.unsatisfiable_rejected;
+            dag_nodes += s.dag_nodes;
+            shared += s.shared_subtrees;
+            saved += s.node_evals_saved;
         }
         self.stats.trees_evaluated = trees;
         self.stats.skipped_by_pmin = skipped;
@@ -428,10 +579,13 @@ impl ShardedEngine {
         self.stats.subs_simplified = simplified;
         self.stats.nodes_eliminated = eliminated;
         self.stats.unsatisfiable_rejected = rejected;
+        self.stats.dag_nodes = dag_nodes;
+        self.stats.shared_subtrees = shared;
+        self.stats.node_evals_saved = saved;
     }
 }
 
-impl MatchingEngine for ShardedEngine {
+impl<E: ShardEngine> MatchingEngine for ShardedEngine<E> {
     fn insert(&mut self, subscription: Subscription) {
         let id = subscription.id();
         let shard = match self.owner.get(&id) {
@@ -815,6 +969,17 @@ mod tests {
             EngineKind::Sharded(n) => assert!(n >= 1),
             other => panic!("expected sharded, got {other:?}"),
         }
+        let engine = EngineKind::ATree.build();
+        assert!(matches!(engine, AnyEngine::ATree(_)));
+        assert_eq!(engine.kind(), EngineKind::ATree);
+        let engine = EngineKind::ShardedATree(3).build_with_capacity(100);
+        assert!(matches!(engine, AnyEngine::ShardedATree(_)));
+        assert_eq!(engine.kind(), EngineKind::ShardedATree(3));
+        let engine = EngineKind::ShardedATree(0).build();
+        match engine.kind() {
+            EngineKind::ShardedATree(n) => assert!(n >= 1),
+            other => panic!("expected sharded atree, got {other:?}"),
+        }
     }
 
     #[test]
@@ -828,7 +993,8 @@ mod tests {
         e.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
         assert_eq!(e.config().prefilter, PrefilterMode::Off);
         assert!(!e.prefilter_enabled());
-        // The kind-level constructor forwards the config too, on both arms.
+        // The kind-level constructor forwards the config too, on both
+        // counting arms.
         for kind in [EngineKind::Counting, EngineKind::Sharded(2)] {
             let mut any = kind.build_with_config(config);
             assert_eq!(any.config().prefilter, PrefilterMode::On);
@@ -836,6 +1002,65 @@ mod tests {
             any.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
             assert!(!any.prefilter_enabled());
             any.set_discrimination_hint(None);
+        }
+        // The A-Tree arms carry the config but never run the stage-0
+        // pre-filter (the DAG evaluates every touched node exactly).
+        for kind in [EngineKind::ATree, EngineKind::ShardedATree(2)] {
+            let mut any = kind.build_with_config(config);
+            assert_eq!(any.config().prefilter, PrefilterMode::On);
+            assert!(!any.prefilter_enabled());
+            any.set_config(EngineConfig::with_prefilter(PrefilterMode::Off));
+            assert_eq!(any.config().prefilter, PrefilterMode::Off);
+            any.set_discrimination_hint(None);
+        }
+    }
+
+    #[test]
+    fn sharded_atree_agrees_with_counting_across_shard_counts() {
+        let exprs: Vec<Expr> = (0..40)
+            .map(|i| match i % 4 {
+                0 => Expr::eq("category", if i % 8 == 0 { "books" } else { "music" }),
+                1 => Expr::le("price", (i * 3 % 50) as i64),
+                2 => Expr::and(vec![
+                    Expr::eq("category", "books"),
+                    Expr::ge("price", (i % 30) as i64),
+                ]),
+                _ => Expr::not(Expr::eq("category", "games")),
+            })
+            .collect();
+        let batch: EventBatch = (0..25)
+            .map(|i| book_event(["books", "music", "games"][i % 3], (i as i64 * 7) % 60))
+            .collect();
+
+        let mut reference = CountingEngine::new();
+        for (i, expr) in exprs.iter().enumerate() {
+            reference.insert(sub(i as u64, expr));
+        }
+        let mut expected = PerEventSink::new();
+        reference.match_batch(&batch, &mut expected);
+
+        for shards in [1usize, 2, 3, 8] {
+            let mut sharded = ShardedEngine::<crate::ATreeEngine>::with_shard_engine(
+                EngineConfig::default(),
+                shards,
+                0,
+            );
+            for (i, expr) in exprs.iter().enumerate() {
+                sharded.insert(sub(i as u64, expr));
+            }
+            let mut got = PerEventSink::new();
+            sharded.match_batch(&batch, &mut got);
+            assert_eq!(got.len(), expected.len());
+            for event in 0..batch.len() {
+                assert_eq!(
+                    got.for_event(event),
+                    expected.for_event(event),
+                    "divergence at {shards} atree shards, event {event}"
+                );
+            }
+            // The DAG gauges surface through the sharded aggregation.
+            assert!(sharded.stats().dag_nodes > 0);
+            assert!(sharded.stats().trees_evaluated > 0);
         }
     }
 

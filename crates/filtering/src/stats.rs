@@ -46,6 +46,18 @@ pub struct FilterStats {
     /// Number of subscriptions rejected at registration because analysis
     /// proved them unsatisfiable; they are never indexed.
     pub unsatisfiable_rejected: u64,
+    /// Live DAG nodes held by a shared-subexpression (A-Tree) engine — a
+    /// gauge refreshed on every registration change, zero for engines
+    /// without a DAG. Merging sums the gauges, giving a system-wide total.
+    pub dag_nodes: u64,
+    /// DAG nodes currently referenced more than once (by parent expressions
+    /// or subscriptions) — the number of subtrees whose evaluation is shared.
+    /// A gauge like [`dag_nodes`](Self::dag_nodes); zero without sharing.
+    pub shared_subtrees: u64,
+    /// Cumulative node evaluations avoided by subexpression sharing: each
+    /// time a DAG node with `r > 1` references is evaluated once instead of
+    /// `r` times, this grows by `r - 1`.
+    pub node_evals_saved: u64,
     /// Total wall-clock time spent inside `match_event`.
     ///
     /// With a plain `serde` feature the real serde's built-in `Duration`
@@ -129,6 +141,9 @@ impl FilterStats {
         self.subs_simplified += other.subs_simplified;
         self.nodes_eliminated += other.nodes_eliminated;
         self.unsatisfiable_rejected += other.unsatisfiable_rejected;
+        self.dag_nodes += other.dag_nodes;
+        self.shared_subtrees += other.shared_subtrees;
+        self.node_evals_saved += other.node_evals_saved;
         self.filter_time += other.filter_time;
     }
 }
@@ -159,6 +174,9 @@ mod tests {
             subs_simplified: 1,
             nodes_eliminated: 3,
             unsatisfiable_rejected: 1,
+            dag_nodes: 5,
+            shared_subtrees: 2,
+            node_evals_saved: 4,
             filter_time: Duration::from_millis(40),
         };
         assert_eq!(s.avg_matches_per_event(), 2.0);
@@ -182,6 +200,9 @@ mod tests {
             subs_simplified: 8,
             nodes_eliminated: 9,
             unsatisfiable_rejected: 10,
+            dag_nodes: 11,
+            shared_subtrees: 12,
+            node_evals_saved: 13,
             filter_time: Duration::from_micros(10),
         };
         let b = a;
@@ -197,6 +218,9 @@ mod tests {
         assert_eq!(a.subs_simplified, 16);
         assert_eq!(a.nodes_eliminated, 18);
         assert_eq!(a.unsatisfiable_rejected, 20);
+        assert_eq!(a.dag_nodes, 22);
+        assert_eq!(a.shared_subtrees, 24);
+        assert_eq!(a.node_evals_saved, 26);
         assert_eq!(a.filter_time, Duration::from_micros(20));
     }
 

@@ -1,8 +1,9 @@
-//! Differential and allocation-regression tests for the counting engine.
+//! Differential and allocation-regression tests for the matching engines.
 //!
-//! * The counting engine must agree with the naive baseline on random
-//!   workloads drawn from the `workload` generators (the same generators the
-//!   benchmarks and experiments use), across seeds and under churn.
+//! * The counting and A-Tree engines must agree with the naive baseline on
+//!   random workloads drawn from the `workload` generators (the same
+//!   generators the benchmarks and experiments use), across seeds and under
+//!   churn.
 //! * `match_batch` must agree with per-event `match_event` on both engines,
 //!   including when subscriptions churn between batches.
 //! * After warmup, repeated matching — per event or per batch — must not
@@ -10,8 +11,8 @@
 //!   touched lists, and the batch match buffer are reused.
 
 use filtering::{
-    CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine, NaiveEngine, PerEventSink,
-    PrefilterMode, ShardedEngine,
+    ATreeEngine, AnalyzeMode, CountingEngine, DiscriminationHint, EngineConfig, MatchingEngine,
+    NaiveEngine, PerEventSink, PrefilterMode, ShardedEngine,
 };
 use proptest::prelude::*;
 use pubsub_core::{EventBatch, EventMessage};
@@ -294,6 +295,104 @@ proptest! {
             }
             for s in subscriptions.iter().step_by(6) {
                 reference.insert(s.clone());
+                for engine in &mut sharded {
+                    engine.insert(s.clone());
+                }
+            }
+        }
+    }
+
+    /// The A-Tree engine is byte-identical to the counting engine and the
+    /// naive baseline on random workloads — batch and single-event paths,
+    /// registration-time analysis on and off, alone and sharded over 1, 2,
+    /// and 4 shards — including churn between batches (DAG reference-count
+    /// release, interning-slab slot reuse, and the empty-batch edge case).
+    #[test]
+    fn atree_agrees_with_counting_and_naive(seed in 0u64..16) {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::small().with_seed(seed));
+        let subscriptions = generator.subscriptions(140);
+
+        let analyze_on = EngineConfig::default();
+        let analyze_off = EngineConfig::with_analyze(AnalyzeMode::Off);
+        let mut naive = NaiveEngine::new();
+        let mut counting = CountingEngine::new();
+        let mut atree_on = ATreeEngine::with_config(analyze_on);
+        let mut atree_off = ATreeEngine::with_config(analyze_off);
+        let mut sharded: Vec<ShardedEngine<ATreeEngine>> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| ShardedEngine::<ATreeEngine>::with_shard_engine(analyze_on, n, 0))
+            .collect();
+        for s in &subscriptions {
+            naive.insert(s.clone());
+            counting.insert(s.clone());
+            atree_on.insert(s.clone());
+            atree_off.insert(s.clone());
+            for engine in &mut sharded {
+                engine.insert(s.clone());
+            }
+        }
+
+        let mut reference_sink = PerEventSink::new();
+        let mut got_sink = PerEventSink::new();
+        let mut single = Vec::new();
+        for round in 0..3usize {
+            // Round 2 exercises the empty batch explicitly.
+            let batch: EventBatch = if round == 2 {
+                EventBatch::new()
+            } else {
+                generator.events(25).into_iter().collect()
+            };
+            counting.match_batch(&batch, &mut reference_sink);
+            let mut engines: Vec<(&str, &mut dyn MatchingEngine)> = vec![
+                ("naive", &mut naive),
+                ("atree analyze-on", &mut atree_on),
+                ("atree analyze-off", &mut atree_off),
+            ];
+            for engine in &mut sharded {
+                engines.push(("sharded atree", engine));
+            }
+            for (name, engine) in engines {
+                engine.match_batch(&batch, &mut got_sink);
+                prop_assert_eq!(got_sink.len(), reference_sink.len());
+                for (i, event) in batch.events().iter().enumerate() {
+                    let mut got = got_sink.for_event(i).to_vec();
+                    // The naive baseline emits unsorted; everything else is
+                    // contractually id-sorted already and the sort is a
+                    // no-op.
+                    got.sort();
+                    prop_assert_eq!(
+                        &got[..],
+                        reference_sink.for_event(i),
+                        "{} batch path diverged from counting on seed {} round {} event {}",
+                        name, seed, round, i
+                    );
+                    engine.match_event_into(event, &mut single);
+                    single.sort();
+                    prop_assert_eq!(
+                        &single[..],
+                        reference_sink.for_event(i),
+                        "{} single-event path diverged on seed {} round {} event {}",
+                        name, seed, round, i
+                    );
+                }
+            }
+            // Churn between batches: remove every third subscription, then
+            // re-register every sixth — DAG nodes must be released and
+            // re-interned without leaking into the match results.
+            for s in subscriptions.iter().step_by(3) {
+                naive.remove(s.id());
+                counting.remove(s.id());
+                atree_on.remove(s.id());
+                atree_off.remove(s.id());
+                for engine in &mut sharded {
+                    engine.remove(s.id());
+                }
+            }
+            for s in subscriptions.iter().step_by(6) {
+                naive.insert(s.clone());
+                counting.insert(s.clone());
+                atree_on.insert(s.clone());
+                atree_off.insert(s.clone());
                 for engine in &mut sharded {
                     engine.insert(s.clone());
                 }

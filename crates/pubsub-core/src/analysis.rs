@@ -500,60 +500,91 @@ pub fn subsumes(general: &SubscriptionTree, specific: &SubscriptionTree) -> bool
     implies(&specific.to_expr(), &general.to_expr())
 }
 
+/// Structural FNV-64 fingerprint of a single predicate — the leaf case of
+/// [`expr_fingerprint`], exposed so shared-subexpression indexes can
+/// fingerprint nodes bottom-up without materializing an [`Expr`].
+pub fn predicate_fingerprint(p: &Predicate) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u8(0);
+    h.write_u32(p.attr_id().raw());
+    h.write_u8(p.operator().wire_tag());
+    match p.constant() {
+        Value::Bool(b) => {
+            h.write_u8(1);
+            h.write_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            h.write_u8(2);
+            h.write_u64(*i as u64);
+        }
+        Value::Float(f) => {
+            h.write_u8(3);
+            h.write_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            h.write_u8(4);
+            h.write(s.as_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Order-insensitive combine for `And`/`Or`: wrapping sum and xor of the
+/// child fingerprints, then one FNV round over kind tag and arity.
+fn combine_fingerprints(kind_tag: u8, children: &[u64]) -> u64 {
+    let mut sum = 0u64;
+    let mut xor = 0u64;
+    for &fp in children {
+        sum = sum.wrapping_add(fp);
+        xor ^= fp;
+    }
+    let mut h = Fnv64::new();
+    h.write_u8(kind_tag);
+    h.write_u64(children.len() as u64);
+    h.write_u64(sum);
+    h.write_u64(xor);
+    h.finish()
+}
+
+/// Fingerprint of an `And` over children with the given fingerprints,
+/// insensitive to child order (matches [`expr_fingerprint`]).
+pub fn and_fingerprint(children: &[u64]) -> u64 {
+    combine_fingerprints(10, children)
+}
+
+/// Fingerprint of an `Or` over children with the given fingerprints,
+/// insensitive to child order (matches [`expr_fingerprint`]).
+pub fn or_fingerprint(children: &[u64]) -> u64 {
+    combine_fingerprints(11, children)
+}
+
+/// Fingerprint of a `Not` over a child with the given fingerprint
+/// (matches [`expr_fingerprint`]).
+pub fn not_fingerprint(child: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u8(12);
+    h.write_u64(child);
+    h.finish()
+}
+
 /// Structural FNV-64 fingerprint of an expression, commutative over
 /// `And`/`Or` children: `And(a, b)` and `And(b, a)` fingerprint
 /// identically. Intended as the hash-consing key for shared-subexpression
-/// (A-Tree-style) indexes over analyzer-normalized trees.
+/// (A-Tree-style) indexes over analyzer-normalized trees. Equivalent to
+/// folding [`predicate_fingerprint`] / [`and_fingerprint`] /
+/// [`or_fingerprint`] / [`not_fingerprint`] bottom-up.
 pub fn expr_fingerprint(expr: &Expr) -> u64 {
     match expr {
-        Expr::Pred(p) => {
-            let mut h = Fnv64::new();
-            h.write_u8(0);
-            h.write_u32(p.attr_id().raw());
-            h.write_u8(p.operator().wire_tag());
-            match p.constant() {
-                Value::Bool(b) => {
-                    h.write_u8(1);
-                    h.write_u8(u8::from(*b));
-                }
-                Value::Int(i) => {
-                    h.write_u8(2);
-                    h.write_u64(*i as u64);
-                }
-                Value::Float(f) => {
-                    h.write_u8(3);
-                    h.write_u64(f.to_bits());
-                }
-                Value::Str(s) => {
-                    h.write_u8(4);
-                    h.write(s.as_bytes());
-                }
-            }
-            h.finish()
+        Expr::Pred(p) => predicate_fingerprint(p),
+        Expr::And(children) => {
+            let fps: Vec<u64> = children.iter().map(expr_fingerprint).collect();
+            and_fingerprint(&fps)
         }
-        Expr::And(children) | Expr::Or(children) => {
-            // Order-insensitive combine: wrapping sum and xor of the child
-            // fingerprints, then one FNV round over kind and arity.
-            let mut sum = 0u64;
-            let mut xor = 0u64;
-            for child in children {
-                let fp = expr_fingerprint(child);
-                sum = sum.wrapping_add(fp);
-                xor ^= fp;
-            }
-            let mut h = Fnv64::new();
-            h.write_u8(if matches!(expr, Expr::And(_)) { 10 } else { 11 });
-            h.write_u64(children.len() as u64);
-            h.write_u64(sum);
-            h.write_u64(xor);
-            h.finish()
+        Expr::Or(children) => {
+            let fps: Vec<u64> = children.iter().map(expr_fingerprint).collect();
+            or_fingerprint(&fps)
         }
-        Expr::Not(child) => {
-            let mut h = Fnv64::new();
-            h.write_u8(12);
-            h.write_u64(expr_fingerprint(child));
-            h.finish()
-        }
+        Expr::Not(child) => not_fingerprint(expr_fingerprint(child)),
     }
 }
 
@@ -1101,6 +1132,33 @@ mod tests {
             tree_fingerprint(&SubscriptionTree::from_expr(&ab)),
             expr_fingerprint(&ab)
         );
+    }
+
+    #[test]
+    fn bottom_up_combiners_agree_with_expr_fingerprint() {
+        let a = Expr::gt("x", 5i64);
+        let b = Expr::eq("s", "books");
+        let c = Expr::le("y", 2.5f64);
+        let (pa, pb, pc) = match (&a, &b, &c) {
+            (Expr::Pred(pa), Expr::Pred(pb), Expr::Pred(pc)) => (pa, pb, pc),
+            _ => unreachable!("builders return predicates"),
+        };
+        let (fa, fb, fc) = (
+            predicate_fingerprint(pa),
+            predicate_fingerprint(pb),
+            predicate_fingerprint(pc),
+        );
+        assert_eq!(fa, expr_fingerprint(&a));
+        // And(a, Or(b, c)) and Not(a), folded bottom-up, must match the
+        // recursive fingerprint — and stay child-order insensitive.
+        let or_bc = Expr::Or(vec![b.clone(), c.clone()]);
+        let expr = Expr::And(vec![a.clone(), or_bc.clone()]);
+        let or_fp = or_fingerprint(&[fb, fc]);
+        assert_eq!(or_fp, or_fingerprint(&[fc, fb]));
+        assert_eq!(or_fp, expr_fingerprint(&or_bc));
+        assert_eq!(and_fingerprint(&[fa, or_fp]), expr_fingerprint(&expr));
+        assert_eq!(not_fingerprint(fa), expr_fingerprint(&Expr::not(a.clone())));
+        assert_ne!(and_fingerprint(&[fa, fb]), or_fingerprint(&[fa, fb]));
     }
 
     #[test]

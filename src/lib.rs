@@ -96,8 +96,8 @@ pub mod prelude {
     pub use crate::auction::{AuctionSchema, ScenarioConfig, WorkloadConfig, WorkloadGenerator};
     pub use crate::estimate::{EventStatistics, SelectivityEstimate, SelectivityEstimator};
     pub use crate::matching::{
-        AnyEngine, CountSink, CountingEngine, EngineKind, MatchSink, MatchingEngine, NaiveEngine,
-        PerEventSink, ShardedEngine, VecSink,
+        ATreeEngine, AnyEngine, CountSink, CountingEngine, EngineKind, MatchSink, MatchingEngine,
+        NaiveEngine, PerEventSink, ShardedEngine, VecSink,
     };
     pub use crate::model::{
         BrokerId, EventBatch, EventMessage, Expr, Operator, Predicate, SubscriberId, Subscription,

@@ -20,6 +20,7 @@ HOT_PATH_FILES = [
     "crates/filtering/src/analyze.rs",
     "crates/filtering/src/counting.rs",
     "crates/filtering/src/naive.rs",
+    "crates/filtering/src/atree.rs",
     "crates/filtering/src/prefilter.rs",
     "crates/filtering/src/sharded.rs",
     "crates/broker/src/broker_node.rs",
